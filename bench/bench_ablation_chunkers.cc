@@ -1,0 +1,111 @@
+// Ablation A2 (DESIGN.md): the chunker spectrum and the I/O-CPU overlap
+// knob.
+//
+// Part 1 pits the paper's two strategies against the intro's strawman
+// (round-robin: perfect size uniformity, no locality) and a k-means chunker
+// (locality like BAG, no size control) at the SMALL size class, DQ workload.
+// Expected: round-robin needs to read almost everything to find neighbors;
+// k-means behaves BAG-like (good chunk economy, giant-chunk time penalty).
+//
+// Part 2 toggles the cost model's I/O-CPU overlap (§1.1: uniform chunks are
+// motivated by overlapping I/O with CPU) and reports completion times.
+
+#include <iostream>
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "cluster/kmeans.h"
+#include "cluster/round_robin.h"
+#include "util/table.h"
+
+namespace qvt {
+namespace {
+
+/// Builds a chunk index over the SMALL retained collection with `chunker`,
+/// caching nothing (these are one-off ablation indexes).
+ChunkIndex BuildAblationIndex(const IndexSuite& suite, Chunker* chunker,
+                              const std::string& tag) {
+  const Collection& retained = suite.retained(SizeClass::kSmall);
+  auto chunking = chunker->FormChunks(retained);
+  QVT_CHECK_OK(chunking.status());
+  const std::string base = suite.config().cache_dir + "/ablation_" + tag;
+  auto index = ChunkIndex::Build(retained, *chunking, Env::Posix(),
+                                 ChunkIndexPaths::ForBase(base));
+  QVT_CHECK_OK(index.status());
+  return std::move(index).value();
+}
+
+void Run(const ExperimentConfig& config) {
+  const auto suite = bench::LoadSuite(config);
+  bench::PrintBanner("Ablation: chunk-forming strategies and I/O-CPU overlap",
+                     *suite);
+
+  const Collection& retained = suite->retained(SizeClass::kSmall);
+  const size_t chunk_size = std::max<size_t>(
+      2, retained.size() /
+             std::max<size_t>(1, suite->variant(Strategy::kBag,
+                                                SizeClass::kSmall)
+                                     .index.num_chunks()));
+
+  RoundRobinChunker rr(chunk_size);
+  KMeansConfig km_config;
+  km_config.num_clusters = std::max<size_t>(
+      1, retained.size() / std::max<size_t>(1, chunk_size));
+  KMeansChunker km(km_config);
+
+  std::vector<LabeledCurves> series;
+  const DiskCostModel cost_model(config.cost_model);
+  const GroundTruth& truth = suite->truth(SizeClass::kSmall, "DQ");
+
+  for (Strategy strategy : kAllStrategies) {
+    const IndexVariant& v = suite->variant(strategy, SizeClass::kSmall);
+    Searcher searcher(&v.index, cost_model);
+    auto curves = RunWorkload(searcher, suite->dq(), truth, config.k);
+    QVT_CHECK_OK(curves.status());
+    series.push_back({v.Label(), std::move(curves).value()});
+  }
+  for (auto [chunker, tag] :
+       std::initializer_list<std::pair<Chunker*, const char*>>{
+           {&rr, "RR"}, {&km, "KM"}}) {
+    const ChunkIndex index = BuildAblationIndex(*suite, chunker, tag);
+    Searcher searcher(&index, cost_model);
+    auto curves = RunWorkload(searcher, suite->dq(), truth, config.k);
+    QVT_CHECK_OK(curves.status());
+    series.push_back({std::string(tag) + " / SMALL",
+                      std::move(curves).value()});
+  }
+
+  PrintNeighborsFigure(std::cout, "Chunkers: chunks read (DQ)",
+                       EffortMetric::kChunksRead, series);
+  PrintNeighborsFigure(std::cout, "Chunkers: modeled time (DQ)",
+                       EffortMetric::kModelSeconds, series);
+
+  // --- Part 2: I/O-CPU overlap --------------------------------------------
+  std::cout << "\nI/O-CPU overlap ablation (completion time, DQ):\n";
+  TablePrinter overlap_table(
+      {"index", "overlap=on (s)", "overlap=off (s)", "penalty"});
+  for (Strategy strategy : kAllStrategies) {
+    const IndexVariant& v = suite->variant(strategy, SizeClass::kSmall);
+    double seconds[2];
+    for (bool overlap : {true, false}) {
+      DiskCostModelConfig cm = config.cost_model;
+      cm.overlap_io_cpu = overlap;
+      Searcher searcher(&v.index, DiskCostModel(cm));
+      auto curves = RunWorkload(searcher, suite->dq(), truth, config.k);
+      QVT_CHECK_OK(curves.status());
+      seconds[overlap ? 0 : 1] = curves->mean_completion_model_seconds;
+    }
+    overlap_table.AddRow(
+        {v.Label(), Seconds(seconds[0]), Seconds(seconds[1]),
+         TablePrinter::Num(100.0 * (seconds[1] / seconds[0] - 1.0), 1) + "%"});
+  }
+  overlap_table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qvt
+
+int main(int argc, char** argv) {
+  qvt::Run(qvt::bench::ParseConfig(argc, argv));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 1 of the paper: sizes of the 30 largest chunks for each
+// of the six chunk indexes (log-scale in the paper; printed here as raw
+// populations). The expected shape: BAG indexes have a few giant chunks —
+// the paper's largest held >1M of 4.65M descriptors — followed by a steep
+// drop, while SR-tree chunk sizes are flat by construction.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace qvt {
+namespace {
+
+std::vector<uint32_t> LargestChunks(const ChunkIndex& index, size_t count) {
+  std::vector<uint32_t> sizes;
+  sizes.reserve(index.num_chunks());
+  for (const auto& entry : index.entries()) {
+    sizes.push_back(entry.location.num_descriptors);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  sizes.resize(std::min(count, sizes.size()));
+  return sizes;
+}
+
+void Run(const ExperimentConfig& config) {
+  const auto suite = bench::LoadSuite(config);
+  bench::PrintBanner("Figure 1: size of the largest chunks", *suite);
+
+  constexpr size_t kTop = 30;
+  std::vector<std::string> headers{"rank"};
+  std::vector<std::vector<uint32_t>> columns;
+  for (Strategy strategy : kAllStrategies) {
+    for (SizeClass size_class : kAllSizeClasses) {
+      const IndexVariant& v = suite->variant(strategy, size_class);
+      headers.push_back(v.Label());
+      columns.push_back(LargestChunks(v.index, kTop));
+    }
+  }
+
+  TablePrinter table(std::move(headers));
+  for (size_t rank = 0; rank < kTop; ++rank) {
+    std::vector<std::string> row{std::to_string(rank + 1)};
+    for (const auto& column : columns) {
+      row.push_back(rank < column.size() ? std::to_string(column[rank]) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nLargest chunk as a share of the retained collection "
+               "(paper: ~11-22% for BAG):\n";
+  TablePrinter shares({"index", "largest", "share"});
+  for (Strategy strategy : kAllStrategies) {
+    for (SizeClass size_class : kAllSizeClasses) {
+      const IndexVariant& v = suite->variant(strategy, size_class);
+      const double share =
+          100.0 * static_cast<double>(v.index.max_chunk_descriptors()) /
+          static_cast<double>(v.index.total_descriptors());
+      shares.AddRow({v.Label(),
+                     std::to_string(v.index.max_chunk_descriptors()),
+                     TablePrinter::Num(share, 1) + "%"});
+    }
+  }
+  shares.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qvt
+
+int main(int argc, char** argv) {
+  qvt::Run(qvt::bench::ParseConfig(argc, argv));
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Figure 3 of the paper: chunks read vs neighbors found under the
+// SQ (space-queries) workload — queries drawn uniformly from the trimmed
+// per-dimension value ranges, simulating queries with no good match.
+//
+// Expected shape (§5.5): the curves keep Figure 2's overall shape, but the
+// SR-tree indexes now do slightly better — BAG must read several small
+// chunks where the SR-tree reads a few size-uniform ones.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace qvt;
+  const auto suite = bench::LoadSuite(bench::ParseConfig(argc, argv));
+  bench::PrintBanner(
+      "Figure 3: chunks required to find nearest neighbors (SQ workload)",
+      *suite);
+  const auto series = bench::RunAllVariants(*suite, "SQ");
+  PrintNeighborsFigure(std::cout, "Figure 3 (SQ)", EffortMetric::kChunksRead,
+                       series);
+  return 0;
+}

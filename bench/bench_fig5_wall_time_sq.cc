@@ -1,0 +1,24 @@
+// Reproduces Figure 5 of the paper: elapsed time to find nearest neighbors
+// under the SQ workload on the 2005-hardware cost model.
+//
+// Expected shape (§5.5): all six approaches perform very similarly — the
+// BAG indexes avoid reading their giant chunks for space queries, so the
+// giant-chunk CPU penalty of Figure 4 disappears.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace qvt;
+  const auto suite = bench::LoadSuite(bench::ParseConfig(argc, argv));
+  bench::PrintBanner(
+      "Figure 5: elapsed time to find nearest neighbors (SQ workload)",
+      *suite);
+  const auto series = bench::RunAllVariants(*suite, "SQ");
+  PrintNeighborsFigure(std::cout, "Figure 5 (SQ, cost model)",
+                       EffortMetric::kModelSeconds, series);
+  PrintNeighborsFigure(std::cout, "Figure 5 secondary (SQ, host wall clock)",
+                       EffortMetric::kWallSeconds, series);
+  return 0;
+}

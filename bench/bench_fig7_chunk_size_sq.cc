@@ -1,0 +1,22 @@
+// Reproduces Figure 7 of the paper: the chunk-size sweep of Figure 6 under
+// the SQ (space-queries) workload.
+//
+// Expected shape (§5.6): the same wide flat valley as Figure 6 but at
+// higher absolute times (no-match queries must read more data before the
+// result stabilizes); chunks of ~1,000-10,000 descriptors remain the sweet
+// spot, corroborating that exact size uniformity is unnecessary — only very
+// small and very large chunks must be avoided (§5.7 lesson 3).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace qvt;
+  const auto suite = bench::LoadSuite(bench::ParseConfig(argc, argv));
+  bench::PrintBanner(
+      "Figure 7: effect of chunk size on time to n neighbors (SQ workload)",
+      *suite);
+  bench::RunChunkSizeSweep(*suite, "SQ");
+  return 0;
+}

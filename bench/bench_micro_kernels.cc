@@ -1,0 +1,96 @@
+// M1 (DESIGN.md): google-benchmark microbenchmarks of the hot kernels —
+// the 24-d Euclidean distance, a full chunk scan with result-set updates,
+// centroid ranking over a chunk index, and k-NN heap insertion.
+
+#include <benchmark/benchmark.h>
+
+#include "core/result_set.h"
+#include "descriptor/generator.h"
+#include "geometry/vec.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection BenchCollection(size_t images) {
+  GeneratorConfig config;
+  config.num_images = images;
+  config.descriptors_per_image = 100;
+  config.num_modes = std::max<size_t>(4, images / 10);
+  config.seed = 99;
+  return GenerateCollection(config);
+}
+
+void BM_Distance24d(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<float> a(kDescriptorDim), b(kDescriptorDim);
+  for (auto& x : a) x = static_cast<float>(rng.NextDouble());
+  for (auto& x : b) x = static_cast<float>(rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::SquaredDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Distance24d);
+
+void BM_ChunkScan(benchmark::State& state) {
+  const Collection c = BenchCollection(20);
+  const size_t chunk_size = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> query(kDescriptorDim);
+  for (auto& x : query) x = static_cast<float>(rng.UniformDouble(0, 100));
+
+  for (auto _ : state) {
+    KnnResultSet result(30);
+    const size_t limit = std::min(chunk_size, c.size());
+    for (size_t i = 0; i < limit; ++i) {
+      result.Insert(c.Id(i), vec::Distance(c.Vector(i), query));
+    }
+    benchmark::DoNotOptimize(result.KthDistance());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::min(chunk_size, c.size()));
+}
+BENCHMARK(BM_ChunkScan)->Arg(947)->Arg(1711)->Arg(2486);
+
+void BM_ResultSetInsert(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> distances(4096);
+  for (auto& d : distances) d = rng.NextDouble();
+  size_t i = 0;
+  KnnResultSet result(30);
+  for (auto _ : state) {
+    result.Insert(static_cast<DescriptorId>(i), distances[i % 4096]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResultSetInsert);
+
+void BM_CentroidRanking(benchmark::State& state) {
+  const size_t num_chunks = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<float>> centroids(num_chunks);
+  for (auto& c : centroids) {
+    c.resize(kDescriptorDim);
+    for (auto& x : c) x = static_cast<float>(rng.UniformDouble(0, 100));
+  }
+  std::vector<float> query(kDescriptorDim, 50.0f);
+  std::vector<std::pair<double, uint32_t>> ranking(num_chunks);
+
+  for (auto _ : state) {
+    for (size_t i = 0; i < num_chunks; ++i) {
+      ranking[i] = {vec::SquaredDistance(centroids[i], query),
+                    static_cast<uint32_t>(i)};
+    }
+    std::sort(ranking.begin(), ranking.end());
+    benchmark::DoNotOptimize(ranking.front().second);
+  }
+  state.SetItemsProcessed(state.iterations() * num_chunks);
+}
+BENCHMARK(BM_CentroidRanking)->Arg(200)->Arg(2000);
+
+}  // namespace
+}  // namespace qvt
+
+BENCHMARK_MAIN();

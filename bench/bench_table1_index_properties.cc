@@ -1,0 +1,69 @@
+// Reproduces Table 1 of the paper: properties of the BAG and SR-tree chunk
+// indexes (retained/discarded descriptors, outlier percentage, number of
+// chunks, descriptors per chunk), plus the build-time comparison discussed
+// in §5.2 (BAG: ~12 days at paper scale; SR-tree: ~2-3 hours).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace qvt {
+namespace {
+
+void Run(const ExperimentConfig& config) {
+  const auto suite = bench::LoadSuite(config);
+  bench::PrintBanner("Table 1: properties of the BAG and SR-tree chunk indexes",
+                     *suite);
+
+  TablePrinter table({"Chunk sizes", "Retained", "Discarded", "% Outliers",
+                      "BAG chunks", "BAG desc/chunk", "SR chunks",
+                      "SR desc/chunk"});
+  for (SizeClass size_class : kAllSizeClasses) {
+    const IndexVariant& bag = suite->variant(Strategy::kBag, size_class);
+    const IndexVariant& sr = suite->variant(Strategy::kSrTree, size_class);
+    const double outlier_pct =
+        100.0 * static_cast<double>(bag.discarded) /
+        static_cast<double>(bag.retained + bag.discarded);
+    table.AddRow({
+        SizeClassName(size_class),
+        std::to_string(bag.retained),
+        std::to_string(bag.discarded),
+        TablePrinter::Num(outlier_pct, 1) + "%",
+        std::to_string(bag.index.num_chunks()),
+        TablePrinter::Num(static_cast<double>(bag.index.total_descriptors()) /
+                              static_cast<double>(bag.index.num_chunks()),
+                          0),
+        std::to_string(sr.index.num_chunks()),
+        TablePrinter::Num(static_cast<double>(sr.index.total_descriptors()) /
+                              static_cast<double>(sr.index.num_chunks()),
+                          0),
+    });
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nChunk formation time (§5.2: BAG took ~12 days at paper "
+               "scale, the SR-tree at most ~3 hours):\n";
+  TablePrinter times({"Chunk sizes", "BAG build (s)", "SR build (s)",
+                      "BAG/SR ratio"});
+  for (SizeClass size_class : kAllSizeClasses) {
+    const IndexVariant& bag = suite->variant(Strategy::kBag, size_class);
+    const IndexVariant& sr = suite->variant(Strategy::kSrTree, size_class);
+    times.AddRow({SizeClassName(size_class),
+                  TablePrinter::Num(bag.build_seconds, 1),
+                  TablePrinter::Num(sr.build_seconds, 1),
+                  sr.build_seconds > 0
+                      ? TablePrinter::Num(bag.build_seconds / sr.build_seconds,
+                                          0) + "x"
+                      : "-"});
+  }
+  times.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qvt
+
+int main(int argc, char** argv) {
+  qvt::Run(qvt::bench::ParseConfig(argc, argv));
+  return 0;
+}

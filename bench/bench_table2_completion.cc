@@ -1,0 +1,49 @@
+// Reproduces Table 2 of the paper: time to completion (seconds) of the
+// exact search — run until no unread chunk can contain a closer neighbor —
+// for the six chunk indexes and both workloads, on the 2005-hardware cost
+// model.
+//
+// Expected shape (§5.5): BAG completes FASTER than the SR-tree at every
+// size (its dense chunks let the stop rule prune earlier), completion time
+// drops as chunks get larger, and DQ completes a bit faster than SQ. The
+// paper's range: 16.7-45.0 seconds; ours scales down with the collection.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace qvt;
+  const auto suite = bench::LoadSuite(bench::ParseConfig(argc, argv));
+  bench::PrintBanner("Table 2: time to completion (seconds)", *suite);
+
+  const auto dq = bench::RunAllVariants(*suite, "DQ");
+  const auto sq = bench::RunAllVariants(*suite, "SQ");
+  // RunAllVariants orders: BAG S/M/L then SR S/M/L.
+  TablePrinter table({"Chunk sizes", "BAG DQ", "BAG SQ", "SR DQ", "SR SQ"});
+  for (size_t c = 0; c < 3; ++c) {
+    table.AddRow({
+        SizeClassName(kAllSizeClasses[c]),
+        Seconds(dq[c].curves.mean_completion_model_seconds),
+        Seconds(sq[c].curves.mean_completion_model_seconds),
+        Seconds(dq[3 + c].curves.mean_completion_model_seconds),
+        Seconds(sq[3 + c].curves.mean_completion_model_seconds),
+    });
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nChunks read to completion (supporting metric):\n";
+  TablePrinter chunks({"Chunk sizes", "BAG DQ", "BAG SQ", "SR DQ", "SR SQ"});
+  for (size_t c = 0; c < 3; ++c) {
+    chunks.AddRow({
+        SizeClassName(kAllSizeClasses[c]),
+        TablePrinter::Num(dq[c].curves.mean_chunks_to_completion, 1),
+        TablePrinter::Num(sq[c].curves.mean_chunks_to_completion, 1),
+        TablePrinter::Num(dq[3 + c].curves.mean_chunks_to_completion, 1),
+        TablePrinter::Num(sq[3 + c].curves.mean_chunks_to_completion, 1),
+    });
+  }
+  chunks.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "bench_util/experiment_config.h"
+
+#include <cmath>
+
+namespace qvt {
+
+namespace {
+uint64_t MixU64(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+uint64_t MixDouble(uint64_t h, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return MixU64(h, bits);
+}
+}  // namespace
+
+uint64_t ExperimentConfig::Fingerprint() const {
+  uint64_t h = 0x5eed0001ULL;
+  h = MixU64(h, generator.dim);
+  h = MixU64(h, generator.seed);
+  h = MixU64(h, generator.num_images);
+  h = MixU64(h, generator.descriptors_per_image);
+  h = MixU64(h, generator.num_modes);
+  h = MixDouble(h, generator.mode_zipf_exponent);
+  h = MixDouble(h, generator.value_range);
+  h = MixDouble(h, generator.mode_spread);
+  h = MixDouble(h, generator.mode_stddev);
+  h = MixDouble(h, generator.image_offset_stddev);
+  h = MixDouble(h, generator.descriptor_stddev);
+  h = MixU64(h, generator.modes_per_image);
+  h = MixDouble(h, generator.outlier_fraction);
+  h = MixDouble(h, generator.outlier_scale);
+  h = MixU64(h, small_chunk_size);
+  h = MixU64(h, medium_chunk_size);
+  h = MixU64(h, large_chunk_size);
+  h = MixDouble(h, bag.mpi);
+  h = MixDouble(h, bag.destroy_fraction);
+  h = MixU64(h, queries_per_workload);
+  h = MixU64(h, k);
+  h = MixU64(h, workload_seed);
+  return h;
+}
+
+}  // namespace qvt

@@ -1,0 +1,59 @@
+#include "bench_util/figures.h"
+
+#include "util/table.h"
+
+namespace qvt {
+
+std::string Seconds(double s) { return TablePrinter::Num(s, 3); }
+
+void PrintNeighborsFigure(std::ostream& os, const std::string& title,
+                          EffortMetric metric,
+                          const std::vector<LabeledCurves>& series) {
+  os << "\n=== " << title << " ===\n";
+  switch (metric) {
+    case EffortMetric::kChunksRead:
+      os << "(mean chunks read until n true neighbors found)\n";
+      break;
+    case EffortMetric::kModelSeconds:
+      os << "(mean modeled elapsed seconds until n true neighbors found; "
+            "2005-hardware cost model)\n";
+      break;
+    case EffortMetric::kWallSeconds:
+      os << "(mean host wall-clock seconds until n true neighbors found)\n";
+      break;
+  }
+
+  std::vector<std::string> headers{"neighbors"};
+  for (const auto& s : series) headers.push_back(s.label);
+  TablePrinter table(std::move(headers));
+
+  const size_t k = series.empty() ? 0 : series.front().curves.k;
+  for (size_t n = 1; n <= k; ++n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (const auto& s : series) {
+      const QualityCurves& c = s.curves;
+      if (n > c.k || c.queries_reaching[n - 1] == 0) {
+        row.push_back("-");
+        continue;
+      }
+      double value = 0.0;
+      switch (metric) {
+        case EffortMetric::kChunksRead:
+          value = c.mean_chunks_at[n - 1];
+          break;
+        case EffortMetric::kModelSeconds:
+          value = c.mean_model_seconds_at[n - 1];
+          break;
+        case EffortMetric::kWallSeconds:
+          value = c.mean_wall_seconds_at[n - 1];
+          break;
+      }
+      row.push_back(TablePrinter::Num(
+          value, metric == EffortMetric::kChunksRead ? 2 : 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+}  // namespace qvt

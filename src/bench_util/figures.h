@@ -1,0 +1,37 @@
+#ifndef QVT_BENCH_UTIL_FIGURES_H_
+#define QVT_BENCH_UTIL_FIGURES_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/runner.h"
+
+namespace qvt {
+
+/// Which effort metric a figure plots against "neighbors found".
+enum class EffortMetric {
+  kChunksRead,     ///< Figures 2 & 3
+  kModelSeconds,   ///< Figures 4-7 (2005-hardware cost model)
+  kWallSeconds,    ///< same, host wall clock (secondary)
+};
+
+/// One labeled curve of a figure.
+struct LabeledCurves {
+  std::string label;
+  QualityCurves curves;
+};
+
+/// Prints a paper-style figure as data columns: the x axis is "neighbors
+/// found" (1..k); one column per labeled series reporting the average effort
+/// needed to reach that many true neighbors.
+void PrintNeighborsFigure(std::ostream& os, const std::string& title,
+                          EffortMetric metric,
+                          const std::vector<LabeledCurves>& series);
+
+/// Formats seconds with millisecond resolution.
+std::string Seconds(double s);
+
+}  // namespace qvt
+
+#endif  // QVT_BENCH_UTIL_FIGURES_H_

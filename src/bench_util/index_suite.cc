@@ -1,0 +1,351 @@
+#include "bench_util/index_suite.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/bag.h"
+#include "cluster/srtree_chunker.h"
+#include "descriptor/generator.h"
+#include "descriptor/range_analysis.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+const char* SizeClassName(SizeClass size_class) {
+  switch (size_class) {
+    case SizeClass::kSmall:
+      return "SMALL";
+    case SizeClass::kMedium:
+      return "MEDIUM";
+    case SizeClass::kLarge:
+      return "LARGE";
+  }
+  return "?";
+}
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBag:
+      return "BAG";
+    case Strategy::kSrTree:
+      return "SR";
+  }
+  return "?";
+}
+
+std::string IndexVariant::Label() const {
+  return std::string(StrategyName(strategy)) + " / " +
+         SizeClassName(size_class);
+}
+
+namespace {
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// Simple key=value manifest used to persist scalar build facts.
+class Manifest {
+ public:
+  static StatusOr<Manifest> Load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return Status::NotFound("no manifest at " + path);
+    Manifest m;
+    std::string key;
+    double value;
+    while (in >> key >> value) m.values_[key] = value;
+    return m;
+  }
+
+  Status Save(const std::string& path) const {
+    std::ofstream out(path + ".tmp", std::ios::trunc);
+    if (!out) return Status::IoError("cannot write manifest " + path);
+    for (const auto& [key, value] : values_) {
+      out << key << " " << value << "\n";
+    }
+    out.close();
+    std::filesystem::rename(path + ".tmp", path);
+    return Status::OK();
+  }
+
+  void Set(const std::string& key, double value) { values_[key] = value; }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  double Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    QVT_CHECK(it != values_.end()) << "missing manifest key " << key;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace
+
+std::string IndexSuite::CachePath(const std::string& name) const {
+  return config_.cache_dir + "/qvt_" + HexFingerprint(config_.Fingerprint()) +
+         "_" + name;
+}
+
+StatusOr<std::unique_ptr<IndexSuite>> IndexSuite::BuildOrLoad(
+    const ExperimentConfig& config, Env* env) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.cache_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create cache dir " + config.cache_dir);
+  }
+  std::unique_ptr<IndexSuite> suite(new IndexSuite(config, env));
+  QVT_RETURN_IF_ERROR(suite->BuildEverything());
+  return suite;
+}
+
+Status IndexSuite::BuildEverything() {
+  WallClock wall;
+  const std::string manifest_path = CachePath("manifest.txt");
+  auto manifest_or = Manifest::Load(manifest_path);
+  const bool cached = manifest_or.ok() && manifest_or->Has("complete");
+  Manifest manifest = cached ? std::move(manifest_or).value() : Manifest();
+
+  // --- Collection ----------------------------------------------------------
+  const std::string collection_path = CachePath("collection.desc");
+  if (cached && env_->FileExists(collection_path)) {
+    auto loaded =
+        Collection::Load(env_, collection_path, config_.generator.dim);
+    if (!loaded.ok()) return loaded.status();
+    collection_ = std::make_unique<Collection>(std::move(loaded).value());
+  } else {
+    QVT_LOG(Info) << "generating synthetic collection ("
+                  << config_.generator.num_images << " images)...";
+    collection_ =
+        std::make_unique<Collection>(GenerateCollection(config_.generator));
+    QVT_RETURN_IF_ERROR(collection_->Save(env_, collection_path));
+  }
+  QVT_LOG(Info) << "collection: " << collection_->size() << " descriptors";
+
+  // --- Workloads (cheap; always regenerated deterministically) -------------
+  {
+    Rng rng(config_.workload_seed);
+    dq_ = MakeDatasetQueries(*collection_, config_.queries_per_workload, &rng);
+    const DimensionRanges ranges = ComputeTrimmedRanges(*collection_, 0.05);
+    sq_ = MakeSpaceQueries(ranges, config_.queries_per_workload, &rng);
+  }
+
+  // --- BAG clusterings (SMALL -> MEDIUM -> LARGE, §5.2) --------------------
+  const size_t chunk_sizes[3] = {config_.small_chunk_size,
+                                 config_.medium_chunk_size,
+                                 config_.large_chunk_size};
+
+  const bool indexes_cached = [&] {
+    if (!cached) return false;
+    for (Strategy strategy : kAllStrategies) {
+      for (SizeClass size_class : kAllSizeClasses) {
+        const std::string base =
+            CachePath(std::string(StrategyName(strategy)) + "_" +
+                      SizeClassName(size_class));
+        const ChunkIndexPaths paths = ChunkIndexPaths::ForBase(base);
+        if (!env_->FileExists(paths.chunk_file) ||
+            !env_->FileExists(paths.index_file)) {
+          return false;
+        }
+      }
+    }
+    for (SizeClass size_class : kAllSizeClasses) {
+      if (!env_->FileExists(CachePath(
+              std::string("retained_") + SizeClassName(size_class) +
+              ".desc"))) {
+        return false;
+      }
+    }
+    return true;
+  }();
+
+  std::unique_ptr<BagClusterer> bag;
+  if (!indexes_cached) {
+    QVT_LOG(Info) << "running BAG clustering (this is the slow step)...";
+    bag = std::make_unique<BagClusterer>(collection_.get(), config_.bag);
+  }
+
+  for (SizeClass size_class : kAllSizeClasses) {
+    const size_t class_idx = Idx(size_class);
+    const std::string class_name = SizeClassName(size_class);
+    const std::string retained_path =
+        CachePath("retained_" + class_name + ".desc");
+    const std::string bag_base = CachePath("BAG_" + class_name);
+    const std::string sr_base = CachePath("SR_" + class_name);
+
+    if (indexes_cached) {
+      auto retained =
+          Collection::Load(env_, retained_path, config_.generator.dim);
+      if (!retained.ok()) return retained.status();
+      retained_[class_idx] =
+          std::make_unique<Collection>(std::move(retained).value());
+
+      for (Strategy strategy : kAllStrategies) {
+        const std::string& base =
+            strategy == Strategy::kBag ? bag_base : sr_base;
+        auto index =
+            ChunkIndex::Open(env_, ChunkIndexPaths::ForBase(base),
+                             config_.generator.dim);
+        if (!index.ok()) return index.status();
+        auto variant = std::make_unique<IndexVariant>(IndexVariant{
+            strategy, size_class, std::move(index).value(), 0, 0, 0.0});
+        variant->retained = static_cast<size_t>(
+            manifest.Get("retained_" + class_name));
+        variant->discarded = static_cast<size_t>(
+            manifest.Get("discarded_" + class_name));
+        variant->build_seconds = manifest.Get(
+            std::string(StrategyName(strategy)) + "_build_seconds_" +
+            class_name);
+        variants_[VariantIdx(strategy, size_class)] = std::move(variant);
+      }
+      continue;
+    }
+
+    // Continue the succession: run BAG down to this class's target count.
+    // SMALL aims at the natural structure (retained chunks plus the
+    // expected outlier-cluster tail); MEDIUM and LARGE use the paper's
+    // succession ratios of the observed SMALL cluster count.
+    size_t target;
+    if (size_class == SizeClass::kSmall) {
+      target = config_.BagTargetForChunkSize(collection_->size(),
+                                             chunk_sizes[class_idx]);
+    } else {
+      const double ratio = size_class == SizeClass::kMedium
+                               ? config_.medium_target_ratio
+                               : config_.large_target_ratio;
+      target = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 ratio * static_cast<double>(small_stop_clusters_))));
+    }
+    Stopwatch bag_watch(&wall);
+    QVT_RETURN_IF_ERROR(bag->RunUntil(target));
+    if (size_class == SizeClass::kSmall) {
+      small_stop_clusters_ = bag->NumClusters();
+    }
+    const double bag_seconds_delta = bag_watch.ElapsedSeconds();
+    const double prev_bag_seconds =
+        size_class == SizeClass::kSmall
+            ? 0.0
+            : variants_[VariantIdx(Strategy::kBag,
+                                   static_cast<SizeClass>(class_idx - 1))]
+                  ->build_seconds;
+    const double bag_seconds = prev_bag_seconds + bag_seconds_delta;
+
+    const ChunkingResult bag_chunks = bag->Snapshot();
+    QVT_LOG(Info) << "BAG/" << class_name << ": "
+                  << bag_chunks.chunks.size() << " chunks, avg "
+                  << bag_chunks.AverageChunkSize() << " descriptors, "
+                  << bag_chunks.outliers.size() << " outliers";
+
+    // Retained collection for this class (order: by chunk).
+    std::vector<size_t> retained_positions;
+    retained_positions.reserve(bag_chunks.TotalChunkedDescriptors());
+    for (const auto& chunk : bag_chunks.chunks) {
+      retained_positions.insert(retained_positions.end(), chunk.begin(),
+                                chunk.end());
+    }
+    retained_[class_idx] = std::make_unique<Collection>(
+        collection_->Subset(retained_positions));
+    QVT_RETURN_IF_ERROR(retained_[class_idx]->Save(env_, retained_path));
+
+    // BAG chunk index over the full collection (outliers skipped by Build).
+    auto bag_index = ChunkIndex::Build(*collection_, bag_chunks, env_,
+                                       ChunkIndexPaths::ForBase(bag_base));
+    if (!bag_index.ok()) return bag_index.status();
+
+    // Size-matched SR-tree index over the retained (outlier-free) set.
+    const size_t sr_leaf = std::max<size_t>(
+        2, static_cast<size_t>(std::llround(bag_chunks.AverageChunkSize())));
+    Stopwatch sr_watch(&wall);
+    SrTreeChunker sr_chunker(sr_leaf);
+    auto sr_chunks = sr_chunker.FormChunks(*retained_[class_idx]);
+    if (!sr_chunks.ok()) return sr_chunks.status();
+    auto sr_index =
+        ChunkIndex::Build(*retained_[class_idx], *sr_chunks, env_,
+                          ChunkIndexPaths::ForBase(sr_base));
+    if (!sr_index.ok()) return sr_index.status();
+    const double sr_seconds = sr_watch.ElapsedSeconds();
+    QVT_LOG(Info) << "SR/" << class_name << ": "
+                  << sr_chunks->chunks.size() << " chunks (leaf " << sr_leaf
+                  << ")";
+
+    const size_t retained_count = retained_positions.size();
+    const size_t discarded_count = collection_->size() - retained_count;
+    manifest.Set("retained_" + class_name,
+                 static_cast<double>(retained_count));
+    manifest.Set("discarded_" + class_name,
+                 static_cast<double>(discarded_count));
+    manifest.Set("BAG_build_seconds_" + class_name, bag_seconds);
+    manifest.Set("SR_build_seconds_" + class_name, sr_seconds);
+
+    variants_[VariantIdx(Strategy::kBag, size_class)] =
+        std::make_unique<IndexVariant>(
+            IndexVariant{Strategy::kBag, size_class,
+                         std::move(bag_index).value(), retained_count,
+                         discarded_count, bag_seconds});
+    variants_[VariantIdx(Strategy::kSrTree, size_class)] =
+        std::make_unique<IndexVariant>(
+            IndexVariant{Strategy::kSrTree, size_class,
+                         std::move(sr_index).value(), retained_count,
+                         discarded_count, sr_seconds});
+  }
+  bag.reset();
+
+  // --- Ground truth ---------------------------------------------------------
+  for (SizeClass size_class : kAllSizeClasses) {
+    for (const Workload* workload : {&dq_, &sq_}) {
+      const std::string key =
+          std::string(SizeClassName(size_class)) + "/" + workload->name;
+      const std::string path = CachePath(
+          "truth_" + std::string(SizeClassName(size_class)) + "_" +
+          workload->name + ".bin");
+      if (env_->FileExists(path)) {
+        auto truth = GroundTruth::Load(env_, path);
+        if (truth.ok() &&
+            truth->num_queries() == workload->num_queries() &&
+            truth->k() == config_.k) {
+          truths_.emplace(key, std::move(truth).value());
+          continue;
+        }
+      }
+      QVT_LOG(Info) << "computing ground truth " << key << "...";
+      GroundTruth truth = GroundTruth::Compute(retained(size_class),
+                                               *workload, config_.k);
+      QVT_RETURN_IF_ERROR(truth.Save(env_, path));
+      truths_.emplace(key, std::move(truth));
+    }
+  }
+
+  manifest.Set("complete", 1.0);
+  return manifest.Save(manifest_path);
+}
+
+const GroundTruth& IndexSuite::truth(SizeClass size_class,
+                                     const std::string& workload_name) const {
+  const std::string key =
+      std::string(SizeClassName(size_class)) + "/" + workload_name;
+  const auto it = truths_.find(key);
+  QVT_CHECK(it != truths_.end()) << "no ground truth for " << key;
+  return it->second;
+}
+
+StatusOr<ChunkIndex> IndexSuite::SrIndexWithLeafSize(size_t leaf_size) const {
+  const std::string base =
+      CachePath("SR_sweep_" + std::to_string(leaf_size));
+  const ChunkIndexPaths paths = ChunkIndexPaths::ForBase(base);
+  if (env_->FileExists(paths.chunk_file) &&
+      env_->FileExists(paths.index_file)) {
+    return ChunkIndex::Open(env_, paths, config_.generator.dim);
+  }
+  SrTreeChunker chunker(std::max<size_t>(2, leaf_size));
+  auto chunks = chunker.FormChunks(retained(SizeClass::kSmall));
+  if (!chunks.ok()) return chunks.status();
+  return ChunkIndex::Build(retained(SizeClass::kSmall), *chunks, env_, paths);
+}
+
+}  // namespace qvt

@@ -1,0 +1,110 @@
+#ifndef QVT_BENCH_UTIL_INDEX_SUITE_H_
+#define QVT_BENCH_UTIL_INDEX_SUITE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment_config.h"
+#include "core/chunk_index.h"
+#include "core/exact_scan.h"
+#include "descriptor/workload.h"
+#include "util/env.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// The three chunk-size classes of Table 1.
+enum class SizeClass { kSmall = 0, kMedium = 1, kLarge = 2 };
+inline constexpr SizeClass kAllSizeClasses[] = {
+    SizeClass::kSmall, SizeClass::kMedium, SizeClass::kLarge};
+const char* SizeClassName(SizeClass size_class);
+
+/// The two chunk-forming strategies under study.
+enum class Strategy { kBag = 0, kSrTree = 1 };
+inline constexpr Strategy kAllStrategies[] = {Strategy::kBag,
+                                              Strategy::kSrTree};
+const char* StrategyName(Strategy strategy);
+
+/// Everything known about one of the six chunk indexes.
+struct IndexVariant {
+  Strategy strategy;
+  SizeClass size_class;
+  ChunkIndex index;
+  /// Descriptors retained / discarded as outliers for this size class
+  /// (identical for BAG and SR of the same class: the paper removes the BAG
+  /// outliers before building the SR-tree).
+  size_t retained = 0;
+  size_t discarded = 0;
+  /// Seconds spent forming the chunks (cumulative BAG time for BAG).
+  double build_seconds = 0.0;
+
+  std::string Label() const;
+};
+
+/// Builds — or loads from the on-disk cache — the full experimental state of
+/// §5.2: the synthetic collection, the three successive BAG clusterings
+/// (SMALL → MEDIUM → LARGE), size-matched SR-tree indexes over each
+/// outlier-free retained set, the DQ/SQ workloads, and per-class ground
+/// truth. All artifacts are keyed by the config fingerprint, so the
+/// expensive BAG run happens once per configuration across all bench
+/// binaries.
+class IndexSuite {
+ public:
+  static StatusOr<std::unique_ptr<IndexSuite>> BuildOrLoad(
+      const ExperimentConfig& config, Env* env);
+
+  const ExperimentConfig& config() const { return config_; }
+  const Collection& collection() const { return *collection_; }
+  const Collection& retained(SizeClass size_class) const {
+    return *retained_[Idx(size_class)];
+  }
+
+  const IndexVariant& variant(Strategy strategy,
+                              SizeClass size_class) const {
+    return *variants_[VariantIdx(strategy, size_class)];
+  }
+
+  const Workload& dq() const { return dq_; }
+  const Workload& sq() const { return sq_; }
+  const Workload& workload(bool dataset_queries) const {
+    return dataset_queries ? dq_ : sq_;
+  }
+
+  /// Ground truth of `workload` ("DQ"/"SQ") over the retained set of
+  /// `size_class`.
+  const GroundTruth& truth(SizeClass size_class,
+                           const std::string& workload_name) const;
+
+  /// Builds (cached) an SR-tree chunk index with an arbitrary leaf size over
+  /// the SMALL retained collection — the Figure 6/7 chunk-size sweep.
+  StatusOr<ChunkIndex> SrIndexWithLeafSize(size_t leaf_size) const;
+
+ private:
+  explicit IndexSuite(const ExperimentConfig& config, Env* env)
+      : config_(config), env_(env) {}
+
+  static size_t Idx(SizeClass size_class) {
+    return static_cast<size_t>(size_class);
+  }
+  static size_t VariantIdx(Strategy strategy, SizeClass size_class) {
+    return static_cast<size_t>(strategy) * 3 + Idx(size_class);
+  }
+
+  std::string CachePath(const std::string& name) const;
+  Status BuildEverything();
+
+  ExperimentConfig config_;
+  Env* env_;
+  size_t small_stop_clusters_ = 0;
+  std::unique_ptr<Collection> collection_;
+  std::unique_ptr<Collection> retained_[3];
+  std::unique_ptr<IndexVariant> variants_[6];
+  Workload dq_, sq_;
+  std::map<std::string, GroundTruth> truths_;  // "<class>/<workload>"
+};
+
+}  // namespace qvt
+
+#endif  // QVT_BENCH_UTIL_INDEX_SUITE_H_

@@ -1,0 +1,78 @@
+#include "bench_util/runner.h"
+
+#include "core/evaluation.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+StatusOr<QualityCurves> RunWorkload(const Searcher& searcher,
+                                    const Workload& workload,
+                                    const GroundTruth& truth, size_t k,
+                                    const StopRule& stop) {
+  if (truth.num_queries() != workload.num_queries() || truth.k() < k) {
+    return Status::InvalidArgument("ground truth does not match workload");
+  }
+
+  QualityCurves curves;
+  curves.k = k;
+  curves.queries_reaching.assign(k, 0);
+  curves.mean_chunks_at.assign(k, 0.0);
+  curves.mean_model_seconds_at.assign(k, 0.0);
+  curves.mean_wall_seconds_at.assign(k, 0.0);
+
+  std::vector<double> sum_chunks(k, 0.0);
+  std::vector<double> sum_model(k, 0.0);
+  std::vector<double> sum_wall(k, 0.0);
+
+  for (size_t q = 0; q < workload.num_queries(); ++q) {
+    const TruthSet truth_set(truth.TruthFor(q));
+    size_t found_so_far = 0;
+
+    const SearchObserver observer = [&](const SearchProgress& progress) {
+      // A true top-k neighbor can never be evicted from the k-sized result
+      // set, so this count is monotone; record first-crossing efforts.
+      const size_t found = truth_set.CountFound(progress.result->Unordered());
+      for (size_t n = found_so_far; n < found; ++n) {
+        ++curves.queries_reaching[n];
+        sum_chunks[n] += static_cast<double>(progress.chunks_read);
+        sum_model[n] +=
+            static_cast<double>(progress.model_elapsed_micros) * 1e-6;
+        sum_wall[n] +=
+            static_cast<double>(progress.wall_elapsed_micros) * 1e-6;
+      }
+      found_so_far = found;
+    };
+
+    auto result = searcher.Search(workload.Query(q), k, stop, observer);
+    if (!result.ok()) return result.status();
+
+    curves.mean_completion_model_seconds +=
+        static_cast<double>(result->model_elapsed_micros) * 1e-6;
+    curves.mean_completion_wall_seconds +=
+        static_cast<double>(result->wall_elapsed_micros) * 1e-6;
+    curves.mean_chunks_to_completion +=
+        static_cast<double>(result->chunks_read);
+    curves.mean_descriptors_to_completion +=
+        static_cast<double>(result->descriptors_processed);
+    curves.mean_final_precision +=
+        PrecisionAtK(result->neighbors, truth.TruthFor(q), k);
+  }
+
+  const double num_queries = static_cast<double>(workload.num_queries());
+  for (size_t n = 0; n < k; ++n) {
+    const double reached = static_cast<double>(curves.queries_reaching[n]);
+    if (reached > 0) {
+      curves.mean_chunks_at[n] = sum_chunks[n] / reached;
+      curves.mean_model_seconds_at[n] = sum_model[n] / reached;
+      curves.mean_wall_seconds_at[n] = sum_wall[n] / reached;
+    }
+  }
+  curves.mean_completion_model_seconds /= num_queries;
+  curves.mean_completion_wall_seconds /= num_queries;
+  curves.mean_chunks_to_completion /= num_queries;
+  curves.mean_descriptors_to_completion /= num_queries;
+  curves.mean_final_precision /= num_queries;
+  return curves;
+}
+
+}  // namespace qvt

@@ -1,0 +1,49 @@
+#ifndef QVT_BENCH_UTIL_RUNNER_H_
+#define QVT_BENCH_UTIL_RUNNER_H_
+
+#include <vector>
+
+#include "core/exact_scan.h"
+#include "core/searcher.h"
+#include "descriptor/workload.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// Averaged quality-vs-effort curves of one (index, workload) pair — the
+/// data behind Figures 2-5 and Table 2. Index n-1 of each `*_at` vector is
+/// the average effort needed until n of the true top-k neighbors are present
+/// in the intermediate result ("neighbors found", the figures' x-axis).
+struct QualityCurves {
+  size_t k = 0;
+  /// Queries (of those run) whose search eventually found n true neighbors;
+  /// averages below are over exactly these queries.
+  std::vector<size_t> queries_reaching;
+
+  std::vector<double> mean_chunks_at;          ///< Figures 2 & 3
+  std::vector<double> mean_model_seconds_at;   ///< Figures 4 & 5 (cost model)
+  std::vector<double> mean_wall_seconds_at;    ///< same, host wall clock
+
+  /// Run-to-conclusion totals (Table 2).
+  double mean_completion_model_seconds = 0.0;
+  double mean_completion_wall_seconds = 0.0;
+  double mean_chunks_to_completion = 0.0;
+  double mean_descriptors_to_completion = 0.0;
+
+  /// Precision@k of the final answer against ground truth (1.0 for exact
+  /// runs; < 1.0 under approximate stop rules).
+  double mean_final_precision = 0.0;
+};
+
+/// Runs every query of `workload` through `searcher` under `stop`, logging
+/// intermediate results after every chunk and scoring them against `truth`.
+/// The paper's measurement loop (§5.4): queries run to conclusion with
+/// metrics logged after each chunk.
+StatusOr<QualityCurves> RunWorkload(const Searcher& searcher,
+                                    const Workload& workload,
+                                    const GroundTruth& truth, size_t k,
+                                    const StopRule& stop = StopRule::Exact());
+
+}  // namespace qvt
+
+#endif  // QVT_BENCH_UTIL_RUNNER_H_

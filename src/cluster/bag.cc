@@ -1,0 +1,480 @@
+#include "cluster/bag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+
+/// Key of a 3-d grid cell.
+struct CellKey {
+  int32_t x, y, z;
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    uint64_t h = static_cast<uint32_t>(k.x);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.y);
+    h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.z);
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+class BagClusterer::Impl {
+ public:
+  Impl(const Collection* collection, const BagConfig& config,
+       BagRunStats* stats)
+      : collection_(collection), config_(config), stats_(stats) {
+    QVT_CHECK(collection != nullptr);
+    QVT_CHECK(!collection->empty());
+    QVT_CHECK(config.mpi > 0.0);
+    QVT_CHECK(config.destroy_fraction >= 0.0 && config.destroy_fraction < 1.0);
+
+    ChooseProjectionDims();
+    cell_size_ = 2.0 * config_.mpi;
+
+    // Every descriptor starts as a one-point cluster with radius zero.
+    clusters_.reserve(collection->size());
+    for (size_t pos = 0; pos < collection->size(); ++pos) {
+      CreateSingleton(pos);
+    }
+  }
+
+  Status RunUntil(size_t target_clusters) {
+    size_t pass_budget = config_.max_passes;
+    while (alive_count_ > target_clusters) {
+      if (pass_budget-- == 0) {
+        return Status::FailedPrecondition(
+            "BAG did not reach " + std::to_string(target_clusters) +
+            " clusters within max_passes; " + std::to_string(alive_count_) +
+            " clusters remain (MPI too small for the data scale?)");
+      }
+      RunOnePass();
+    }
+    return Status::OK();
+  }
+
+  size_t NumClusters() const { return alive_count_; }
+
+  ChunkingResult Snapshot() const {
+    // Terminal rule (§3): clusters below the population threshold are
+    // destroyed and their members become outliers.
+    size_t total = 0;
+    for (const Cluster& c : clusters_) {
+      if (c.alive) total += c.members.size();
+    }
+    const double average =
+        static_cast<double>(total) / static_cast<double>(alive_count_);
+    const double threshold = config_.destroy_fraction * average;
+
+    ChunkingResult result;
+    for (const Cluster& c : clusters_) {
+      if (!c.alive) continue;
+      if (static_cast<double>(c.members.size()) < threshold) {
+        result.outliers.insert(result.outliers.end(), c.members.begin(),
+                               c.members.end());
+      } else {
+        result.chunks.emplace_back(c.members.begin(), c.members.end());
+      }
+    }
+    return result;
+  }
+
+ private:
+  struct Cluster {
+    std::vector<double> centroid;   // exact weighted mean of members
+    double tight_radius = 0.0;      // covering radius (conservative bound)
+    double slack = 0.0;             // accumulated MPI increments
+    std::vector<uint32_t> members;  // collection positions
+    bool alive = true;
+    bool touched_this_pass = false;  // merged (either side) this pass
+    /// True when every member has already been through one
+    /// destroy-and-recycle cycle. Such clusters are exempt from further
+    /// mid-run destruction (churn guard): destroying them again would only
+    /// recycle the same points through the same re-formation, since a
+    /// below-threshold fragment is rebuilt pairwise and re-destroyed before
+    /// it can outgrow the threshold. They form the persistent tail of small
+    /// clusters that the terminal rule reports as outliers — the paper's
+    /// 8-12%. (Documented deviation; see DESIGN.md.)
+    bool recycled = false;
+    CellKey cell{0, 0, 0};
+
+    double SearchRadius() const { return tight_radius + slack; }
+  };
+
+  void ChooseProjectionDims() {
+    const size_t dim = collection_->dim();
+    const size_t n = collection_->size();
+    std::vector<double> sum(dim, 0.0), sum_sq(dim, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto v = collection_->Vector(i);
+      for (size_t d = 0; d < dim; ++d) {
+        sum[d] += v[d];
+        sum_sq[d] += static_cast<double>(v[d]) * v[d];
+      }
+    }
+    std::vector<std::pair<double, size_t>> variances(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      const double mean = sum[d] / static_cast<double>(n);
+      variances[d] = {sum_sq[d] / static_cast<double>(n) - mean * mean, d};
+    }
+    std::sort(variances.rbegin(), variances.rend());
+    for (size_t i = 0; i < 3; ++i) {
+      proj_dims_[i] = variances[i % dim].second;
+    }
+  }
+
+  CellKey CellOf(const std::vector<double>& centroid) const {
+    auto coord = [&](size_t axis) {
+      return static_cast<int32_t>(
+          std::floor(centroid[proj_dims_[axis]] / cell_size_));
+    };
+    return CellKey{coord(0), coord(1), coord(2)};
+  }
+
+  void GridInsert(uint32_t id) {
+    Cluster& c = clusters_[id];
+    c.cell = CellOf(c.centroid);
+    grid_[c.cell].push_back(id);
+  }
+
+  void GridErase(uint32_t id) {
+    auto it = grid_.find(clusters_[id].cell);
+    QVT_CHECK(it != grid_.end());
+    auto& bucket = it->second;
+    const auto pos = std::find(bucket.begin(), bucket.end(), id);
+    QVT_CHECK(pos != bucket.end());
+    bucket.erase(pos);
+    if (bucket.empty()) grid_.erase(it);
+  }
+
+  uint32_t CreateSingleton(size_t position, bool recycled = false) {
+    const uint32_t id = static_cast<uint32_t>(clusters_.size());
+    Cluster c;
+    const auto v = collection_->Vector(position);
+    c.centroid.assign(v.begin(), v.end());
+    c.members.push_back(static_cast<uint32_t>(position));
+    c.recycled = recycled;
+    clusters_.push_back(std::move(c));
+    ++alive_count_;
+    GridInsert(id);
+    max_search_radius_ = std::max(max_search_radius_, 0.0);
+    return id;
+  }
+
+  /// Conservative covering radius of the merge of a and b around the
+  /// weighted-mean centroid `merged_centroid`: every member of a is within
+  /// dist(merged, c_a) + tight_a, likewise for b.
+  double MergedTightRadius(const Cluster& a, const Cluster& b,
+                           const std::vector<double>& merged_centroid) const {
+    double da = 0.0, db = 0.0;
+    for (size_t d = 0; d < merged_centroid.size(); ++d) {
+      const double xa = merged_centroid[d] - a.centroid[d];
+      const double xb = merged_centroid[d] - b.centroid[d];
+      da += xa * xa;
+      db += xb * xb;
+    }
+    return std::max(std::sqrt(da) + a.tight_radius,
+                    std::sqrt(db) + b.tight_radius);
+  }
+
+  std::vector<double> MergedCentroid(const Cluster& a,
+                                     const Cluster& b) const {
+    const double wa = static_cast<double>(a.members.size());
+    const double wb = static_cast<double>(b.members.size());
+    std::vector<double> centroid(a.centroid.size());
+    for (size_t d = 0; d < centroid.size(); ++d) {
+      centroid[d] = (wa * a.centroid[d] + wb * b.centroid[d]) / (wa + wb);
+    }
+    return centroid;
+  }
+
+  double CentroidDistance(const Cluster& a, const Cluster& b) const {
+    double sum = 0.0;
+    for (size_t d = 0; d < a.centroid.size(); ++d) {
+      const double x = a.centroid[d] - b.centroid[d];
+      sum += x * x;
+    }
+    return std::sqrt(sum);
+  }
+
+  /// Evaluates the merge criterion for (i, j); when satisfied fills
+  /// `*merged_radius` with the resulting tight radius. §3: "Two clusters can
+  /// be merged if and only if the radius of the resulting cluster is smaller
+  /// than the radius of the larger cluster plus the MPI value".
+  /// The initiator's partner-search reach: cluster `i` looks for merges
+  /// among clusters whose centroid lies within twice its (inflated) search
+  /// radius plus MPI. A feasible pair whose smaller member cannot reach the
+  /// larger one is still discovered when the larger cluster initiates —
+  /// its reach covers the pair — so no merge is permanently missed, and the
+  /// per-pass partner search stays local (the key to tractable passes over
+  /// hundreds of thousands of singletons).
+  double ReachOf(const Cluster& c) const {
+    return 2.0 * (c.SearchRadius() + config_.mpi);
+  }
+
+  bool MergeAllowed(uint32_t i, uint32_t j, double* merged_radius) const {
+    const Cluster& a = clusters_[i];
+    const Cluster& b = clusters_[j];
+    ++stats_->partner_checks;
+    // The weighted-mean centroid lies on the segment between the two
+    // centroids: dist(new, c_a) = d * w_b / (w_a + w_b) and symmetrically,
+    // so the covering radius follows from the centroid distance alone.
+    const double d = CentroidDistance(a, b);
+    if (d > ReachOf(a)) return false;
+    const double wa = static_cast<double>(a.members.size());
+    const double wb = static_cast<double>(b.members.size());
+    const double inv = 1.0 / (wa + wb);
+    const double radius = std::max(d * wb * inv + a.tight_radius,
+                                   d * wa * inv + b.tight_radius);
+    const double larger = std::max(a.SearchRadius(), b.SearchRadius());
+    if (radius < larger + config_.mpi) {
+      *merged_radius = radius;
+      return true;
+    }
+    return false;
+  }
+
+  /// Finds the best merge partner for `i`: the alive cluster j != i
+  /// satisfying the criterion with the minimal merged radius (ties: lowest
+  /// id). Returns kNone when no partner qualifies.
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  uint32_t FindPartnerBruteForce(uint32_t i, double* best_radius) const {
+    uint32_t best = kNone;
+    *best_radius = std::numeric_limits<double>::infinity();
+    for (uint32_t j = 0; j < clusters_.size(); ++j) {
+      if (j == i || !clusters_[j].alive) continue;
+      double radius;
+      if (MergeAllowed(i, j, &radius) &&
+          (radius < *best_radius ||
+           (radius == *best_radius && j < best))) {
+        *best_radius = radius;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  uint32_t FindPartnerGrid(uint32_t i, double* best_radius) const {
+    const Cluster& a = clusters_[i];
+    // Candidates outside the initiator's reach are rejected by MergeAllowed,
+    // so the grid only needs to enumerate cells within that reach.
+    const double ball = ReachOf(a);
+
+    // If the cell window is larger than the population, scanning everything
+    // is cheaper (and trivially exact).
+    const double cells_per_axis = 2.0 * ball / cell_size_ + 1.0;
+    if (cells_per_axis * cells_per_axis * cells_per_axis >
+        static_cast<double>(alive_count_)) {
+      return FindPartnerBruteForce(i, best_radius);
+    }
+
+    uint32_t best = kNone;
+    *best_radius = std::numeric_limits<double>::infinity();
+    int32_t lo[3], hi[3];
+    for (int axis = 0; axis < 3; ++axis) {
+      const double x = a.centroid[proj_dims_[axis]];
+      lo[axis] = static_cast<int32_t>(std::floor((x - ball) / cell_size_));
+      hi[axis] = static_cast<int32_t>(std::floor((x + ball) / cell_size_));
+    }
+    for (int32_t cx = lo[0]; cx <= hi[0]; ++cx) {
+      for (int32_t cy = lo[1]; cy <= hi[1]; ++cy) {
+        for (int32_t cz = lo[2]; cz <= hi[2]; ++cz) {
+          const auto it = grid_.find(CellKey{cx, cy, cz});
+          if (it == grid_.end()) continue;
+          for (uint32_t j : it->second) {
+            if (j == i || !clusters_[j].alive) continue;
+            double radius;
+            if (MergeAllowed(i, j, &radius) &&
+                (radius < *best_radius ||
+                 (radius == *best_radius && j < best))) {
+              *best_radius = radius;
+              best = j;
+            }
+          }
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Exact minimum bounding radius of `members` around `centroid` — the
+  /// paper's "new minimum bounding radius" (§3). Recomputing it from the
+  /// member points on every executed merge is essential: chaining the cheap
+  /// pairwise cover bound compounds its overestimate across merges, inflating
+  /// radii by an order of magnitude and turning the merge criterion into an
+  /// accept-everything rule.
+  double ExactRadius(const std::vector<double>& centroid,
+                     const std::vector<uint32_t>& members) const {
+    const size_t dim = centroid.size();
+    double max_sq = 0.0;
+    for (uint32_t pos : members) {
+      const auto v = collection_->Vector(pos);
+      double sq = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double x = centroid[d] - static_cast<double>(v[d]);
+        sq += x * x;
+      }
+      max_sq = std::max(max_sq, sq);
+    }
+    return std::sqrt(max_sq);
+  }
+
+  void Merge(uint32_t i, uint32_t j) {
+    Cluster& a = clusters_[i];
+    Cluster& b = clusters_[j];
+    std::vector<double> centroid = MergedCentroid(a, b);
+
+    GridErase(i);
+    GridErase(j);
+
+    a.centroid = std::move(centroid);
+    a.slack = 0.0;  // the merged radius is minimal again
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+    a.tight_radius = ExactRadius(a.centroid, a.members);
+    a.touched_this_pass = true;
+    a.recycled = a.recycled && b.recycled;
+
+    b.alive = false;
+    b.members.clear();
+    b.members.shrink_to_fit();
+    b.touched_this_pass = true;
+    --alive_count_;
+
+    GridInsert(i);
+    max_search_radius_ = std::max(max_search_radius_, a.SearchRadius());
+    ++stats_->merges;
+  }
+
+  void RunOnePass() {
+    ++stats_->passes;
+
+    // Tighten the global radius bound and reset per-pass flags.
+    max_search_radius_ = 0.0;
+    std::vector<uint32_t> order;
+    order.reserve(alive_count_);
+    for (uint32_t id = 0; id < clusters_.size(); ++id) {
+      Cluster& c = clusters_[id];
+      if (!c.alive) continue;
+      c.touched_this_pass = false;
+      max_search_radius_ = std::max(max_search_radius_, c.SearchRadius());
+      order.push_back(id);
+    }
+
+    for (uint32_t id : order) {
+      Cluster& c = clusters_[id];
+      if (!c.alive || c.touched_this_pass) continue;
+      double merged_radius;
+      const uint32_t partner =
+          config_.use_grid_acceleration
+              ? FindPartnerGrid(id, &merged_radius)
+              : FindPartnerBruteForce(id, &merged_radius);
+      if (partner != kNone) {
+        Merge(id, partner);
+      } else {
+        // "Clusters that do not merge have their radius incremented by MPI".
+        c.slack += config_.mpi;
+        max_search_radius_ = std::max(max_search_radius_, c.SearchRadius());
+      }
+    }
+
+    DestroySmallClusters();
+    QVT_LOG(Debug) << "BAG pass " << stats_->passes << ": " << alive_count_
+                   << " clusters alive, " << stats_->merges
+                   << " merges total, max search radius "
+                   << max_search_radius_;
+  }
+
+  /// End-of-pass rule: clusters below destroy_fraction * average population
+  /// are destroyed; their members become singletons again.
+  void DestroySmallClusters() {
+    size_t total = 0;
+    for (const Cluster& c : clusters_) {
+      if (c.alive) total += c.members.size();
+    }
+    const double average =
+        static_cast<double>(total) / static_cast<double>(alive_count_);
+    const double threshold = config_.destroy_fraction * average;
+
+    std::vector<uint32_t> freed;
+    const size_t num_existing = clusters_.size();
+    for (uint32_t id = 0; id < num_existing; ++id) {
+      Cluster& c = clusters_[id];
+      if (!c.alive ||
+          static_cast<double>(c.members.size()) >= threshold) {
+        continue;
+      }
+      // Churn guard: clusters made purely of already-recycled points are
+      // left intact as the persistent small-cluster (outlier) tail.
+      if (c.recycled) continue;
+      if (c.members.size() == 1) {
+        // Destroying and recreating a singleton is an identity operation
+        // apart from resetting its radius (the paper resets it to zero) and
+        // marking it recycled.
+        c.tight_radius = 0.0;
+        c.slack = 0.0;
+        c.recycled = true;
+        continue;
+      }
+      freed.insert(freed.end(), c.members.begin(), c.members.end());
+      GridErase(id);
+      c.alive = false;
+      c.members.clear();
+      --alive_count_;
+      ++stats_->destroyed_clusters;
+    }
+    for (uint32_t pos : freed) CreateSingleton(pos, /*recycled=*/true);
+  }
+
+  const Collection* collection_;
+  BagConfig config_;
+  BagRunStats* stats_;
+
+  std::vector<Cluster> clusters_;
+  size_t alive_count_ = 0;
+  double max_search_radius_ = 0.0;
+
+  size_t proj_dims_[3] = {0, 1, 2};
+  double cell_size_ = 1.0;
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid_;
+};
+
+BagClusterer::BagClusterer(const Collection* collection,
+                           const BagConfig& config)
+    : impl_(new Impl(collection, config, &stats_)) {}
+
+BagClusterer::~BagClusterer() = default;
+
+Status BagClusterer::RunUntil(size_t target_clusters) {
+  return impl_->RunUntil(target_clusters);
+}
+
+size_t BagClusterer::NumClusters() const { return impl_->NumClusters(); }
+
+ChunkingResult BagClusterer::Snapshot() const { return impl_->Snapshot(); }
+
+BagChunker::BagChunker(size_t target_clusters, const BagConfig& config)
+    : target_clusters_(target_clusters), config_(config) {
+  QVT_CHECK(target_clusters >= 1);
+}
+
+StatusOr<ChunkingResult> BagChunker::FormChunks(const Collection& collection) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty collection");
+  }
+  BagClusterer clusterer(&collection, config_);
+  QVT_RETURN_IF_ERROR(clusterer.RunUntil(target_clusters_));
+  return clusterer.Snapshot();
+}
+
+}  // namespace qvt

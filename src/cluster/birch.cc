@@ -1,0 +1,371 @@
+#include "cluster/birch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+
+/// Clustering feature: the (N, LS, SS) triple of BIRCH, extended with the
+/// member positions so subclusters can be emitted as chunks.
+struct Cf {
+  size_t n = 0;
+  std::vector<double> ls;  // linear sum
+  double ss = 0.0;         // sum of squared norms
+  std::vector<uint32_t> members;
+
+  explicit Cf(size_t dim) : ls(dim, 0.0) {}
+
+  void AddPoint(std::span<const float> p, uint32_t position) {
+    ++n;
+    double sq = 0.0;
+    for (size_t d = 0; d < ls.size(); ++d) {
+      ls[d] += p[d];
+      sq += static_cast<double>(p[d]) * p[d];
+    }
+    ss += sq;
+    members.push_back(position);
+  }
+
+  void Merge(const Cf& other) {
+    n += other.n;
+    for (size_t d = 0; d < ls.size(); ++d) ls[d] += other.ls[d];
+    ss += other.ss;
+    members.insert(members.end(), other.members.begin(), other.members.end());
+  }
+
+  /// RMS radius: sqrt(SS/N - ||LS/N||^2), clamped at 0 for rounding.
+  double Radius() const {
+    if (n == 0) return 0.0;
+    double centroid_sq = 0.0;
+    for (double x : ls) {
+      const double c = x / static_cast<double>(n);
+      centroid_sq += c * c;
+    }
+    const double value = ss / static_cast<double>(n) - centroid_sq;
+    return value > 0.0 ? std::sqrt(value) : 0.0;
+  }
+
+  /// Radius the merged subcluster would have, without materializing it.
+  double MergedRadius(const Cf& other) const {
+    const double total_n = static_cast<double>(n + other.n);
+    double centroid_sq = 0.0;
+    for (size_t d = 0; d < ls.size(); ++d) {
+      const double c = (ls[d] + other.ls[d]) / total_n;
+      centroid_sq += c * c;
+    }
+    const double value = (ss + other.ss) / total_n - centroid_sq;
+    return value > 0.0 ? std::sqrt(value) : 0.0;
+  }
+
+  /// Radius after absorbing one point.
+  double RadiusWithPoint(std::span<const float> p) const {
+    const double total_n = static_cast<double>(n + 1);
+    double centroid_sq = 0.0, point_sq = 0.0;
+    for (size_t d = 0; d < ls.size(); ++d) {
+      const double c = (ls[d] + p[d]) / total_n;
+      centroid_sq += c * c;
+      point_sq += static_cast<double>(p[d]) * p[d];
+    }
+    const double value = (ss + point_sq) / total_n - centroid_sq;
+    return value > 0.0 ? std::sqrt(value) : 0.0;
+  }
+
+  double SquaredCentroidDistanceTo(std::span<const float> p) const {
+    double sum = 0.0;
+    const double inv = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+    for (size_t d = 0; d < ls.size(); ++d) {
+      const double x = ls[d] * inv - p[d];
+      sum += x * x;
+    }
+    return sum;
+  }
+
+  double SquaredCentroidDistanceTo(const Cf& other) const {
+    double sum = 0.0;
+    const double inv_a = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+    const double inv_b =
+        other.n > 0 ? 1.0 / static_cast<double>(other.n) : 0.0;
+    for (size_t d = 0; d < ls.size(); ++d) {
+      const double x = ls[d] * inv_a - other.ls[d] * inv_b;
+      sum += x * x;
+    }
+    return sum;
+  }
+};
+
+/// A CF-tree node. Leaf entries are subclusters (Cf with members); internal
+/// entries summarize a child node.
+struct CfNode {
+  bool is_leaf = true;
+  std::vector<Cf> entries;                         // summaries
+  std::vector<std::unique_ptr<CfNode>> children;   // internal only
+
+  explicit CfNode(bool leaf) : is_leaf(leaf) {}
+};
+
+class CfTree {
+ public:
+  CfTree(size_t dim, const BirchConfig& config, double threshold)
+      : dim_(dim), config_(config), threshold_(threshold) {
+    root_ = std::make_unique<CfNode>(/*leaf=*/true);
+  }
+
+  double threshold() const { return threshold_; }
+  size_t num_subclusters() const { return num_subclusters_; }
+
+  /// Inserts one point; returns false if the number of subclusters exceeded
+  /// the budget (caller should rebuild with a larger threshold).
+  bool InsertPoint(std::span<const float> p, uint32_t position) {
+    Cf cf(dim_);
+    cf.AddPoint(p, position);
+    InsertCf(std::move(cf));
+    return num_subclusters_ <= config_.max_subclusters;
+  }
+
+  /// Inserts a whole subcluster (used when rebuilding).
+  void InsertCf(Cf cf) {
+    CfNode* overflowed = InsertIntoSubtree(root_.get(), std::move(cf));
+    if (overflowed != nullptr) {
+      // Root split: grow the tree by one level.
+      auto new_root = std::make_unique<CfNode>(/*leaf=*/false);
+      auto [left, right] = SplitNode(std::move(root_));
+      new_root->entries.push_back(Summarize(*left));
+      new_root->entries.push_back(Summarize(*right));
+      new_root->children.push_back(std::move(left));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+    }
+  }
+
+  /// Moves all leaf subclusters out of the tree.
+  std::vector<Cf> TakeSubclusters() {
+    std::vector<Cf> out;
+    Collect(root_.get(), &out);
+    root_ = std::make_unique<CfNode>(/*leaf=*/true);
+    num_subclusters_ = 0;
+    return out;
+  }
+
+ private:
+  /// Summary CF of a node (no members; members live in leaf entries only).
+  Cf Summarize(const CfNode& node) const {
+    Cf total(dim_);
+    for (const Cf& e : node.entries) {
+      total.n += e.n;
+      for (size_t d = 0; d < dim_; ++d) total.ls[d] += e.ls[d];
+      total.ss += e.ss;
+    }
+    return total;
+  }
+
+  /// Inserts into the subtree rooted at `node`. Returns `node` if it
+  /// overflowed and must be split by the caller, nullptr otherwise.
+  CfNode* InsertIntoSubtree(CfNode* node, Cf cf) {
+    if (node->is_leaf) {
+      // Nearest subcluster; absorb if the threshold allows.
+      size_t best = 0;
+      double best_sq = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        const double sq = node->entries[i].SquaredCentroidDistanceTo(cf);
+        if (sq < best_sq) {
+          best_sq = sq;
+          best = i;
+        }
+      }
+      if (!node->entries.empty() &&
+          node->entries[best].MergedRadius(cf) <= threshold_) {
+        node->entries[best].Merge(cf);
+        return nullptr;
+      }
+      node->entries.push_back(std::move(cf));
+      ++num_subclusters_;
+      return node->entries.size() > config_.max_leaf_entries ? node : nullptr;
+    }
+
+    // Internal: descend into the child with the nearest centroid.
+    size_t best = 0;
+    double best_sq = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      const double sq = node->entries[i].SquaredCentroidDistanceTo(cf);
+      if (sq < best_sq) {
+        best_sq = sq;
+        best = i;
+      }
+    }
+    // Update the summary optimistically (the CF goes below regardless of
+    // how the child reorganizes).
+    {
+      Cf& summary = node->entries[best];
+      summary.n += cf.n;
+      for (size_t d = 0; d < dim_; ++d) summary.ls[d] += cf.ls[d];
+      summary.ss += cf.ss;
+    }
+    CfNode* overflowed = InsertIntoSubtree(node->children[best].get(),
+                                           std::move(cf));
+    if (overflowed == nullptr) return nullptr;
+
+    auto [left, right] = SplitNode(std::move(node->children[best]));
+    node->entries[best] = Summarize(*left);
+    node->children[best] = std::move(left);
+    node->entries.push_back(Summarize(*right));
+    node->children.push_back(std::move(right));
+    return node->entries.size() > config_.branching_factor ? node : nullptr;
+  }
+
+  /// Splits a node by farthest-pair seeding.
+  std::pair<std::unique_ptr<CfNode>, std::unique_ptr<CfNode>> SplitNode(
+      std::unique_ptr<CfNode> node) {
+    const size_t count = node->entries.size();
+    QVT_CHECK(count >= 2);
+    size_t seed_a = 0, seed_b = 1;
+    double worst = -1.0;
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t j = i + 1; j < count; ++j) {
+        const double sq =
+            node->entries[i].SquaredCentroidDistanceTo(node->entries[j]);
+        if (sq > worst) {
+          worst = sq;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    // Materialize the seed centroids first: entries are moved out below,
+    // and a moved-from CF must not be used as a distance reference.
+    auto centroid_of = [&](const Cf& cf) {
+      std::vector<double> c(dim_);
+      const double inv = cf.n > 0 ? 1.0 / static_cast<double>(cf.n) : 0.0;
+      for (size_t d = 0; d < dim_; ++d) c[d] = cf.ls[d] * inv;
+      return c;
+    };
+    const std::vector<double> centroid_a = centroid_of(node->entries[seed_a]);
+    const std::vector<double> centroid_b = centroid_of(node->entries[seed_b]);
+    auto squared_distance_to = [&](const Cf& cf,
+                                   const std::vector<double>& center) {
+      double sum = 0.0;
+      const double inv = cf.n > 0 ? 1.0 / static_cast<double>(cf.n) : 0.0;
+      for (size_t d = 0; d < dim_; ++d) {
+        const double x = cf.ls[d] * inv - center[d];
+        sum += x * x;
+      }
+      return sum;
+    };
+
+    auto left = std::make_unique<CfNode>(node->is_leaf);
+    auto right = std::make_unique<CfNode>(node->is_leaf);
+    for (size_t i = 0; i < count; ++i) {
+      const double to_a = squared_distance_to(node->entries[i], centroid_a);
+      const double to_b = squared_distance_to(node->entries[i], centroid_b);
+      CfNode* target =
+          (i == seed_a || (i != seed_b && to_a <= to_b)) ? left.get()
+                                                         : right.get();
+      target->entries.push_back(std::move(node->entries[i]));
+      if (!node->is_leaf) {
+        target->children.push_back(std::move(node->children[i]));
+      }
+    }
+    return {std::move(left), std::move(right)};
+  }
+
+  void Collect(CfNode* node, std::vector<Cf>* out) {
+    if (node->is_leaf) {
+      for (Cf& e : node->entries) out->push_back(std::move(e));
+      return;
+    }
+    for (auto& child : node->children) Collect(child.get(), out);
+  }
+
+  size_t dim_;
+  BirchConfig config_;
+  double threshold_;
+  std::unique_ptr<CfNode> root_;
+  size_t num_subclusters_ = 0;
+};
+
+/// Data-driven starting threshold: mean distance between a few consecutive
+/// sample points (cheap proxy for nearest-pair scale).
+double InitialThreshold(const Collection& collection) {
+  const size_t n = collection.size();
+  if (n < 2) return 1.0;
+  double sum = 0.0;
+  size_t samples = 0;
+  const size_t stride = std::max<size_t>(1, n / 64);
+  for (size_t i = 0; i + 1 < n && samples < 64; i += stride, ++samples) {
+    double sq = 0.0;
+    const auto a = collection.Vector(i);
+    const auto b = collection.Vector(i + 1);
+    for (size_t d = 0; d < collection.dim(); ++d) {
+      const double x = static_cast<double>(a[d]) - b[d];
+      sq += x * x;
+    }
+    sum += std::sqrt(sq);
+  }
+  return samples > 0 ? std::max(1e-6, 0.25 * sum / samples) : 1.0;
+}
+
+}  // namespace
+
+BirchChunker::BirchChunker(const BirchConfig& config) : config_(config) {
+  QVT_CHECK(config.branching_factor >= 2);
+  QVT_CHECK(config.max_leaf_entries >= 2);
+  QVT_CHECK(config.threshold_growth > 1.0);
+  QVT_CHECK(config.max_subclusters >= 1);
+}
+
+StatusOr<ChunkingResult> BirchChunker::FormChunks(
+    const Collection& collection) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty collection");
+  }
+  stats_ = BirchStats();
+
+  double threshold = config_.initial_threshold > 0.0
+                         ? config_.initial_threshold
+                         : InitialThreshold(collection);
+
+  // Phase 1 with geometric threshold growth: insert points; when the
+  // subcluster budget is exceeded, rebuild the tree from its own
+  // subclusters under a larger threshold and resume.
+  auto tree = std::make_unique<CfTree>(collection.dim(), config_, threshold);
+  size_t next_point = 0;
+  while (next_point < collection.size()) {
+    const bool within_budget = tree->InsertPoint(
+        collection.Vector(next_point), static_cast<uint32_t>(next_point));
+    ++next_point;
+    if (within_budget) continue;
+
+    // Rebuild under ever larger thresholds until back within budget
+    // (reinserting subclusters can itself exceed it again).
+    do {
+      if (stats_.rebuilds >= config_.max_rebuilds) {
+        return Status::FailedPrecondition(
+            "BIRCH exceeded max_rebuilds; max_subclusters too small?");
+      }
+      ++stats_.rebuilds;
+      threshold *= config_.threshold_growth;
+      std::vector<Cf> subclusters = tree->TakeSubclusters();
+      tree = std::make_unique<CfTree>(collection.dim(), config_, threshold);
+      for (Cf& cf : subclusters) tree->InsertCf(std::move(cf));
+    } while (tree->num_subclusters() > config_.max_subclusters);
+  }
+
+  std::vector<Cf> subclusters = tree->TakeSubclusters();
+  stats_.final_threshold = threshold;
+  stats_.subclusters = subclusters.size();
+
+  ChunkingResult result;
+  result.chunks.reserve(subclusters.size());
+  for (Cf& cf : subclusters) {
+    QVT_CHECK(!cf.members.empty());
+    result.chunks.emplace_back(cf.members.begin(), cf.members.end());
+  }
+  return result;
+}
+
+}  // namespace qvt

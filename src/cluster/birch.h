@@ -1,0 +1,64 @@
+#ifndef QVT_CLUSTER_BIRCH_H_
+#define QVT_CLUSTER_BIRCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/chunker.h"
+#include "descriptor/collection.h"
+
+namespace qvt {
+
+/// Parameters of the BIRCH phase-1 CF-tree (Zhang, Ramakrishnan, Livny,
+/// SIGMOD'96) — the algorithm BAG is derived from (§3 of the reproduced
+/// paper). Subclusters are summarized by clustering features (N, LS, SS);
+/// a point is absorbed by its nearest subcluster when the resulting RMS
+/// radius stays below the threshold, and the threshold grows geometrically
+/// whenever the tree exceeds its size budget.
+struct BirchConfig {
+  /// Maximum children of an internal node.
+  size_t branching_factor = 16;
+  /// Maximum subclusters per leaf node.
+  size_t max_leaf_entries = 16;
+  /// Initial absorption threshold on the subcluster RMS radius. Zero picks
+  /// a data-driven starting value (a fraction of the average nearest-pair
+  /// distance of a sample).
+  double initial_threshold = 0.0;
+  /// Threshold growth factor between rebuilds.
+  double threshold_growth = 1.6;
+  /// Rebuild (with a larger threshold) whenever the number of subclusters
+  /// exceeds this. This is the knob that controls the chunk count.
+  size_t max_subclusters = 1024;
+  /// Safety cap on rebuilds.
+  size_t max_rebuilds = 64;
+};
+
+/// Statistics of one CF-tree build.
+struct BirchStats {
+  size_t rebuilds = 0;
+  double final_threshold = 0.0;
+  size_t subclusters = 0;
+};
+
+/// BIRCH phase-1 chunker: one chunk per CF-tree subcluster. Unlike textbook
+/// BIRCH, subclusters also track their member positions so they can be
+/// materialized as chunks. Produces BAG-flavored chunks (dense, variable
+/// size) at a fraction of BAG's cost — one insertion pass per rebuild
+/// instead of O(C^2) merge passes.
+class BirchChunker final : public Chunker {
+ public:
+  explicit BirchChunker(const BirchConfig& config);
+
+  StatusOr<ChunkingResult> FormChunks(const Collection& collection) override;
+  std::string name() const override { return "BIRCH"; }
+
+  const BirchStats& stats() const { return stats_; }
+
+ private:
+  BirchConfig config_;
+  BirchStats stats_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CLUSTER_BIRCH_H_

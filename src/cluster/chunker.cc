@@ -1,0 +1,39 @@
+#include "cluster/chunker.h"
+
+namespace qvt {
+
+Status ValidateChunking(const ChunkingResult& result, size_t collection_size) {
+  std::vector<uint8_t> seen(collection_size, 0);
+  auto visit = [&](size_t pos, const char* what) -> Status {
+    if (pos >= collection_size) {
+      return Status::Corruption(std::string(what) + " position out of range");
+    }
+    if (seen[pos]) {
+      return Status::Corruption(std::string(what) + " position duplicated: " +
+                                std::to_string(pos));
+    }
+    seen[pos] = 1;
+    return Status::OK();
+  };
+
+  for (size_t c = 0; c < result.chunks.size(); ++c) {
+    if (result.chunks[c].empty()) {
+      return Status::Corruption("chunk " + std::to_string(c) + " is empty");
+    }
+    for (size_t pos : result.chunks[c]) {
+      QVT_RETURN_IF_ERROR(visit(pos, "chunk"));
+    }
+  }
+  for (size_t pos : result.outliers) {
+    QVT_RETURN_IF_ERROR(visit(pos, "outlier"));
+  }
+  for (size_t pos = 0; pos < collection_size; ++pos) {
+    if (!seen[pos]) {
+      return Status::Corruption("position missing from chunking: " +
+                                std::to_string(pos));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qvt

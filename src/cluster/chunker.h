@@ -1,0 +1,54 @@
+#ifndef QVT_CLUSTER_CHUNKER_H_
+#define QVT_CLUSTER_CHUNKER_H_
+
+#include <string>
+#include <vector>
+
+#include "descriptor/collection.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// Output of a chunk-forming strategy: a partition of collection positions
+/// into chunks, plus positions discarded as outliers. Every position of the
+/// input collection appears in exactly one chunk or in `outliers`.
+struct ChunkingResult {
+  std::vector<std::vector<size_t>> chunks;
+  std::vector<size_t> outliers;
+
+  size_t TotalChunkedDescriptors() const {
+    size_t n = 0;
+    for (const auto& c : chunks) n += c.size();
+    return n;
+  }
+
+  /// Mean chunk population (0 when there are no chunks).
+  double AverageChunkSize() const {
+    if (chunks.empty()) return 0.0;
+    return static_cast<double>(TotalChunkedDescriptors()) /
+           static_cast<double>(chunks.size());
+  }
+};
+
+/// A chunk-forming strategy (§1.1): maps a descriptor collection to chunks.
+/// Implementations: SrTreeChunker (uniform size first), BagChunker (minimal
+/// intra-chunk dissimilarity first), RoundRobinChunker and KMeansChunker
+/// (baselines).
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Partitions `collection` into chunks. Collections must be non-empty.
+  virtual StatusOr<ChunkingResult> FormChunks(const Collection& collection) = 0;
+
+  /// Short strategy tag used in reports ("SR", "BAG", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Validates that `result` is a partition of [0, collection_size) minus
+/// outliers: no duplicates, no out-of-range positions, no empty chunks.
+Status ValidateChunking(const ChunkingResult& result, size_t collection_size);
+
+}  // namespace qvt
+
+#endif  // QVT_CLUSTER_CHUNKER_H_

@@ -1,0 +1,134 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+KMeansChunker::KMeansChunker(const KMeansConfig& config) : config_(config) {
+  QVT_CHECK(config.num_clusters >= 1);
+  QVT_CHECK(config.max_iterations >= 1);
+}
+
+StatusOr<ChunkingResult> KMeansChunker::FormChunks(
+    const Collection& collection) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty collection");
+  }
+  const size_t n = collection.size();
+  const size_t dim = collection.dim();
+  const size_t k = std::min(config_.num_clusters, n);
+  Rng rng(config_.seed);
+
+  // --- Seeding -------------------------------------------------------------
+  std::vector<std::vector<double>> centroids(k,
+                                             std::vector<double>(dim, 0.0));
+  auto set_centroid = [&](size_t c, size_t pos) {
+    const auto v = collection.Vector(pos);
+    for (size_t d = 0; d < dim; ++d) centroids[c][d] = v[d];
+  };
+
+  if (config_.plus_plus_init && k > 1) {
+    // k-means++: first center uniform, subsequent centers proportional to
+    // squared distance from the nearest chosen center.
+    set_centroid(0, rng.Uniform(n));
+    std::vector<double> dist_sq(n, std::numeric_limits<double>::infinity());
+    for (size_t c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const auto v = collection.Vector(i);
+        double sq = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double x = v[d] - centroids[c - 1][d];
+          sq += x * x;
+        }
+        dist_sq[i] = std::min(dist_sq[i], sq);
+        total += dist_sq[i];
+      }
+      double target = rng.NextDouble() * total;
+      size_t pick = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        target -= dist_sq[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+      set_centroid(c, pick);
+    }
+  } else {
+    const auto picks = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(n), static_cast<uint32_t>(k));
+    for (size_t c = 0; c < k; ++c) set_centroid(c, picks[c]);
+  }
+
+  // --- Lloyd iterations ----------------------------------------------------
+  std::vector<uint32_t> assignment(n, 0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dim));
+  std::vector<size_t> counts(k);
+
+  last_iterations_ = 0;
+  for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    ++last_iterations_;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      const auto v = collection.Vector(i);
+      double best_sq = std::numeric_limits<double>::infinity();
+      uint32_t best = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double sq = 0.0;
+        const auto& cen = centroids[c];
+        for (size_t d = 0; d < dim; ++d) {
+          const double x = v[d] - cen[d];
+          sq += x * x;
+        }
+        if (sq < best_sq) {
+          best_sq = sq;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      assignment[i] = best;
+    }
+    // Update.
+    for (size_t c = 0; c < k; ++c) {
+      std::fill(sums[c].begin(), sums[c].end(), 0.0);
+      counts[c] = 0;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const auto v = collection.Vector(i);
+      auto& sum = sums[assignment[i]];
+      for (size_t d = 0; d < dim; ++d) sum[d] += v[d];
+      ++counts[assignment[i]];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty clusters on a random point.
+        set_centroid(c, rng.Uniform(n));
+        continue;
+      }
+      double delta_sq = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double next = sums[c][d] / static_cast<double>(counts[c]);
+        const double x = next - centroids[c][d];
+        delta_sq += x * x;
+        centroids[c][d] = next;
+      }
+      movement += std::sqrt(delta_sq);
+    }
+    if (movement < config_.tolerance) break;
+  }
+
+  ChunkingResult result;
+  result.chunks.resize(k);
+  for (size_t i = 0; i < n; ++i) result.chunks[assignment[i]].push_back(i);
+  // Empty clusters can remain if points collapse; drop them.
+  std::erase_if(result.chunks,
+                [](const std::vector<size_t>& c) { return c.empty(); });
+  return result;
+}
+
+}  // namespace qvt

@@ -1,0 +1,40 @@
+#ifndef QVT_CLUSTER_KMEANS_H_
+#define QVT_CLUSTER_KMEANS_H_
+
+#include "cluster/chunker.h"
+#include "util/random.h"
+
+namespace qvt {
+
+/// Lloyd's k-means chunker: an extension baseline sitting between the
+/// paper's two extremes — it optimizes intra-chunk dissimilarity like BAG
+/// (minimizing within-cluster variance) but with no size control at all, so
+/// it inherits BAG's giant-chunk problem without its outlier handling.
+struct KMeansConfig {
+  size_t num_clusters = 64;
+  size_t max_iterations = 25;
+  /// Convergence threshold on total centroid movement.
+  double tolerance = 1e-4;
+  uint64_t seed = 7;
+  /// Use k-means++ seeding (otherwise uniform random points).
+  bool plus_plus_init = true;
+};
+
+class KMeansChunker final : public Chunker {
+ public:
+  explicit KMeansChunker(const KMeansConfig& config);
+
+  StatusOr<ChunkingResult> FormChunks(const Collection& collection) override;
+  std::string name() const override { return "KM"; }
+
+  /// Iterations actually executed by the last FormChunks call.
+  size_t last_iterations() const { return last_iterations_; }
+
+ private:
+  KMeansConfig config_;
+  size_t last_iterations_ = 0;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CLUSTER_KMEANS_H_

@@ -1,0 +1,85 @@
+#include "cluster/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+
+std::vector<float> CollectionCentroid(const Collection& collection) {
+  const size_t dim = collection.dim();
+  std::vector<double> acc(dim, 0.0);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    const auto v = collection.Vector(i);
+    for (size_t d = 0; d < dim; ++d) acc[d] += v[d];
+  }
+  std::vector<float> centroid(dim);
+  const double inv = collection.empty()
+                         ? 0.0
+                         : 1.0 / static_cast<double>(collection.size());
+  for (size_t d = 0; d < dim; ++d) {
+    centroid[d] = static_cast<float>(acc[d] * inv);
+  }
+  return centroid;
+}
+
+OutlierSplit SplitByScore(const Collection& collection,
+                          const std::vector<double>& scores,
+                          double threshold) {
+  OutlierSplit split;
+  for (size_t i = 0; i < collection.size(); ++i) {
+    if (scores[i] > threshold) {
+      split.outliers.push_back(i);
+    } else {
+      split.retained.push_back(i);
+    }
+  }
+  return split;
+}
+
+std::vector<double> CentroidDistances(const Collection& collection) {
+  const std::vector<float> centroid = CollectionCentroid(collection);
+  std::vector<double> scores(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    scores[i] = vec::Distance(centroid, collection.Vector(i));
+  }
+  return scores;
+}
+
+}  // namespace
+
+OutlierSplit SplitByCentroidDistance(const Collection& collection,
+                                     double threshold) {
+  return SplitByScore(collection, CentroidDistances(collection), threshold);
+}
+
+OutlierSplit SplitByCentroidDistanceFraction(const Collection& collection,
+                                             double target_outlier_fraction,
+                                             double* threshold_out) {
+  QVT_CHECK(target_outlier_fraction >= 0.0 && target_outlier_fraction < 1.0);
+  const std::vector<double> scores = CentroidDistances(collection);
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t keep = static_cast<size_t>(
+      std::llround((1.0 - target_outlier_fraction) *
+                   static_cast<double>(sorted.size())));
+  const double threshold =
+      keep == 0 ? -1.0
+                : (keep >= sorted.size() ? sorted.back() : sorted[keep - 1]);
+  if (threshold_out != nullptr) *threshold_out = threshold;
+  return SplitByScore(collection, scores, threshold);
+}
+
+OutlierSplit SplitByNorm(const Collection& collection, double threshold) {
+  std::vector<double> scores(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    scores[i] = vec::Norm(collection.Vector(i));
+  }
+  return SplitByScore(collection, scores, threshold);
+}
+
+}  // namespace qvt

@@ -1,0 +1,36 @@
+#ifndef QVT_CLUSTER_OUTLIER_H_
+#define QVT_CLUSTER_OUTLIER_H_
+
+#include <vector>
+
+#include "descriptor/collection.h"
+
+namespace qvt {
+
+/// Split of a collection into retained positions and outlier positions.
+struct OutlierSplit {
+  std::vector<size_t> retained;
+  std::vector<size_t> outliers;
+};
+
+/// The paper's "simpler outlier removal scheme" tested for the SR-tree
+/// (§5.2): discard every descriptor whose distance from the collection
+/// centroid exceeds `threshold`. (The paper phrases it as "total length
+/// greater than a constant"; measuring from the centroid makes the constant
+/// scale-free for generated data — for zero-centered data the two coincide.)
+OutlierSplit SplitByCentroidDistance(const Collection& collection,
+                                     double threshold);
+
+/// Same rule with the threshold chosen so that approximately
+/// `target_outlier_fraction` of the descriptors are discarded. Returns the
+/// threshold actually used via `*threshold_out` (optional).
+OutlierSplit SplitByCentroidDistanceFraction(const Collection& collection,
+                                             double target_outlier_fraction,
+                                             double* threshold_out = nullptr);
+
+/// Raw-norm variant (the paper's literal "total length" rule).
+OutlierSplit SplitByNorm(const Collection& collection, double threshold);
+
+}  // namespace qvt
+
+#endif  // QVT_CLUSTER_OUTLIER_H_

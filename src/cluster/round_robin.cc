@@ -1,0 +1,31 @@
+#include "cluster/round_robin.h"
+
+#include "util/logging.h"
+
+namespace qvt {
+
+RoundRobinChunker::RoundRobinChunker(size_t chunk_size)
+    : chunk_size_(chunk_size) {
+  QVT_CHECK(chunk_size > 0);
+}
+
+StatusOr<ChunkingResult> RoundRobinChunker::FormChunks(
+    const Collection& collection) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("cannot chunk an empty collection");
+  }
+  const size_t n = collection.size();
+  const size_t num_chunks = (n + chunk_size_ - 1) / chunk_size_;
+
+  ChunkingResult result;
+  result.chunks.resize(num_chunks);
+  for (auto& chunk : result.chunks) {
+    chunk.reserve((n + num_chunks - 1) / num_chunks);
+  }
+  for (size_t pos = 0; pos < n; ++pos) {
+    result.chunks[pos % num_chunks].push_back(pos);
+  }
+  return result;
+}
+
+}  // namespace qvt

@@ -1,0 +1,25 @@
+#ifndef QVT_CLUSTER_ROUND_ROBIN_H_
+#define QVT_CLUSTER_ROUND_ROBIN_H_
+
+#include "cluster/chunker.h"
+
+namespace qvt {
+
+/// The intro's time-extreme strawman (§1.1): descriptors are dealt to chunks
+/// round-robin. Chunk sizes are perfectly uniform but intra-chunk similarity
+/// is no better than random, so result quality per chunk read is poor.
+class RoundRobinChunker final : public Chunker {
+ public:
+  /// Chunks will hold ~`chunk_size` descriptors each.
+  explicit RoundRobinChunker(size_t chunk_size);
+
+  StatusOr<ChunkingResult> FormChunks(const Collection& collection) override;
+  std::string name() const override { return "RR"; }
+
+ private:
+  size_t chunk_size_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CLUSTER_ROUND_ROBIN_H_

@@ -1,0 +1,27 @@
+#include "cluster/srtree_chunker.h"
+
+#include "util/logging.h"
+
+namespace qvt {
+
+SrTreeChunker::SrTreeChunker(size_t leaf_capacity)
+    : leaf_capacity_(leaf_capacity) {
+  QVT_CHECK(leaf_capacity >= 2);
+}
+
+StatusOr<ChunkingResult> SrTreeChunker::FormChunks(
+    const Collection& collection) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("cannot chunk an empty collection");
+  }
+  SrTreeConfig config;
+  config.leaf_capacity = leaf_capacity_;
+  SrTree tree(&collection, config);
+  tree.BuildStatic();
+
+  ChunkingResult result;
+  result.chunks = tree.LeafPartitions();
+  return result;
+}
+
+}  // namespace qvt

@@ -1,0 +1,29 @@
+#ifndef QVT_CLUSTER_SRTREE_CHUNKER_H_
+#define QVT_CLUSTER_SRTREE_CHUNKER_H_
+
+#include "cluster/chunker.h"
+#include "srtree/sr_tree.h"
+
+namespace qvt {
+
+/// Uniform-chunk-size strategy (§2): statically bulk-builds an SR-tree with
+/// the requested leaf size and emits one chunk per leaf, discarding the upper
+/// levels of the tree. Produces "roundish chunks of uniform physical size".
+/// Has no outlier handling of its own (§2); combine with NormOutlierFilter
+/// or with externally removed outliers as the paper does.
+class SrTreeChunker final : public Chunker {
+ public:
+  /// `leaf_capacity` controls the chunk size, exactly as the paper's added
+  /// SR-tree parameter.
+  explicit SrTreeChunker(size_t leaf_capacity);
+
+  StatusOr<ChunkingResult> FormChunks(const Collection& collection) override;
+  std::string name() const override { return "SR"; }
+
+ private:
+  size_t leaf_capacity_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CLUSTER_SRTREE_CHUNKER_H_

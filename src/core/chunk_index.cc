@@ -1,0 +1,114 @@
+#include "core/chunk_index.h"
+
+#include <algorithm>
+
+#include "geometry/sphere.h"
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+ChunkIndexPaths ChunkIndexPaths::ForBase(const std::string& base_path) {
+  return ChunkIndexPaths{base_path + ".chunks", base_path + ".index"};
+}
+
+StatusOr<ChunkIndex> ChunkIndex::Build(const Collection& collection,
+                                       const ChunkingResult& chunking,
+                                       Env* env,
+                                       const ChunkIndexPaths& paths) {
+  if (chunking.chunks.empty()) {
+    return Status::InvalidArgument("chunking produced no chunks");
+  }
+  const size_t dim = collection.dim();
+
+  auto writer = ChunkFileWriter::Create(env, paths.chunk_file, dim);
+  if (!writer.ok()) return writer.status();
+
+  std::vector<ChunkIndexEntry> entries;
+  entries.reserve(chunking.chunks.size());
+
+  std::vector<std::span<const float>> points;
+  for (const auto& chunk : chunking.chunks) {
+    if (chunk.empty()) {
+      return Status::InvalidArgument("chunking contains an empty chunk");
+    }
+    // Centroid + exact minimum bounding radius (§4.2).
+    points.clear();
+    points.reserve(chunk.size());
+    for (size_t pos : chunk) points.push_back(collection.Vector(pos));
+
+    ChunkIndexEntry entry;
+    entry.bounds = CentroidBoundingSphere(points, dim);
+    auto location = (*writer)->AppendChunk(collection, chunk);
+    if (!location.ok()) return location.status();
+    entry.location = *location;
+    entries.push_back(std::move(entry));
+  }
+  QVT_RETURN_IF_ERROR((*writer)->Close());
+  QVT_RETURN_IF_ERROR(WriteIndexFile(env, paths.index_file, dim, entries));
+
+  auto reader = ChunkFileReader::Open(env, paths.chunk_file, dim);
+  if (!reader.ok()) return reader.status();
+  return ChunkIndex(std::move(entries), std::move(reader).value(), dim);
+}
+
+StatusOr<ChunkIndex> ChunkIndex::Open(Env* env, const ChunkIndexPaths& paths,
+                                      size_t dim) {
+  auto entries = ReadIndexFile(env, paths.index_file, dim);
+  if (!entries.ok()) return entries.status();
+  auto reader = ChunkFileReader::Open(env, paths.chunk_file, dim);
+  if (!reader.ok()) return reader.status();
+  return ChunkIndex(std::move(entries).value(), std::move(reader).value(),
+                    dim);
+}
+
+uint64_t ChunkIndex::total_descriptors() const {
+  uint64_t total = 0;
+  for (const auto& e : entries_) total += e.location.num_descriptors;
+  return total;
+}
+
+uint32_t ChunkIndex::max_chunk_descriptors() const {
+  uint32_t max = 0;
+  for (const auto& e : entries_) {
+    max = std::max(max, e.location.num_descriptors);
+  }
+  return max;
+}
+
+Status ChunkIndex::ReadChunk(size_t i, ChunkData* out) const {
+  if (i >= entries_.size()) {
+    return Status::OutOfRange("chunk index out of range");
+  }
+  return reader_->ReadChunk(entries_[i].location, out);
+}
+
+Status ChunkIndex::Validate() const {
+  ChunkData chunk;
+  uint64_t expected_page = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ChunkIndexEntry& entry = entries_[i];
+    if (entry.location.first_page != expected_page) {
+      return Status::Corruption("chunk " + std::to_string(i) +
+                                " is not stored sequentially");
+    }
+    expected_page += entry.location.num_pages;
+
+    QVT_RETURN_IF_ERROR(ReadChunk(i, &chunk));
+    if (chunk.size() != entry.location.num_descriptors) {
+      return Status::Corruption("chunk " + std::to_string(i) +
+                                " descriptor count mismatch");
+    }
+    constexpr double kEps = 1e-3;
+    for (size_t d = 0; d < chunk.size(); ++d) {
+      const double dist = vec::Distance(entry.bounds.center, chunk.Vector(d));
+      if (dist > entry.bounds.radius + kEps) {
+        return Status::Corruption("descriptor outside chunk sphere in chunk " +
+                                  std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qvt

@@ -1,0 +1,76 @@
+#ifndef QVT_CORE_CHUNK_INDEX_H_
+#define QVT_CORE_CHUNK_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/chunker.h"
+#include "descriptor/collection.h"
+#include "storage/chunk_file.h"
+#include "storage/index_file.h"
+#include "util/env.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// File names of a chunk index rooted at `base_path`.
+struct ChunkIndexPaths {
+  std::string chunk_file;  ///< the padded, page-aligned descriptor chunks
+  std::string index_file;  ///< centroid + radius + location per chunk
+
+  /// base_path + ".chunks" / ".index".
+  static ChunkIndexPaths ForBase(const std::string& base_path);
+};
+
+/// The two-file chunk index of §4.2: a chunk file holding the descriptors
+/// grouped by chunk (each chunk contiguous and padded to whole pages) and an
+/// index file with one entry per chunk — centroid coordinates, radius, and
+/// location — in chunk-file order.
+class ChunkIndex {
+ public:
+  /// Builds a chunk index from a chunking result: computes each chunk's
+  /// centroid and exact minimum bounding radius, writes both files, and
+  /// returns the opened index. `chunking.outliers` are simply not written.
+  static StatusOr<ChunkIndex> Build(const Collection& collection,
+                                    const ChunkingResult& chunking, Env* env,
+                                    const ChunkIndexPaths& paths);
+
+  /// Opens an existing index.
+  static StatusOr<ChunkIndex> Open(Env* env, const ChunkIndexPaths& paths,
+                                   size_t dim = kDescriptorDim);
+
+  ChunkIndex(ChunkIndex&&) noexcept = default;
+  ChunkIndex& operator=(ChunkIndex&&) noexcept = default;
+
+  size_t num_chunks() const { return entries_.size(); }
+  const std::vector<ChunkIndexEntry>& entries() const { return entries_; }
+  const ChunkIndexEntry& entry(size_t i) const { return entries_[i]; }
+  size_t dim() const { return dim_; }
+
+  /// Total descriptors stored across all chunks.
+  uint64_t total_descriptors() const;
+
+  /// Population of the largest chunk.
+  uint32_t max_chunk_descriptors() const;
+
+  /// Reads chunk `i` into `*out`.
+  Status ReadChunk(size_t i, ChunkData* out) const;
+
+  /// Verifies that every chunk's contents lie within its index entry's
+  /// sphere and that locations are consistent. Expensive; for tests.
+  Status Validate() const;
+
+ private:
+  ChunkIndex(std::vector<ChunkIndexEntry> entries,
+             std::unique_ptr<ChunkFileReader> reader, size_t dim)
+      : entries_(std::move(entries)), reader_(std::move(reader)), dim_(dim) {}
+
+  std::vector<ChunkIndexEntry> entries_;
+  std::unique_ptr<ChunkFileReader> reader_;
+  size_t dim_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_CHUNK_INDEX_H_

@@ -1,0 +1,31 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+size_t TruthSet::CountFound(std::span<const Neighbor> candidates) const {
+  size_t found = 0;
+  for (const Neighbor& n : candidates) {
+    if (Contains(n.id)) ++found;
+  }
+  return found;
+}
+
+double PrecisionAtK(std::span<const Neighbor> result,
+                    std::span<const DescriptorId> truth, size_t k) {
+  QVT_CHECK(k > 0);
+  std::unordered_set<DescriptorId> truth_set;
+  for (size_t i = 0; i < std::min(truth.size(), k); ++i) {
+    truth_set.insert(truth[i]);
+  }
+  size_t hits = 0;
+  for (size_t i = 0; i < std::min(result.size(), k); ++i) {
+    if (truth_set.count(result[i].id)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace qvt

@@ -1,0 +1,39 @@
+#ifndef QVT_CORE_EVALUATION_H_
+#define QVT_CORE_EVALUATION_H_
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "core/result_set.h"
+#include "descriptor/types.h"
+
+namespace qvt {
+
+/// Membership set over the true top-k ids of one query.
+class TruthSet {
+ public:
+  explicit TruthSet(std::span<const DescriptorId> truth_ids)
+      : ids_(truth_ids.begin(), truth_ids.end()) {}
+
+  bool Contains(DescriptorId id) const { return ids_.count(id) != 0; }
+  size_t size() const { return ids_.size(); }
+
+  /// Number of true neighbors present among `candidates`. Because a true
+  /// top-k neighbor can never be evicted from a k-sized result set (at most
+  /// k-1 descriptors are closer), this count is monotone over the course of
+  /// a search — it is the x-axis of Figures 2-5.
+  size_t CountFound(std::span<const Neighbor> candidates) const;
+
+ private:
+  std::unordered_set<DescriptorId> ids_;
+};
+
+/// Precision of `result` against `truth` with both truncated to k results
+/// (§5.4: with a fixed number of returned items, precision == recall).
+double PrecisionAtK(std::span<const Neighbor> result,
+                    std::span<const DescriptorId> truth, size_t k);
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_EVALUATION_H_

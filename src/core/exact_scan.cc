@@ -1,0 +1,68 @@
+#include "core/exact_scan.h"
+
+#include <cstring>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+std::vector<Neighbor> ExactScan(const Collection& collection,
+                                std::span<const float> query, size_t k) {
+  QVT_CHECK(k > 0);
+  KnnResultSet result(k);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    result.Insert(collection.Id(i), vec::Distance(collection.Vector(i), query));
+  }
+  return result.Sorted();
+}
+
+GroundTruth GroundTruth::Compute(const Collection& collection,
+                                 const Workload& workload, size_t k) {
+  QVT_CHECK(collection.size() >= k)
+      << "collection smaller than k; ground truth undefined";
+  std::vector<DescriptorId> ids;
+  ids.reserve(workload.num_queries() * k);
+  for (size_t q = 0; q < workload.num_queries(); ++q) {
+    const std::vector<Neighbor> neighbors =
+        ExactScan(collection, workload.Query(q), k);
+    for (const Neighbor& n : neighbors) ids.push_back(n.id);
+  }
+  return GroundTruth(k, std::move(ids));
+}
+
+Status GroundTruth::Save(Env* env, const std::string& path) const {
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  const uint64_t header[2] = {static_cast<uint64_t>(k_),
+                              static_cast<uint64_t>(num_queries())};
+  QVT_RETURN_IF_ERROR((*file)->Append(header, sizeof(header)));
+  if (!ids_.empty()) {
+    QVT_RETURN_IF_ERROR(
+        (*file)->Append(ids_.data(), ids_.size() * sizeof(DescriptorId)));
+  }
+  return (*file)->Close();
+}
+
+StatusOr<GroundTruth> GroundTruth::Load(Env* env, const std::string& path) {
+  auto bytes = ReadFileBytes(env, path);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() < 2 * sizeof(uint64_t)) {
+    return Status::Corruption("ground-truth file too small");
+  }
+  uint64_t header[2];
+  std::memcpy(header, bytes->data(), sizeof(header));
+  const size_t k = static_cast<size_t>(header[0]);
+  const size_t num_queries = static_cast<size_t>(header[1]);
+  const size_t expected =
+      2 * sizeof(uint64_t) + num_queries * k * sizeof(DescriptorId);
+  if (bytes->size() != expected || k == 0) {
+    return Status::Corruption("ground-truth file size mismatch");
+  }
+  std::vector<DescriptorId> ids(num_queries * k);
+  std::memcpy(ids.data(), bytes->data() + 2 * sizeof(uint64_t),
+              ids.size() * sizeof(DescriptorId));
+  return GroundTruth(k, std::move(ids));
+}
+
+}  // namespace qvt

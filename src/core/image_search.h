@@ -1,0 +1,79 @@
+#ifndef QVT_CORE_IMAGE_SEARCH_H_
+#define QVT_CORE_IMAGE_SEARCH_H_
+
+#include <span>
+#include <vector>
+
+#include "core/searcher.h"
+#include "descriptor/types.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// How descriptor-level nearest neighbors vote for their source image.
+enum class VotingScheme {
+  /// Every neighbor contributes one vote.
+  kCount,
+  /// A neighbor at distance d contributes 1 / (1 + d).
+  kDistanceWeighted,
+  /// A neighbor at rank r (0-based) among its query's k contributes k - r.
+  kRankWeighted,
+};
+
+/// One entry of an image-level result.
+struct ImageMatch {
+  ImageId image = 0;
+  double score = 0.0;
+  size_t votes = 0;  ///< raw neighbor count regardless of scheme
+};
+
+/// Options for a multi-descriptor search.
+struct ImageSearchOptions {
+  /// Neighbors retrieved per query descriptor.
+  size_t k_per_descriptor = 10;
+  /// Stop rule applied to each descriptor-level search. The aggressive
+  /// default is the point of the paper: a couple of chunks per descriptor
+  /// identify the image.
+  StopRule stop = StopRule::MaxChunks(2);
+  VotingScheme voting = VotingScheme::kCount;
+  /// Maximum images returned (0 = all with votes).
+  size_t max_results = 10;
+};
+
+/// Aggregate cost of a multi-descriptor search.
+struct ImageSearchStats {
+  size_t descriptor_queries = 0;
+  size_t chunks_read = 0;
+  int64_t model_elapsed_micros = 0;
+  int64_t wall_elapsed_micros = 0;
+};
+
+/// The multi-descriptor search the paper announces as future work (§7: "We
+/// are planning to implement a multi-descriptor search algorithm for local
+/// descriptors"): all descriptors of a query image are searched against the
+/// chunk index, and the retrieved descriptor-level neighbors vote for their
+/// source images (the scheme of [13], the Eff2 prototype).
+class ImageSearcher {
+ public:
+  /// `searcher` is borrowed. `image_of_descriptor` maps a DescriptorId to
+  /// its source image and is copied; ids not covered by the map are ignored
+  /// during voting.
+  ImageSearcher(const Searcher* searcher,
+                std::vector<ImageId> image_of_descriptor);
+
+  /// Runs one multi-descriptor query. `descriptors` is the flat array of
+  /// the query image's descriptors (num_descriptors * dim floats). Returns
+  /// matches sorted by descending score (ties: ascending image id).
+  StatusOr<std::vector<ImageMatch>> Search(std::span<const float> descriptors,
+                                           size_t dim,
+                                           const ImageSearchOptions& options,
+                                           ImageSearchStats* stats = nullptr) const;
+
+ private:
+  const Searcher* searcher_;
+  std::vector<ImageId> image_of_descriptor_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_IMAGE_SEARCH_H_

@@ -1,0 +1,48 @@
+#include "core/result_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;
+}
+}  // namespace
+
+KnnResultSet::KnnResultSet(size_t k) : k_(k) {
+  QVT_CHECK(k > 0);
+  heap_.reserve(k);
+}
+
+bool KnnResultSet::Insert(DescriptorId id, double distance) {
+  if (heap_.size() < k_) {
+    heap_.push_back({id, distance});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return true;
+  }
+  if (distance >= heap_.front().distance) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = {id, distance};
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+  return true;
+}
+
+double KnnResultSet::KthDistance() const {
+  if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+  return heap_.front().distance;
+}
+
+std::vector<Neighbor> KnnResultSet::Sorted() const {
+  std::vector<Neighbor> result(heap_.begin(), heap_.end());
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return result;
+}
+
+}  // namespace qvt

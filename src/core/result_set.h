@@ -1,0 +1,54 @@
+#ifndef QVT_CORE_RESULT_SET_H_
+#define QVT_CORE_RESULT_SET_H_
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "descriptor/types.h"
+
+namespace qvt {
+
+/// One nearest-neighbor candidate.
+struct Neighbor {
+  DescriptorId id = kInvalidDescriptorId;
+  double distance = std::numeric_limits<double>::infinity();
+};
+
+/// Bounded max-heap holding the current k best candidates during a search.
+/// Insert is O(log k) and a no-op when the candidate is worse than the
+/// current k-th distance.
+class KnnResultSet {
+ public:
+  explicit KnnResultSet(size_t k);
+
+  /// Offers a candidate; keeps it only if it improves the top-k.
+  /// Returns true if the candidate entered the result set.
+  bool Insert(DescriptorId id, double distance);
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Distance of the current k-th (worst kept) neighbor; +inf until full.
+  /// This is the pruning bound of the exact stop rule (§4.3).
+  double KthDistance() const;
+
+  /// Current candidates, unordered (heap order). Stable for membership
+  /// queries; use ExtractSorted for ranked output.
+  std::span<const Neighbor> Unordered() const { return heap_; }
+
+  /// Returns the candidates sorted by ascending distance, leaving the set
+  /// intact.
+  std::vector<Neighbor> Sorted() const;
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap by distance
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_RESULT_SET_H_

@@ -1,0 +1,226 @@
+#include "core/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+Searcher::Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
+                   ChunkCache* cache)
+    : index_(index), cost_model_(cost_model), cache_(cache) {
+  QVT_CHECK(index != nullptr);
+}
+
+StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
+                                        size_t k, const StopRule& stop,
+                                        const SearchObserver& observer) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.size() != index_->dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  const size_t num_chunks = index_->num_chunks();
+
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+  int64_t model_micros = 0;
+
+  // --- Step 1: rank all chunks by centroid distance (§4.3). ---------------
+  rank_order_.resize(num_chunks);
+  centroid_distance_.resize(num_chunks);
+  for (size_t i = 0; i < num_chunks; ++i) {
+    rank_order_[i] = static_cast<uint32_t>(i);
+    centroid_distance_[i] =
+        vec::Distance(index_->entry(i).bounds.center, query);
+  }
+  std::sort(rank_order_.begin(), rank_order_.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (centroid_distance_[a] != centroid_distance_[b]) {
+                return centroid_distance_[a] < centroid_distance_[b];
+              }
+              return a < b;
+            });
+  model_micros += cost_model_.IndexScanMicros(num_chunks);
+
+  // Suffix minimum of the chunk lower bounds (centroid distance - radius)
+  // over the ranked order. suffix_min_bound_[r] is the closest any
+  // descriptor in chunks ranked >= r can be to the query; the exact stop
+  // rule fires when it exceeds the k-th distance. (The paper phrases the
+  // rule as "minimum distance to the next chunk"; taking the minimum over
+  // all remaining chunks is what makes the guarantee airtight, since
+  // centroid order is not lower-bound order.)
+  suffix_min_bound_.resize(num_chunks + 1);
+  suffix_min_bound_[num_chunks] = std::numeric_limits<double>::infinity();
+  for (size_t r = num_chunks; r-- > 0;) {
+    const uint32_t chunk_id = rank_order_[r];
+    const double lower_bound = std::max(
+        0.0, centroid_distance_[chunk_id] - index_->entry(chunk_id).bounds.radius);
+    suffix_min_bound_[r] = std::min(suffix_min_bound_[r + 1], lower_bound);
+  }
+
+  // --- Steps 2 & 3: scan chunks in rank order under the stop rule. --------
+  KnnResultSet result_set(k);
+  SearchResult result;
+
+  for (size_t r = 0; r < num_chunks; ++r) {
+    // Stop checks happen before reading the next chunk.
+    if (stop.kind == StopRule::Kind::kMaxChunks &&
+        result.chunks_read >= stop.max_chunks) {
+      break;
+    }
+    if (stop.kind == StopRule::Kind::kTimeBudget &&
+        model_micros >= stop.budget_micros) {
+      break;
+    }
+    if (stop.kind == StopRule::Kind::kExact && result_set.full() &&
+        suffix_min_bound_[r] * (1.0 + stop.epsilon) >
+            result_set.KthDistance()) {
+      result.exact = stop.epsilon == 0.0;
+      break;
+    }
+
+    const uint32_t chunk_id = rank_order_[r];
+    const ChunkIndexEntry& entry = index_->entry(chunk_id);
+
+    const ChunkData* data = nullptr;
+    bool from_cache = false;
+    if (cache_ != nullptr) {
+      data = cache_->Get(chunk_id);
+      from_cache = data != nullptr;
+    }
+    if (data == nullptr) {
+      QVT_RETURN_IF_ERROR(index_->ReadChunk(chunk_id, &chunk_));
+      data = &chunk_;
+    }
+
+    for (size_t i = 0; i < data->size(); ++i) {
+      const double d = vec::Distance(data->Vector(i), query);
+      result_set.Insert(data->ids[i], d);
+    }
+
+    ++result.chunks_read;
+    result.descriptors_processed += data->size();
+    // Cache hits skip the disk entirely: CPU cost only.
+    model_micros +=
+        from_cache
+            ? cost_model_.ChunkCpuMicros(entry.location.num_descriptors)
+            : cost_model_.ChunkTotalMicros(entry.location.num_pages,
+                                           entry.location.num_descriptors);
+    if (cache_ != nullptr && !from_cache) {
+      cache_->Put(chunk_id, chunk_, entry.location.num_pages);
+    }
+
+    if (observer) {
+      SearchProgress progress;
+      progress.chunks_read = result.chunks_read;
+      progress.chunk_descriptors = entry.location.num_descriptors;
+      progress.descriptors_processed = result.descriptors_processed;
+      progress.model_elapsed_micros = model_micros;
+      progress.wall_elapsed_micros = stopwatch.ElapsedMicros();
+      progress.result = &result_set;
+      observer(progress);
+    }
+  }
+
+  // A query that scanned every chunk is exact by construction.
+  if (stop.kind == StopRule::Kind::kExact &&
+      result.chunks_read == num_chunks) {
+    result.exact = true;
+  }
+
+  result.neighbors = result_set.Sorted();
+  result.model_elapsed_micros = model_micros;
+  result.wall_elapsed_micros = stopwatch.ElapsedMicros();
+  return result;
+}
+
+StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
+                                             double radius,
+                                             const StopRule& stop) const {
+  if (radius < 0.0) {
+    return Status::InvalidArgument("radius must be non-negative");
+  }
+  if (query.size() != index_->dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  const size_t num_chunks = index_->num_chunks();
+
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+  int64_t model_micros = 0;
+
+  // Rank chunks by centroid distance, as in Search().
+  rank_order_.resize(num_chunks);
+  centroid_distance_.resize(num_chunks);
+  for (size_t i = 0; i < num_chunks; ++i) {
+    rank_order_[i] = static_cast<uint32_t>(i);
+    centroid_distance_[i] =
+        vec::Distance(index_->entry(i).bounds.center, query);
+  }
+  std::sort(rank_order_.begin(), rank_order_.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (centroid_distance_[a] != centroid_distance_[b]) {
+                return centroid_distance_[a] < centroid_distance_[b];
+              }
+              return a < b;
+            });
+  model_micros += cost_model_.IndexScanMicros(num_chunks);
+
+  suffix_min_bound_.resize(num_chunks + 1);
+  suffix_min_bound_[num_chunks] = std::numeric_limits<double>::infinity();
+  for (size_t r = num_chunks; r-- > 0;) {
+    const uint32_t chunk_id = rank_order_[r];
+    const double lower_bound =
+        std::max(0.0, centroid_distance_[chunk_id] -
+                          index_->entry(chunk_id).bounds.radius);
+    suffix_min_bound_[r] = std::min(suffix_min_bound_[r + 1], lower_bound);
+  }
+
+  SearchResult result;
+  for (size_t r = 0; r < num_chunks; ++r) {
+    if (stop.kind == StopRule::Kind::kMaxChunks &&
+        result.chunks_read >= stop.max_chunks) {
+      break;
+    }
+    if (stop.kind == StopRule::Kind::kTimeBudget &&
+        model_micros >= stop.budget_micros) {
+      break;
+    }
+    if (stop.kind == StopRule::Kind::kExact &&
+        suffix_min_bound_[r] > radius) {
+      result.exact = true;
+      break;
+    }
+    // Skip chunks whose own bound proves they cannot intersect the ball
+    // (cheap: the ranking is already computed; no I/O is charged).
+    const uint32_t chunk_id = rank_order_[r];
+    const ChunkIndexEntry& entry = index_->entry(chunk_id);
+    if (centroid_distance_[chunk_id] - entry.bounds.radius > radius) {
+      continue;
+    }
+
+    QVT_RETURN_IF_ERROR(index_->ReadChunk(chunk_id, &chunk_));
+    for (size_t i = 0; i < chunk_.size(); ++i) {
+      const double d = vec::Distance(chunk_.Vector(i), query);
+      if (d <= radius) result.neighbors.push_back({chunk_.ids[i], d});
+    }
+    ++result.chunks_read;
+    result.descriptors_processed += chunk_.size();
+    model_micros += cost_model_.ChunkTotalMicros(
+        entry.location.num_pages, entry.location.num_descriptors);
+  }
+  if (stop.kind == StopRule::Kind::kExact) result.exact = true;
+
+  std::sort(result.neighbors.begin(), result.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  result.model_elapsed_micros = model_micros;
+  result.wall_elapsed_micros = stopwatch.ElapsedMicros();
+  return result;
+}
+
+}  // namespace qvt

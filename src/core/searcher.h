@@ -1,0 +1,132 @@
+#ifndef QVT_CORE_SEARCHER_H_
+#define QVT_CORE_SEARCHER_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/chunk_index.h"
+#include "core/result_set.h"
+#include "storage/chunk_cache.h"
+#include "storage/disk_cost_model.h"
+#include "util/clock.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// When to stop reading chunks (§4.3). kExact is the run-to-conclusion mode;
+/// the other two are the paper's approximate stop rules.
+struct StopRule {
+  enum class Kind {
+    /// Stop only when no unread chunk can contain a closer neighbor:
+    /// k neighbors found and the minimum distance to every remaining chunk
+    /// (centroid distance minus radius) exceeds the current k-th distance.
+    /// Guarantees the exact result.
+    kExact,
+    /// Stop after reading a fixed number of chunks.
+    kMaxChunks,
+    /// Stop once the modeled elapsed time passes a budget (§5.7 lesson 2:
+    /// "elapsed time is a more natural stop rule than the number of chunks").
+    kTimeBudget,
+  };
+
+  Kind kind = Kind::kExact;
+  size_t max_chunks = 0;        ///< for kMaxChunks
+  int64_t budget_micros = 0;    ///< for kTimeBudget (modeled time)
+  /// (1+epsilon)-approximation slack on the exact rule: stop once no unread
+  /// chunk can contain a neighbor closer than kth / (1 + epsilon). This is
+  /// the AC-NN idea of Ciaccia & Patella (ICDE'00) and the effect of the
+  /// VA-BND's empirical bound shrinking (§6: approaches that "account for an
+  /// additional epsilon value when computing the distances to chunks, making
+  /// chunks somehow smaller"). 0 = exact.
+  double epsilon = 0.0;
+
+  static StopRule Exact() { return {}; }
+  static StopRule MaxChunks(size_t n) {
+    return {Kind::kMaxChunks, n, 0, 0.0};
+  }
+  static StopRule TimeBudget(int64_t micros) {
+    return {Kind::kTimeBudget, 0, micros, 0.0};
+  }
+  static StopRule EpsilonApproximate(double epsilon) {
+    return {Kind::kExact, 0, 0, epsilon};
+  }
+};
+
+/// Per-chunk progress reported to the observer after each chunk is
+/// processed. `result` points at the live result set (valid only during the
+/// callback).
+struct SearchProgress {
+  size_t chunks_read = 0;            ///< chunks processed so far (>= 1)
+  uint32_t chunk_descriptors = 0;    ///< population of the chunk just read
+  uint64_t descriptors_processed = 0;
+  int64_t model_elapsed_micros = 0;  ///< cost-model time incl. index scan
+  int64_t wall_elapsed_micros = 0;   ///< real time on this host
+  const KnnResultSet* result = nullptr;
+};
+
+using SearchObserver = std::function<void(const SearchProgress&)>;
+
+/// Final answer of one query.
+struct SearchResult {
+  std::vector<Neighbor> neighbors;   ///< ascending distance
+  size_t chunks_read = 0;
+  uint64_t descriptors_processed = 0;
+  int64_t model_elapsed_micros = 0;
+  int64_t wall_elapsed_micros = 0;
+  /// True when the exact stop rule proved no better neighbor exists.
+  bool exact = false;
+};
+
+/// The approximate search algorithm of §4.3 over a ChunkIndex:
+///  1. compute the distance from the query to every chunk centroid and rank
+///     chunks by increasing distance;
+///  2. read chunks in rank order, scanning all descriptors of each chunk
+///     against the query and updating the running k-NN set;
+///  3. stop per the StopRule.
+///
+/// Elapsed time is tracked twice: on the host wall clock and on the
+/// DiskCostModel (deterministic 2005-hardware timeline used by the
+/// experiment figures — see DESIGN.md substitution 2).
+class Searcher {
+ public:
+  /// `index` is borrowed and must outlive the searcher. `cache`, when
+  /// non-null, serves chunk reads LRU-style: hits skip the chunk file and
+  /// are charged CPU only by the cost model (the paper eliminated such
+  /// buffering effects by round-robining queries, §5.4; passing a cache
+  /// deliberately turns them back on).
+  Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
+           ChunkCache* cache = nullptr);
+
+  /// Runs one query for the k nearest neighbors under `stop`.
+  /// `observer`, when set, is invoked after every processed chunk.
+  StatusOr<SearchResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop,
+                                const SearchObserver& observer = nullptr) const;
+
+  /// Range (epsilon-neighbor) search: every stored descriptor within
+  /// `radius` of `query`, ascending by distance — the query type of the BAG
+  /// paper itself (Berrani et al., CIKM'03: "approximate searches:
+  /// epsilon-neighbors + precision"). Chunks are scanned in centroid-rank
+  /// order; kMaxChunks and kTimeBudget stop rules yield approximate
+  /// (subset) answers, kExact stops once no unread chunk can intersect the
+  /// query ball.
+  StatusOr<SearchResult> SearchRange(std::span<const float> query,
+                                     double radius,
+                                     const StopRule& stop) const;
+
+ private:
+  const ChunkIndex* index_;
+  DiskCostModel cost_model_;
+  ChunkCache* cache_;
+
+  // Scratch reused across queries (a Searcher is single-threaded).
+  mutable std::vector<uint32_t> rank_order_;
+  mutable std::vector<double> centroid_distance_;
+  mutable std::vector<double> suffix_min_bound_;
+  mutable ChunkData chunk_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_SEARCHER_H_

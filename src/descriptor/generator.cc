@@ -1,0 +1,113 @@
+#include "descriptor/generator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+
+/// Mode centers are derived from a dedicated RNG stream so that
+/// GeneratorModeCenters() and GenerateCollection() agree exactly.
+std::vector<std::vector<float>> MakeModeCenters(const GeneratorConfig& config) {
+  Rng rng(config.seed ^ 0xab1e5eedULL);
+  const double mid = config.value_range / 2.0;
+  std::vector<std::vector<float>> centers(config.num_modes);
+  for (auto& center : centers) {
+    center.resize(config.dim);
+    for (auto& x : center) {
+      x = static_cast<float>(rng.Gaussian(mid, config.mode_spread));
+    }
+  }
+  return centers;
+}
+
+std::vector<double> MakeZipfWeights(size_t n, double exponent) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return weights;
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> GeneratorModeCenters(
+    const GeneratorConfig& config) {
+  return MakeModeCenters(config);
+}
+
+Collection GenerateCollection(const GeneratorConfig& config) {
+  QVT_CHECK(config.num_modes > 0);
+  QVT_CHECK(config.modes_per_image > 0);
+  QVT_CHECK(config.outlier_fraction >= 0.0 && config.outlier_fraction < 1.0);
+
+  const std::vector<std::vector<float>> modes = MakeModeCenters(config);
+  const std::vector<double> mode_weights =
+      MakeZipfWeights(config.num_modes, config.mode_zipf_exponent);
+
+  Rng rng(config.seed);
+  Collection collection(config.dim);
+  collection.Reserve(config.num_images * config.descriptors_per_image);
+
+  std::vector<float> value(config.dim);
+  DescriptorId next_id = 0;
+
+  for (size_t img = 0; img < config.num_images; ++img) {
+    // Pick the visual elements ("slots") this image contains. Most images
+    // draw per-image offsets of shared mixture modes — "the same visual
+    // element photographed under this image's conditions". With probability
+    // outlier_fraction an image instead shows a rare element unique to it:
+    // all its descriptors bundle tightly around one heavy-tail-placed
+    // center, far from the modes. Rare *bundles* (not isolated points) are
+    // what BAG later reports as outliers — a rare patch still yields ~a
+    // hundred similar descriptors from its own image.
+    const bool rare_image = rng.Bernoulli(config.outlier_fraction);
+    const size_t k =
+        rare_image ? 1 : std::min(config.modes_per_image, config.num_modes);
+    std::vector<bool> slot_is_rare(k, rare_image);
+    std::vector<std::vector<float>> image_centers(k);
+    for (size_t m = 0; m < k; ++m) {
+      image_centers[m].resize(config.dim);
+      if (rare_image) {
+        const double mid = config.value_range / 2.0;
+        for (size_t d = 0; d < config.dim; ++d) {
+          image_centers[m][d] = static_cast<float>(
+              mid + rng.HeavyTail(config.outlier_scale, 2));
+        }
+      } else {
+        const auto& mode = modes[rng.Categorical(mode_weights)];
+        for (size_t d = 0; d < config.dim; ++d) {
+          image_centers[m][d] = static_cast<float>(
+              mode[d] + rng.Gaussian(0.0, config.image_offset_stddev));
+        }
+      }
+    }
+
+    // Number of descriptors in this image: geometric-ish spread around the
+    // mean, at least 1 (real images yield "a few hundred" each, varying).
+    const double spread = 0.35 * static_cast<double>(config.descriptors_per_image);
+    int64_t count = static_cast<int64_t>(std::llround(
+        rng.Gaussian(static_cast<double>(config.descriptors_per_image),
+                     spread)));
+    if (count < 1) count = 1;
+
+    for (int64_t i = 0; i < count; ++i) {
+      // Tight cloud around one of this image's local centers; regular slots
+      // also get a coarser mode-level component.
+      const size_t m = rng.Uniform(k);
+      const auto& local = image_centers[m];
+      const double coarse = slot_is_rare[m] ? 0.0 : 0.15 * config.mode_stddev;
+      for (size_t d = 0; d < config.dim; ++d) {
+        value[d] = static_cast<float>(
+            local[d] + rng.Gaussian(0.0, config.descriptor_stddev) +
+            (coarse > 0.0 ? rng.Gaussian(0.0, coarse) : 0.0));
+      }
+      collection.Append(next_id++, value, static_cast<ImageId>(img));
+    }
+  }
+  return collection;
+}
+
+}  // namespace qvt

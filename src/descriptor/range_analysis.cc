@@ -1,0 +1,37 @@
+#include "descriptor/range_analysis.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+DimensionRanges ComputeTrimmedRanges(const Collection& collection,
+                                     double trim_fraction) {
+  QVT_CHECK(!collection.empty());
+  QVT_CHECK(trim_fraction >= 0.0 && trim_fraction < 0.5);
+
+  const size_t n = collection.size();
+  const size_t dim = collection.dim();
+  DimensionRanges ranges;
+  ranges.lo.resize(dim);
+  ranges.hi.resize(dim);
+
+  const size_t discard = static_cast<size_t>(trim_fraction *
+                                             static_cast<double>(n));
+  const size_t lo_rank = discard;
+  const size_t hi_rank = n - 1 - discard;
+
+  std::vector<float> column(n);
+  for (size_t d = 0; d < dim; ++d) {
+    for (size_t i = 0; i < n; ++i) column[i] = collection.Vector(i)[d];
+    // nth_element twice is cheaper than a full sort per dimension.
+    std::nth_element(column.begin(), column.begin() + lo_rank, column.end());
+    ranges.lo[d] = column[lo_rank];
+    std::nth_element(column.begin(), column.begin() + hi_rank, column.end());
+    ranges.hi[d] = column[hi_rank];
+  }
+  return ranges;
+}
+
+}  // namespace qvt

@@ -1,0 +1,29 @@
+#ifndef QVT_DESCRIPTOR_RANGE_ANALYSIS_H_
+#define QVT_DESCRIPTOR_RANGE_ANALYSIS_H_
+
+#include <vector>
+
+#include "descriptor/collection.h"
+
+namespace qvt {
+
+/// Per-dimension value range of a collection after trimming the extreme
+/// values, as used to build the SQ workload (§5.3: "For each dimension ...
+/// After discarding the top and bottom 5%, we stored the remaining value
+/// range of each dimension").
+struct DimensionRanges {
+  std::vector<float> lo;  ///< lower bound per dimension
+  std::vector<float> hi;  ///< upper bound per dimension
+
+  size_t dim() const { return lo.size(); }
+};
+
+/// Computes trimmed ranges. `trim_fraction` is the fraction discarded at
+/// *each* end (paper: 0.05). Requires a non-empty collection and
+/// trim_fraction in [0, 0.5).
+DimensionRanges ComputeTrimmedRanges(const Collection& collection,
+                                     double trim_fraction = 0.05);
+
+}  // namespace qvt
+
+#endif  // QVT_DESCRIPTOR_RANGE_ANALYSIS_H_

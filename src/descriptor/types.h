@@ -1,0 +1,34 @@
+#ifndef QVT_DESCRIPTOR_TYPES_H_
+#define QVT_DESCRIPTOR_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qvt {
+
+/// Dimensionality of the paper's local image descriptors (§4.1).
+inline constexpr size_t kDescriptorDim = 24;
+
+/// Unique descriptor identifier within a collection.
+using DescriptorId = uint32_t;
+
+/// Identifier of the source image a descriptor was computed from.
+using ImageId = uint32_t;
+
+/// Sentinel for "no descriptor".
+inline constexpr DescriptorId kInvalidDescriptorId = 0xffffffffu;
+
+/// On-disk record layout (§5.2: "each descriptor has 24 dimensions, plus an
+/// identifier, each descriptor consumes 100 bytes"): a little-endian uint32
+/// id followed by `dim` little-endian float32 components.
+/// For dim == 24 that is exactly 4 + 96 = 100 bytes.
+inline constexpr size_t DescriptorRecordBytes(size_t dim) {
+  return sizeof(DescriptorId) + dim * sizeof(float);
+}
+
+static_assert(DescriptorRecordBytes(kDescriptorDim) == 100,
+              "paper record layout must be 100 bytes for 24-d descriptors");
+
+}  // namespace qvt
+
+#endif  // QVT_DESCRIPTOR_TYPES_H_

@@ -1,0 +1,41 @@
+#include "descriptor/workload.h"
+
+#include "util/logging.h"
+
+namespace qvt {
+
+Workload MakeDatasetQueries(const Collection& collection, size_t count,
+                            Rng* rng) {
+  QVT_CHECK(count <= collection.size())
+      << "cannot sample " << count << " queries from "
+      << collection.size() << " descriptors";
+  Workload workload;
+  workload.name = "DQ";
+  workload.dim = collection.dim();
+  workload.queries.reserve(count * collection.dim());
+
+  const std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(collection.size()), static_cast<uint32_t>(count));
+  for (uint32_t pos : picks) {
+    const auto v = collection.Vector(pos);
+    workload.queries.insert(workload.queries.end(), v.begin(), v.end());
+  }
+  return workload;
+}
+
+Workload MakeSpaceQueries(const DimensionRanges& ranges, size_t count,
+                          Rng* rng) {
+  Workload workload;
+  workload.name = "SQ";
+  workload.dim = ranges.dim();
+  workload.queries.reserve(count * ranges.dim());
+  for (size_t q = 0; q < count; ++q) {
+    for (size_t d = 0; d < ranges.dim(); ++d) {
+      workload.queries.push_back(static_cast<float>(
+          rng->UniformDouble(ranges.lo[d], ranges.hi[d])));
+    }
+  }
+  return workload;
+}
+
+}  // namespace qvt

@@ -1,0 +1,43 @@
+#ifndef QVT_DESCRIPTOR_WORKLOAD_H_
+#define QVT_DESCRIPTOR_WORKLOAD_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "descriptor/collection.h"
+#include "descriptor/range_analysis.h"
+#include "util/random.h"
+
+namespace qvt {
+
+/// A set of query vectors (no ids; queries are points, not collection
+/// members — though DQ queries happen to coincide with members).
+struct Workload {
+  /// "DQ" or "SQ" (or a custom tag).
+  std::string name;
+  size_t dim = kDescriptorDim;
+  /// Flat query storage, queries.size() == num_queries * dim.
+  std::vector<float> queries;
+
+  size_t num_queries() const { return dim == 0 ? 0 : queries.size() / dim; }
+  std::span<const float> Query(size_t i) const {
+    return {queries.data() + i * dim, dim};
+  }
+};
+
+/// The "DQ" (dataset queries) workload of §5.3: `count` descriptors sampled
+/// uniformly without replacement from the collection. Simulates queries with
+/// a match in the collection.
+Workload MakeDatasetQueries(const Collection& collection, size_t count,
+                            Rng* rng);
+
+/// The "SQ" (space queries) workload of §5.3: `count` points drawn uniformly
+/// from the per-dimension 5%-trimmed value ranges. Simulates queries with no
+/// good match.
+Workload MakeSpaceQueries(const DimensionRanges& ranges, size_t count,
+                          Rng* rng);
+
+}  // namespace qvt
+
+#endif  // QVT_DESCRIPTOR_WORKLOAD_H_

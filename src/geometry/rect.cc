@@ -1,0 +1,106 @@
+#include "geometry/rect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+Rect::Rect(std::span<const float> point)
+    : min(point.begin(), point.end()), max(point.begin(), point.end()) {}
+
+Rect::Rect(std::vector<float> lo, std::vector<float> hi)
+    : min(std::move(lo)), max(std::move(hi)) {
+  QVT_CHECK(min.size() == max.size());
+  for (size_t i = 0; i < min.size(); ++i) QVT_DCHECK(min[i] <= max[i]);
+}
+
+void Rect::ExtendToCover(std::span<const float> point) {
+  if (empty()) {
+    min.assign(point.begin(), point.end());
+    max.assign(point.begin(), point.end());
+    return;
+  }
+  QVT_DCHECK(point.size() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    min[i] = std::min(min[i], point[i]);
+    max[i] = std::max(max[i], point[i]);
+  }
+}
+
+void Rect::ExtendToCover(const Rect& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  QVT_DCHECK(other.dim() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    min[i] = std::min(min[i], other.min[i]);
+    max[i] = std::max(max[i], other.max[i]);
+  }
+}
+
+double Rect::MinDistanceTo(std::span<const float> point) const {
+  QVT_DCHECK(point.size() == dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    double d = 0.0;
+    if (point[i] < min[i]) {
+      d = min[i] - point[i];
+    } else if (point[i] > max[i]) {
+      d = point[i] - max[i];
+    }
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double Rect::MaxDistanceTo(std::span<const float> point) const {
+  QVT_DCHECK(point.size() == dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    const double lo = std::abs(point[i] - min[i]);
+    const double hi = std::abs(point[i] - max[i]);
+    const double d = std::max(lo, hi);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+bool Rect::Contains(std::span<const float> point, double eps) const {
+  QVT_DCHECK(point.size() == dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (point[i] < min[i] - eps || point[i] > max[i] + eps) return false;
+  }
+  return true;
+}
+
+std::vector<float> Rect::Center() const {
+  std::vector<float> c(dim());
+  for (size_t i = 0; i < dim(); ++i) c[i] = (min[i] + max[i]) / 2.0f;
+  return c;
+}
+
+double Rect::HalfDiagonal() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    const double d = (max[i] - min[i]) / 2.0;
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Rect BoundingRect(std::span<const std::span<const float>> points, size_t dim) {
+  Rect rect;
+  if (points.empty()) {
+    rect.min.assign(dim, 0.0f);
+    rect.max.assign(dim, 0.0f);
+    return rect;
+  }
+  for (const auto& p : points) rect.ExtendToCover(p);
+  return rect;
+}
+
+}  // namespace qvt

@@ -1,0 +1,54 @@
+#ifndef QVT_GEOMETRY_RECT_H_
+#define QVT_GEOMETRY_RECT_H_
+
+#include <span>
+#include <vector>
+
+namespace qvt {
+
+/// Axis-aligned minimum bounding rectangle (MBR). The SR-tree stores an MBR
+/// alongside the bounding sphere in every node entry; the effective region is
+/// their intersection, which is what makes SR-trees tighter than SS-trees.
+struct Rect {
+  std::vector<float> min;
+  std::vector<float> max;
+
+  Rect() = default;
+
+  /// Degenerate rectangle covering exactly one point.
+  explicit Rect(std::span<const float> point);
+
+  /// Rectangle with explicit corners; requires min[i] <= max[i].
+  Rect(std::vector<float> lo, std::vector<float> hi);
+
+  size_t dim() const { return min.size(); }
+  bool empty() const { return min.empty(); }
+
+  /// Grows to cover `point`.
+  void ExtendToCover(std::span<const float> point);
+
+  /// Grows to cover `other`.
+  void ExtendToCover(const Rect& other);
+
+  /// Minimum L2 distance from `point` to the rectangle (0 if inside).
+  double MinDistanceTo(std::span<const float> point) const;
+
+  /// Maximum L2 distance from `point` to any point of the rectangle.
+  double MaxDistanceTo(std::span<const float> point) const;
+
+  /// True if the point is inside or on the boundary.
+  bool Contains(std::span<const float> point, double eps = 1e-6) const;
+
+  /// Center point of the rectangle.
+  std::vector<float> Center() const;
+
+  /// Half of the diagonal length (radius of the circumscribed sphere).
+  double HalfDiagonal() const;
+};
+
+/// Smallest rectangle covering all `points` (dim used when empty).
+Rect BoundingRect(std::span<const std::span<const float>> points, size_t dim);
+
+}  // namespace qvt
+
+#endif  // QVT_GEOMETRY_RECT_H_

@@ -1,0 +1,104 @@
+#include "geometry/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+double Sphere::MinDistanceTo(std::span<const float> point) const {
+  return std::max(0.0, vec::Distance(center, point) - radius);
+}
+
+double Sphere::CenterDistanceTo(std::span<const float> point) const {
+  return vec::Distance(center, point);
+}
+
+double Sphere::MaxDistanceTo(std::span<const float> point) const {
+  return vec::Distance(center, point) + radius;
+}
+
+bool Sphere::Contains(std::span<const float> point, double eps) const {
+  return vec::Distance(center, point) <= radius + eps;
+}
+
+bool Sphere::Intersects(const Sphere& other, double eps) const {
+  return vec::Distance(center, other.center) <= radius + other.radius + eps;
+}
+
+Sphere MergeSpheres(const Sphere& a, const Sphere& b) {
+  QVT_CHECK(a.dim() == b.dim());
+  const double d = vec::Distance(a.center, b.center);
+  // Containment cases.
+  if (d + b.radius <= a.radius) return a;
+  if (d + a.radius <= b.radius) return b;
+  const double new_radius = (d + a.radius + b.radius) / 2.0;
+  // New center lies on the segment a.center -> b.center at distance
+  // (new_radius - a.radius) from a.center.
+  const double t = d > 1e-12 ? (new_radius - a.radius) / d : 0.0;
+  std::vector<float> center(a.dim());
+  for (size_t i = 0; i < a.dim(); ++i) {
+    center[i] = static_cast<float>(a.center[i] +
+                                   t * (b.center[i] - a.center[i]));
+  }
+  return Sphere(std::move(center), new_radius);
+}
+
+Sphere CentroidBoundingSphere(std::span<const std::span<const float>> points,
+                              size_t dim) {
+  Sphere sphere(vec::Mean(points, dim), 0.0);
+  double max_sq = 0.0;
+  for (const auto& p : points) {
+    max_sq = std::max(max_sq, vec::SquaredDistance(sphere.center, p));
+  }
+  sphere.radius = std::sqrt(max_sq);
+  return sphere;
+}
+
+Sphere RitterBoundingSphere(std::span<const std::span<const float>> points,
+                            size_t dim) {
+  if (points.empty()) return Sphere(std::vector<float>(dim, 0.0f), 0.0);
+
+  // Pick any point x, find the farthest point y from x, then the farthest
+  // point z from y. Start with the sphere spanning y-z and grow to cover
+  // stragglers.
+  const auto farthest_from = [&](std::span<const float> from) {
+    size_t best = 0;
+    double best_sq = -1.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double sq = vec::SquaredDistance(from, points[i]);
+      if (sq > best_sq) {
+        best_sq = sq;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  const size_t y = farthest_from(points[0]);
+  const size_t z = farthest_from(points[y]);
+
+  std::vector<float> center(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    center[i] = (points[y][i] + points[z][i]) / 2.0f;
+  }
+  double radius = vec::Distance(points[y], points[z]) / 2.0;
+
+  for (const auto& p : points) {
+    const double d = vec::Distance(center, p);
+    if (d > radius) {
+      // Grow: new sphere covers old sphere and p.
+      const double new_radius = (radius + d) / 2.0;
+      const double t = (d - new_radius) / d;
+      for (size_t i = 0; i < dim; ++i) {
+        center[i] = static_cast<float>(center[i] + t * (p[i] - center[i]));
+      }
+      radius = new_radius;
+    }
+  }
+  return Sphere(std::move(center), radius);
+}
+
+}  // namespace qvt

@@ -1,0 +1,544 @@
+#include "srtree/sr_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geometry/vec.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+SrTree::SrTree(const Collection* collection, const SrTreeConfig& config)
+    : collection_(collection), config_(config) {
+  QVT_CHECK(collection != nullptr);
+  QVT_CHECK(config.leaf_capacity >= 2);
+  QVT_CHECK(config.internal_fanout >= 2);
+  QVT_CHECK(config.min_fill > 0.0 && config.min_fill <= 0.5);
+}
+
+SrTree::Entry SrTree::MakeLeafEntry(size_t pos) const {
+  Entry entry;
+  const auto point = Point(pos);
+  entry.centroid.assign(point.begin(), point.end());
+  entry.radius = 0.0;
+  entry.rect = Rect(point);
+  entry.count = 1;
+  entry.position = pos;
+  return entry;
+}
+
+SrTree::Entry SrTree::SummarizeNode(uint32_t node_id) const {
+  const Node& node = nodes_[node_id];
+  QVT_CHECK(!node.entries.empty());
+
+  Entry summary;
+  summary.child = node_id;
+  const size_t dim = collection_->dim();
+
+  // Weighted centroid of all points below (exact by induction: leaf-entry
+  // centroids are the points themselves; internal-entry centroids are exact
+  // weighted centroids of their subtrees).
+  std::vector<double> acc(dim, 0.0);
+  size_t total = 0;
+  for (const Entry& e : node.entries) {
+    for (size_t d = 0; d < dim; ++d) {
+      acc[d] += static_cast<double>(e.centroid[d]) *
+                static_cast<double>(e.count);
+    }
+    total += e.count;
+  }
+  summary.centroid.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    summary.centroid[d] = static_cast<float>(acc[d] /
+                                             static_cast<double>(total));
+  }
+  summary.count = total;
+
+  // Covering sphere: for each child entry, the farthest a point below it can
+  // be from our centroid is dist(centroid, child centroid) + child radius.
+  double radius = 0.0;
+  for (const Entry& e : node.entries) {
+    const double d = vec::Distance(summary.centroid, e.centroid) + e.radius;
+    radius = std::max(radius, d);
+  }
+  summary.radius = radius;
+
+  // Exact minimum bounding rectangle.
+  for (const Entry& e : node.entries) summary.rect.ExtendToCover(e.rect);
+  return summary;
+}
+
+uint32_t SrTree::NewNode(bool is_leaf) {
+  nodes_.emplace_back();
+  nodes_.back().is_leaf = is_leaf;
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Static bulk build
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Dimension of maximum variance of the points at `positions[begin, end)`.
+size_t MaxVarianceDim(const Collection& collection,
+                      const std::vector<size_t>& positions, size_t begin,
+                      size_t end) {
+  const size_t dim = collection.dim();
+  std::vector<double> sum(dim, 0.0);
+  std::vector<double> sum_sq(dim, 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    const auto v = collection.Vector(positions[i]);
+    for (size_t d = 0; d < dim; ++d) {
+      sum[d] += v[d];
+      sum_sq[d] += static_cast<double>(v[d]) * v[d];
+    }
+  }
+  const double n = static_cast<double>(end - begin);
+  size_t best_dim = 0;
+  double best_var = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double var = sum_sq[d] / n - (sum[d] / n) * (sum[d] / n);
+    if (var > best_var) {
+      best_var = var;
+      best_dim = d;
+    }
+  }
+  return best_dim;
+}
+
+}  // namespace
+
+void SrTree::BuildStatic() {
+  std::vector<size_t> positions(collection_->size());
+  for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  BuildStatic(positions);
+}
+
+void SrTree::BuildStatic(std::span<const size_t> positions) {
+  nodes_.clear();
+  root_ = kNoNode;
+  num_points_ = positions.size();
+  if (positions.empty()) return;
+
+  std::vector<size_t> work(positions.begin(), positions.end());
+  root_ = BuildStaticRecursive(work, 0, work.size());
+  nodes_[root_].parent = kNoNode;
+}
+
+uint32_t SrTree::BuildStaticRecursive(std::vector<size_t>& positions,
+                                      size_t begin, size_t end) {
+  const size_t count = end - begin;
+  const size_t num_leaves =
+      (count + config_.leaf_capacity - 1) / config_.leaf_capacity;
+
+  if (num_leaves <= 1) {
+    const uint32_t leaf_id = NewNode(/*is_leaf=*/true);
+    Node& leaf = nodes_[leaf_id];
+    leaf.entries.reserve(count);
+    for (size_t i = begin; i < end; ++i) {
+      leaf.entries.push_back(MakeLeafEntry(positions[i]));
+    }
+    return leaf_id;
+  }
+
+  // Divide the leaves into up to `internal_fanout` groups, then carve the
+  // position range into contiguous slices proportional to group leaf counts
+  // using recursive max-variance median splits. Point counts are distributed
+  // proportionally so all leaf populations are uniform up to rounding —
+  // exactly the paper's "static build ... guaranteed uniform leaf size".
+  const size_t num_groups = std::min(config_.internal_fanout, num_leaves);
+  std::vector<size_t> group_leaves(num_groups, num_leaves / num_groups);
+  for (size_t g = 0; g < num_leaves % num_groups; ++g) ++group_leaves[g];
+
+  // Recursive binary slicing of [begin, end) into the groups.
+  struct Slice {
+    size_t begin, end;        // position range
+    size_t group_lo, group_hi;  // group index range
+  };
+  std::vector<std::pair<size_t, size_t>> group_ranges(num_groups);
+  std::vector<Slice> stack{{begin, end, 0, num_groups}};
+  while (!stack.empty()) {
+    const Slice s = stack.back();
+    stack.pop_back();
+    if (s.group_hi - s.group_lo == 1) {
+      group_ranges[s.group_lo] = {s.begin, s.end};
+      continue;
+    }
+    const size_t group_mid = (s.group_lo + s.group_hi) / 2;
+    size_t leaves_left = 0, leaves_total = 0;
+    for (size_t g = s.group_lo; g < s.group_hi; ++g) {
+      if (g < group_mid) leaves_left += group_leaves[g];
+      leaves_total += group_leaves[g];
+    }
+    const size_t slice_count = s.end - s.begin;
+    // Remainder-aware proportional allocation: base points per leaf plus
+    // one extra for the leftmost `slice_count % leaves_total` leaves. This
+    // invariant is preserved recursively, so every leaf in the tree ends up
+    // with either floor(n/leaves) or ceil(n/leaves) points — the paper's
+    // "guaranteed uniform leaf size".
+    const size_t base = slice_count / leaves_total;
+    const size_t remainder = slice_count % leaves_total;
+    const size_t left_count =
+        leaves_left * base + std::min(remainder, leaves_left);
+
+    const size_t split_dim =
+        MaxVarianceDim(*collection_, positions, s.begin, s.end);
+    std::nth_element(
+        positions.begin() + s.begin, positions.begin() + s.begin + left_count,
+        positions.begin() + s.end, [&](size_t a, size_t b) {
+          return collection_->Vector(a)[split_dim] <
+                 collection_->Vector(b)[split_dim];
+        });
+    stack.push_back({s.begin, s.begin + left_count, s.group_lo, group_mid});
+    stack.push_back({s.begin + left_count, s.end, group_mid, s.group_hi});
+  }
+
+  const uint32_t node_id = NewNode(/*is_leaf=*/false);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const auto [gb, ge] = group_ranges[g];
+    QVT_CHECK(ge > gb);
+    const uint32_t child_id = BuildStaticRecursive(positions, gb, ge);
+    nodes_[child_id].parent = node_id;
+    // SummarizeNode must run after the child subtree is final.
+    nodes_[node_id].entries.push_back(SummarizeNode(child_id));
+  }
+  return node_id;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic insertion
+// ---------------------------------------------------------------------------
+
+uint32_t SrTree::ChooseLeaf(std::span<const float> point) {
+  uint32_t node_id = root_;
+  while (!nodes_[node_id].is_leaf) {
+    const Node& node = nodes_[node_id];
+    size_t best = 0;
+    double best_sq = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const double sq = vec::SquaredDistance(node.entries[i].centroid, point);
+      if (sq < best_sq) {
+        best_sq = sq;
+        best = i;
+      }
+    }
+    node_id = node.entries[best].child;
+  }
+  return node_id;
+}
+
+void SrTree::Insert(size_t pos) {
+  QVT_CHECK(pos < collection_->size());
+  ++num_points_;
+  if (root_ == kNoNode) {
+    root_ = NewNode(/*is_leaf=*/true);
+    nodes_[root_].entries.push_back(MakeLeafEntry(pos));
+    return;
+  }
+  const uint32_t leaf_id = ChooseLeaf(Point(pos));
+  InsertIntoLeaf(leaf_id, pos);
+}
+
+void SrTree::InsertIntoLeaf(uint32_t leaf_id, size_t pos) {
+  nodes_[leaf_id].entries.push_back(MakeLeafEntry(pos));
+  RefreshPathSummaries(leaf_id);
+  if (nodes_[leaf_id].entries.size() > config_.leaf_capacity) {
+    SplitNode(leaf_id);
+  }
+}
+
+SrTree::Entry* SrTree::ParentEntryOf(uint32_t node_id) {
+  const uint32_t parent_id = nodes_[node_id].parent;
+  if (parent_id == kNoNode) return nullptr;
+  for (Entry& e : nodes_[parent_id].entries) {
+    if (e.child == node_id) return &e;
+  }
+  QVT_CHECK(false) << "node " << node_id << " missing from parent "
+                   << parent_id;
+  return nullptr;
+}
+
+void SrTree::RefreshPathSummaries(uint32_t node_id) {
+  uint32_t current = node_id;
+  while (true) {
+    Entry* parent_entry = ParentEntryOf(current);
+    if (parent_entry == nullptr) break;
+    *parent_entry = SummarizeNode(current);
+    current = nodes_[current].parent;
+  }
+}
+
+void SrTree::SplitNode(uint32_t node_id) {
+  Node& node = nodes_[node_id];
+  QVT_CHECK(node.entries.size() >= 2);
+
+  // Split dimension: maximum variance of entry centroids (SS-tree heuristic,
+  // inherited by the SR-tree).
+  const size_t dim = collection_->dim();
+  size_t split_dim = 0;
+  {
+    std::vector<double> sum(dim, 0.0), sum_sq(dim, 0.0);
+    for (const Entry& e : node.entries) {
+      for (size_t d = 0; d < dim; ++d) {
+        sum[d] += e.centroid[d];
+        sum_sq[d] += static_cast<double>(e.centroid[d]) * e.centroid[d];
+      }
+    }
+    const double n = static_cast<double>(node.entries.size());
+    double best_var = -1.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double var = sum_sq[d] / n - (sum[d] / n) * (sum[d] / n);
+      if (var > best_var) {
+        best_var = var;
+        split_dim = d;
+      }
+    }
+  }
+  std::sort(node.entries.begin(), node.entries.end(),
+            [&](const Entry& a, const Entry& b) {
+              return a.centroid[split_dim] < b.centroid[split_dim];
+            });
+
+  const size_t half = node.entries.size() / 2;
+  const uint32_t sibling_id = NewNode(nodes_[node_id].is_leaf);
+  // NewNode may reallocate nodes_; re-take the reference.
+  Node& self = nodes_[node_id];
+  Node& sibling = nodes_[sibling_id];
+  sibling.entries.assign(self.entries.begin() + half, self.entries.end());
+  self.entries.resize(half);
+  if (!self.is_leaf) {
+    for (const Entry& e : sibling.entries) {
+      nodes_[e.child].parent = sibling_id;
+    }
+  }
+
+  if (node_id == root_) {
+    const uint32_t new_root = NewNode(/*is_leaf=*/false);
+    nodes_[node_id].parent = new_root;
+    nodes_[sibling_id].parent = new_root;
+    nodes_[new_root].entries.push_back(SummarizeNode(node_id));
+    nodes_[new_root].entries.push_back(SummarizeNode(sibling_id));
+    nodes_[new_root].parent = kNoNode;
+    root_ = new_root;
+    return;
+  }
+
+  const uint32_t parent_id = nodes_[node_id].parent;
+  nodes_[sibling_id].parent = parent_id;
+  *ParentEntryOf(node_id) = SummarizeNode(node_id);
+  nodes_[parent_id].entries.push_back(SummarizeNode(sibling_id));
+  RefreshPathSummaries(parent_id);
+  if (nodes_[parent_id].entries.size() > config_.internal_fanout) {
+    SplitNode(parent_id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+double SrTree::EntryMinDistance(const Entry& entry,
+                                std::span<const float> query) const {
+  // The SR-tree's region is the intersection of sphere and rectangle, so the
+  // lower bound is the max of the two individual lower bounds.
+  const double sphere_min =
+      std::max(0.0, vec::Distance(entry.centroid, query) - entry.radius);
+  const double rect_min = entry.rect.MinDistanceTo(query);
+  return std::max(sphere_min, rect_min);
+}
+
+std::vector<SrNeighbor> SrTree::NearestNeighbors(std::span<const float> query,
+                                                 size_t k) const {
+  std::vector<SrNeighbor> result;
+  if (root_ == kNoNode || k == 0) return result;
+
+  struct QueueItem {
+    double min_dist;
+    uint32_t node;
+    bool operator>(const QueueItem& other) const {
+      return min_dist > other.min_dist;
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      frontier;
+  frontier.push({0.0, root_});
+
+  // Max-heap of current best k (by distance).
+  auto worse = [](const SrNeighbor& a, const SrNeighbor& b) {
+    return a.distance < b.distance;
+  };
+  std::priority_queue<SrNeighbor, std::vector<SrNeighbor>, decltype(worse)>
+      best(worse);
+
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+    if (best.size() == k && item.min_dist > best.top().distance) break;
+
+    const Node& node = nodes_[item.node];
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        const double d = vec::Distance(Point(e.position), query);
+        if (best.size() < k) {
+          best.push({e.position, d});
+        } else if (d < best.top().distance) {
+          best.pop();
+          best.push({e.position, d});
+        }
+      }
+    } else {
+      for (const Entry& e : node.entries) {
+        const double lb = EntryMinDistance(e, query);
+        if (best.size() < k || lb <= best.top().distance) {
+          frontier.push({lb, e.child});
+        }
+      }
+    }
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<SrNeighbor> SrTree::RangeSearch(std::span<const float> query,
+                                            double radius) const {
+  std::vector<SrNeighbor> result;
+  if (root_ == kNoNode || radius < 0.0) return result;
+
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const uint32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        const double d = vec::Distance(Point(e.position), query);
+        if (d <= radius) result.push_back({e.position, d});
+      }
+    } else {
+      for (const Entry& e : node.entries) {
+        if (EntryMinDistance(e, query) <= radius) stack.push_back(e.child);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const SrNeighbor& a, const SrNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.position < b.position;
+            });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<size_t>> SrTree::LeafPartitions() const {
+  std::vector<std::vector<size_t>> partitions;
+  if (root_ == kNoNode) return partitions;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const uint32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    if (node.is_leaf) {
+      std::vector<size_t> positions;
+      positions.reserve(node.entries.size());
+      for (const Entry& e : node.entries) positions.push_back(e.position);
+      partitions.push_back(std::move(positions));
+    } else {
+      // Push in reverse so leaves come out left-to-right.
+      for (size_t i = node.entries.size(); i-- > 0;) {
+        stack.push_back(node.entries[i].child);
+      }
+    }
+  }
+  return partitions;
+}
+
+SrTreeStats SrTree::Stats() const {
+  SrTreeStats stats;
+  stats.num_points = num_points_;
+  if (root_ == kNoNode) return stats;
+
+  stats.min_leaf_size = SIZE_MAX;
+  std::vector<std::pair<uint32_t, size_t>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    const auto [node_id, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    stats.height = std::max(stats.height, depth);
+    if (node.is_leaf) {
+      ++stats.num_leaves;
+      stats.min_leaf_size = std::min(stats.min_leaf_size, node.entries.size());
+      stats.max_leaf_size = std::max(stats.max_leaf_size, node.entries.size());
+    } else {
+      ++stats.num_internal;
+      for (const Entry& e : node.entries) stack.push_back({e.child, depth + 1});
+    }
+  }
+  if (stats.num_leaves == 0) stats.min_leaf_size = 0;
+  return stats;
+}
+
+Status SrTree::ValidateNode(uint32_t node_id, const Entry& summary) const {
+  const Node& node = nodes_[node_id];
+  if (node.entries.empty()) {
+    return Status::Corruption("empty node " + std::to_string(node_id));
+  }
+  if (node.entries.size() > Capacity(node)) {
+    return Status::Corruption("node over capacity: " + std::to_string(node_id));
+  }
+  size_t count = 0;
+  constexpr double kEps = 1e-3;
+  for (const Entry& e : node.entries) {
+    count += e.count;
+    if (node.is_leaf) {
+      const auto point = Point(e.position);
+      const double d = vec::Distance(summary.centroid, point);
+      if (d > summary.radius + kEps) {
+        return Status::Corruption("leaf point outside sphere");
+      }
+      if (!summary.rect.Contains(point, kEps)) {
+        return Status::Corruption("leaf point outside rect");
+      }
+    } else {
+      if (nodes_[e.child].parent != node_id) {
+        return Status::Corruption("bad parent pointer");
+      }
+      // Child sphere must fit in our sphere.
+      const double d =
+          vec::Distance(summary.centroid, e.centroid) + e.radius;
+      if (d > summary.radius + kEps) {
+        return Status::Corruption("child sphere outside parent sphere");
+      }
+      QVT_RETURN_IF_ERROR(ValidateNode(e.child, e));
+    }
+  }
+  if (count != summary.count) {
+    return Status::Corruption("count mismatch at node " +
+                              std::to_string(node_id));
+  }
+  return Status::OK();
+}
+
+Status SrTree::Validate() const {
+  if (root_ == kNoNode) {
+    return num_points_ == 0
+               ? Status::OK()
+               : Status::Corruption("points recorded but no root");
+  }
+  const Entry summary = SummarizeNode(root_);
+  if (summary.count != num_points_) {
+    return Status::Corruption("root count mismatch");
+  }
+  return ValidateNode(root_, summary);
+}
+
+}  // namespace qvt

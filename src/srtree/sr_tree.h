@@ -1,0 +1,163 @@
+#ifndef QVT_SRTREE_SR_TREE_H_
+#define QVT_SRTREE_SR_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "descriptor/collection.h"
+#include "geometry/rect.h"
+#include "geometry/sphere.h"
+#include "util/status.h"
+
+namespace qvt {
+
+/// SR-tree configuration.
+struct SrTreeConfig {
+  /// Maximum points per leaf. The paper's adaptation exposes exactly this
+  /// parameter ("we added a parameter to control the size of the leaves")
+  /// and derives one chunk per leaf.
+  size_t leaf_capacity = 1000;
+  /// Maximum children per internal node.
+  size_t internal_fanout = 16;
+  /// Minimum fill after a split, as a fraction of capacity.
+  double min_fill = 0.4;
+};
+
+/// Statistics describing a built tree.
+struct SrTreeStats {
+  size_t height = 0;           ///< 1 = root is a leaf
+  size_t num_leaves = 0;
+  size_t num_internal = 0;
+  size_t num_points = 0;
+  size_t min_leaf_size = 0;
+  size_t max_leaf_size = 0;
+};
+
+/// A nearest-neighbor answer: position within the backing collection plus
+/// the distance to the query.
+struct SrNeighbor {
+  size_t position = 0;
+  double distance = 0.0;
+};
+
+/// The SR-tree of Katayama & Satoh (SIGMOD'97): every directory entry keeps
+/// both a bounding sphere (centered at the weighted centroid of the points
+/// below, SS-tree style) and a minimum bounding rectangle; the entry's
+/// effective region is their intersection, giving tighter pruning than
+/// either R*-trees (rectangles only) or SS-trees (spheres only) in high
+/// dimensions.
+///
+/// Supports both the paper's *static build* (recursive max-variance median
+/// partitioning — "standard sorting and bulk-loading techniques" — which
+/// guarantees uniform leaf sizes) and incremental insertion, plus exact
+/// branch-and-bound k-NN search and leaf extraction for chunking (§2).
+///
+/// The tree indexes positions into a Collection that must outlive it.
+class SrTree {
+ public:
+  /// Creates an empty tree over `collection` (borrowed, not owned).
+  SrTree(const Collection* collection, const SrTreeConfig& config);
+
+  SrTree(SrTree&&) noexcept = default;
+  SrTree& operator=(SrTree&&) noexcept = default;
+  SrTree(const SrTree&) = delete;
+  SrTree& operator=(const SrTree&) = delete;
+
+  /// Bulk-builds the tree over all positions of the collection. Any existing
+  /// contents are discarded. Leaf sizes land in
+  /// (leaf_capacity/2, leaf_capacity] (uniform up to rounding).
+  void BuildStatic();
+
+  /// Bulk-builds over a subset of positions.
+  void BuildStatic(std::span<const size_t> positions);
+
+  /// Inserts collection position `pos` (dynamic maintenance path).
+  void Insert(size_t pos);
+
+  /// Exact k nearest neighbors of `query`, sorted by ascending distance.
+  std::vector<SrNeighbor> NearestNeighbors(std::span<const float> query,
+                                           size_t k) const;
+
+  /// Exact range search: every indexed point within `radius` of `query`
+  /// (inclusive), sorted by ascending distance. Branch-and-bound over the
+  /// sphere/rectangle intersection regions.
+  std::vector<SrNeighbor> RangeSearch(std::span<const float> query,
+                                      double radius) const;
+
+  /// Returns the point positions of every leaf, in left-to-right order.
+  /// One leaf = one chunk in the paper's chunking scheme.
+  std::vector<std::vector<size_t>> LeafPartitions() const;
+
+  SrTreeStats Stats() const;
+
+  /// Verifies structural invariants (bounding volumes cover all points,
+  /// counts consistent, fanout respected). Returns OK or a description of
+  /// the first violation. Used by tests.
+  Status Validate() const;
+
+  size_t size() const { return num_points_; }
+  bool empty() const { return num_points_ == 0; }
+
+ private:
+  static constexpr uint32_t kNoNode = 0xffffffffu;
+
+  /// Directory entry: summarizes either one point (in a leaf) or one child
+  /// subtree (in an internal node).
+  struct Entry {
+    std::vector<float> centroid;  ///< weighted centroid of points below
+    double radius = 0.0;          ///< bounding sphere radius around centroid
+    Rect rect;                    ///< minimum bounding rectangle
+    size_t count = 0;             ///< points below
+    uint32_t child = kNoNode;     ///< child node (internal) or unused (leaf)
+    size_t position = 0;          ///< point position (leaf) or unused
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    uint32_t parent = kNoNode;
+    std::vector<Entry> entries;
+  };
+
+  std::span<const float> Point(size_t pos) const {
+    return collection_->Vector(pos);
+  }
+
+  size_t Capacity(const Node& node) const {
+    return node.is_leaf ? config_.leaf_capacity : config_.internal_fanout;
+  }
+
+  Entry MakeLeafEntry(size_t pos) const;
+  /// Exact summary of `node` computed from its entries.
+  Entry SummarizeNode(uint32_t node_id) const;
+
+  uint32_t NewNode(bool is_leaf);
+  uint32_t ChooseLeaf(std::span<const float> point);
+  void InsertIntoLeaf(uint32_t leaf_id, size_t pos);
+  /// Splits `node_id` (which is over capacity) and propagates upward.
+  void SplitNode(uint32_t node_id);
+  /// Recomputes the parent-chain summaries of `node_id` exactly.
+  void RefreshPathSummaries(uint32_t node_id);
+  /// Entry in parent of `node_id` that points to it.
+  Entry* ParentEntryOf(uint32_t node_id);
+
+  /// Lower bound on the distance from `query` to any point under `entry`.
+  double EntryMinDistance(const Entry& entry,
+                          std::span<const float> query) const;
+
+  // Static build helpers.
+  uint32_t BuildStaticRecursive(std::vector<size_t>& positions, size_t begin,
+                                size_t end);
+
+  Status ValidateNode(uint32_t node_id, const Entry& summary) const;
+
+  const Collection* collection_;
+  SrTreeConfig config_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = kNoNode;
+  size_t num_points_ = 0;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_SRTREE_SR_TREE_H_

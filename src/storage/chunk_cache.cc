@@ -1,0 +1,53 @@
+#include "storage/chunk_cache.h"
+
+#include "util/logging.h"
+
+namespace qvt {
+
+ChunkCache::ChunkCache(uint64_t capacity_pages)
+    : capacity_pages_(capacity_pages) {
+  QVT_CHECK(capacity_pages > 0);
+}
+
+const ChunkData* ChunkCache::Get(uint64_t chunk_id) {
+  const auto it = entries_.find(chunk_id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &it->second->chunk;
+}
+
+void ChunkCache::Put(uint64_t chunk_id, ChunkData chunk, uint32_t pages) {
+  if (pages > capacity_pages_) return;  // would evict everything for nothing
+  const auto it = entries_.find(chunk_id);
+  if (it != entries_.end()) {
+    used_pages_ -= it->second->pages;
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  EvictUntilFits(pages);
+  lru_.push_front(Entry{chunk_id, std::move(chunk), pages});
+  entries_[chunk_id] = lru_.begin();
+  used_pages_ += pages;
+}
+
+void ChunkCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+  used_pages_ = 0;
+}
+
+void ChunkCache::EvictUntilFits(uint64_t incoming_pages) {
+  while (used_pages_ + incoming_pages > capacity_pages_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_pages_ -= victim.pages;
+    entries_.erase(victim.chunk_id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace qvt

@@ -1,0 +1,70 @@
+#ifndef QVT_STORAGE_CHUNK_CACHE_H_
+#define QVT_STORAGE_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/chunk_file.h"
+
+namespace qvt {
+
+/// Counters of cache effectiveness.
+struct ChunkCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// LRU cache of materialized chunks, budgeted in pages (the unit the paper's
+/// buffer manager would use; §5.4 runs queries round-robin across indexes
+/// precisely "to eliminate buffering effects" — this class lets experiments
+/// turn those effects back on deliberately).
+///
+/// Single-threaded, like the rest of the search path.
+class ChunkCache {
+ public:
+  /// `capacity_pages` bounds the total padded size of cached chunks.
+  explicit ChunkCache(uint64_t capacity_pages);
+
+  /// Returns the cached chunk for `chunk_id`, or nullptr on miss. The
+  /// pointer stays valid until the next Put() on this cache.
+  const ChunkData* Get(uint64_t chunk_id);
+
+  /// Inserts (or refreshes) a chunk occupying `pages` padded pages. Chunks
+  /// larger than the whole capacity are not cached.
+  void Put(uint64_t chunk_id, ChunkData chunk, uint32_t pages);
+
+  void Clear();
+
+  const ChunkCacheStats& stats() const { return stats_; }
+  uint64_t used_pages() const { return used_pages_; }
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t chunk_id;
+    ChunkData chunk;
+    uint32_t pages;
+  };
+
+  void EvictUntilFits(uint64_t incoming_pages);
+
+  uint64_t capacity_pages_;
+  uint64_t used_pages_ = 0;
+  // Most-recently-used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> entries_;
+  ChunkCacheStats stats_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_STORAGE_CHUNK_CACHE_H_

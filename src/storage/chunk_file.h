@@ -1,0 +1,97 @@
+#ifndef QVT_STORAGE_CHUNK_FILE_H_
+#define QVT_STORAGE_CHUNK_FILE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "descriptor/collection.h"
+#include "storage/page.h"
+#include "util/env.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// Physical location of a chunk within the chunk file. All quantities are in
+/// pages so the cost model can charge per-page transfer times directly.
+struct ChunkLocation {
+  uint64_t first_page = 0;       ///< offset in pages from file start
+  uint32_t num_pages = 0;        ///< padded extent
+  uint32_t num_descriptors = 0;  ///< live records inside the extent
+
+  bool operator==(const ChunkLocation&) const = default;
+};
+
+/// The descriptors of one chunk, materialized in memory after a read.
+struct ChunkData {
+  size_t dim = 0;
+  std::vector<DescriptorId> ids;  ///< per-descriptor ids
+  std::vector<float> values;      ///< flat, ids.size() * dim floats
+
+  size_t size() const { return ids.size(); }
+  std::span<const float> Vector(size_t i) const {
+    return {values.data() + i * dim, dim};
+  }
+};
+
+/// Writes the chunk file: descriptors grouped by chunk, each chunk stored
+/// contiguously and padded to a whole number of pages (§4.2).
+class ChunkFileWriter {
+ public:
+  /// Creates a writer over `path`. `dim` fixes the record layout.
+  static StatusOr<std::unique_ptr<ChunkFileWriter>> Create(
+      Env* env, const std::string& path, size_t dim);
+
+  /// Appends one chunk holding the descriptors of `collection` at
+  /// `positions`. Returns its location. Empty chunks are rejected.
+  StatusOr<ChunkLocation> AppendChunk(const Collection& collection,
+                                      std::span<const size_t> positions);
+
+  /// Appends one chunk from raw data (ids/vectors already gathered).
+  StatusOr<ChunkLocation> AppendChunk(const ChunkData& chunk);
+
+  /// Flushes and closes. Must be called before destruction.
+  Status Close();
+
+  uint64_t pages_written() const { return next_page_; }
+
+ private:
+  ChunkFileWriter(std::unique_ptr<WritableFile> file, size_t dim)
+      : file_(std::move(file)), dim_(dim) {}
+
+  StatusOr<ChunkLocation> AppendRecords(
+      std::span<const DescriptorId> ids,
+      const float* values);  // values: ids.size() * dim_ floats
+
+  std::unique_ptr<WritableFile> file_;
+  size_t dim_;
+  uint64_t next_page_ = 0;
+};
+
+/// Reads chunks back given their locations.
+class ChunkFileReader {
+ public:
+  static StatusOr<std::unique_ptr<ChunkFileReader>> Open(
+      Env* env, const std::string& path, size_t dim);
+
+  /// Reads the chunk at `location` into `*out` (reused across calls to avoid
+  /// reallocation in the search loop).
+  Status ReadChunk(const ChunkLocation& location, ChunkData* out) const;
+
+  uint64_t file_pages() const { return PagesForBytes(file_->Size()); }
+  size_t dim() const { return dim_; }
+
+ private:
+  ChunkFileReader(std::unique_ptr<RandomAccessFile> file, size_t dim)
+      : file_(std::move(file)), dim_(dim) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+  size_t dim_;
+  mutable std::vector<uint8_t> scratch_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_STORAGE_CHUNK_FILE_H_

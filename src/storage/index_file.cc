@@ -1,0 +1,70 @@
+#include "storage/index_file.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+Status WriteIndexFile(Env* env, const std::string& path, size_t dim,
+                      const std::vector<ChunkIndexEntry>& entries) {
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+
+  const size_t entry_bytes = IndexEntryBytes(dim);
+  std::vector<uint8_t> buf(entry_bytes);
+  for (const ChunkIndexEntry& entry : entries) {
+    if (entry.bounds.dim() != dim) {
+      return Status::InvalidArgument("index entry centroid has wrong dim");
+    }
+    uint8_t* p = buf.data();
+    std::memcpy(p, entry.bounds.center.data(), dim * sizeof(float));
+    p += dim * sizeof(float);
+    std::memcpy(p, &entry.bounds.radius, sizeof(double));
+    p += sizeof(double);
+    std::memcpy(p, &entry.location.first_page, sizeof(uint64_t));
+    p += sizeof(uint64_t);
+    std::memcpy(p, &entry.location.num_pages, sizeof(uint32_t));
+    p += sizeof(uint32_t);
+    std::memcpy(p, &entry.location.num_descriptors, sizeof(uint32_t));
+    QVT_RETURN_IF_ERROR((*file)->Append(buf.data(), buf.size()));
+  }
+  return (*file)->Close();
+}
+
+StatusOr<std::vector<ChunkIndexEntry>> ReadIndexFile(Env* env,
+                                                     const std::string& path,
+                                                     size_t dim) {
+  auto bytes = ReadFileBytes(env, path);
+  if (!bytes.ok()) return bytes.status();
+
+  const size_t entry_bytes = IndexEntryBytes(dim);
+  if (bytes->size() % entry_bytes != 0) {
+    return Status::Corruption("index file size is not a multiple of entry size");
+  }
+  const size_t n = bytes->size() / entry_bytes;
+
+  std::vector<ChunkIndexEntry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* p = bytes->data() + i * entry_bytes;
+    ChunkIndexEntry& entry = entries[i];
+    entry.bounds.center.resize(dim);
+    std::memcpy(entry.bounds.center.data(), p, dim * sizeof(float));
+    p += dim * sizeof(float);
+    std::memcpy(&entry.bounds.radius, p, sizeof(double));
+    p += sizeof(double);
+    std::memcpy(&entry.location.first_page, p, sizeof(uint64_t));
+    p += sizeof(uint64_t);
+    std::memcpy(&entry.location.num_pages, p, sizeof(uint32_t));
+    p += sizeof(uint32_t);
+    std::memcpy(&entry.location.num_descriptors, p, sizeof(uint32_t));
+
+    if (entry.bounds.radius < 0.0 || entry.location.num_pages == 0 ||
+        entry.location.num_descriptors == 0) {
+      return Status::Corruption("invalid index entry " + std::to_string(i));
+    }
+  }
+  return entries;
+}
+
+}  // namespace qvt

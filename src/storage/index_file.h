@@ -1,0 +1,42 @@
+#ifndef QVT_STORAGE_INDEX_FILE_H_
+#define QVT_STORAGE_INDEX_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/sphere.h"
+#include "storage/chunk_file.h"
+#include "util/env.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// One entry of the chunk index file (§4.2): the chunk's centroid, its
+/// radius, and where it lives in the chunk file. Entry order matches chunk
+/// order in the chunk file.
+struct ChunkIndexEntry {
+  Sphere bounds;           ///< centroid + minimum bounding radius
+  ChunkLocation location;  ///< placement in the chunk file
+};
+
+/// Binary layout per entry (little endian):
+///   float32[dim] centroid, float64 radius,
+///   uint64 first_page, uint32 num_pages, uint32 num_descriptors.
+inline constexpr size_t IndexEntryBytes(size_t dim) {
+  return dim * sizeof(float) + sizeof(double) + sizeof(uint64_t) +
+         2 * sizeof(uint32_t);
+}
+
+/// Writes the whole index file in one shot.
+Status WriteIndexFile(Env* env, const std::string& path, size_t dim,
+                      const std::vector<ChunkIndexEntry>& entries);
+
+/// Reads the whole index file. Validates sizes and per-entry invariants.
+StatusOr<std::vector<ChunkIndexEntry>> ReadIndexFile(Env* env,
+                                                     const std::string& path,
+                                                     size_t dim);
+
+}  // namespace qvt
+
+#endif  // QVT_STORAGE_INDEX_FILE_H_

@@ -1,0 +1,21 @@
+#ifndef QVT_STORAGE_PAGE_H_
+#define QVT_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qvt {
+
+/// Disk page size used by the chunk file. Chunks are padded to full pages
+/// (§4.2: "The chunks are padded to occupy full disk pages"), so every chunk
+/// read is a whole number of page transfers.
+inline constexpr size_t kPageSize = 8192;
+
+/// Number of pages needed to hold `bytes` bytes.
+inline constexpr uint64_t PagesForBytes(uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace qvt
+
+#endif  // QVT_STORAGE_PAGE_H_

@@ -1,0 +1,63 @@
+#ifndef QVT_UTIL_CLOCK_H_
+#define QVT_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace qvt {
+
+/// Abstract time source measured in microseconds.
+///
+/// The search engine is written against Clock so the same code path can run
+/// on real wall time (WallClock) or on the deterministic 2005-hardware cost
+/// model (SimulatedClock driven by storage/DiskCostModel charges).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Real wall-clock time (steady clock).
+class WallClock final : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// A manually advanced clock. Cost models call Advance() to charge simulated
+/// I/O and CPU time; readers observe a deterministic timeline.
+class SimulatedClock final : public Clock {
+ public:
+  int64_t NowMicros() const override { return now_micros_; }
+
+  void Advance(int64_t micros) { now_micros_ += micros; }
+  void Reset(int64_t now_micros = 0) { now_micros_ = now_micros; }
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+/// Measures elapsed time against any Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock) { Restart(); }
+
+  void Restart() { start_micros_ = clock_->NowMicros(); }
+  int64_t ElapsedMicros() const { return clock_->NowMicros() - start_micros_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  const Clock* clock_;
+  int64_t start_micros_ = 0;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_CLOCK_H_

@@ -1,0 +1,324 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const void* data, size_t size) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("write after Close: " + path_);
+    }
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return Status::IoError("short write to " + path_);
+    }
+    size_ += size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("double Close: " + path_);
+    }
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IoError("fclose failed: " + path_);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  FILE* file_;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(FILE* file, uint64_t size, std::string path)
+      : file_(file), size_(size), path_(std::move(path)) {}
+
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(uint64_t offset, size_t size, void* scratch) const override {
+    if (offset + size > size_) {
+      return Status::OutOfRange("read past EOF in " + path_);
+    }
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("fseek failed in " + path_);
+    }
+    if (std::fread(scratch, 1, size, file_) != size) {
+      return Status::IoError("short read in " + path_);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  FILE* file_;
+  uint64_t size_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size < 0) {
+      std::fclose(f);
+      return Status::IoError("ftell failed: " + path);
+    }
+    return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(
+        f, static_cast<uint64_t>(size), path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IoError("cannot delete: " + path);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> GetFileSize(const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("no such file: " + path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    if (size < 0) return Status::IoError("ftell failed: " + path);
+    return static_cast<uint64_t>(size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::vector<uint8_t>> data)
+      : data_(std::move(data)) {}
+
+  Status Append(const void* bytes, size_t size) override {
+    if (closed_) return Status::FailedPrecondition("write after Close");
+    const auto* p = static_cast<const uint8_t*>(bytes);
+    data_->insert(data_->end(), p, p + size);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::FailedPrecondition("double Close");
+    closed_ = true;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::vector<uint8_t>> data_;
+  bool closed_ = false;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::vector<uint8_t>> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t size, void* scratch) const override {
+    if (offset + size > data_->size()) {
+      return Status::OutOfRange("read past EOF in mem file");
+    }
+    std::memcpy(scratch, data_->data() + offset, size);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::vector<uint8_t>> data_;
+};
+
+}  // namespace
+
+MemEnv::FileEntry* MemEnv::Find(const std::string& path) {
+  for (auto& [name, entry] : files_) {
+    if (name == path) return &entry;
+  }
+  return nullptr;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path) {
+  FileEntry* entry = Find(path);
+  if (entry == nullptr) {
+    files_.push_back({path, FileEntry{}});
+    entry = &files_.back().second;
+  }
+  entry->data = std::make_shared<std::vector<uint8_t>>();
+  return std::unique_ptr<WritableFile>(new MemWritableFile(entry->data));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
+    const std::string& path) {
+  FileEntry* entry = Find(path);
+  if (entry == nullptr) return Status::NotFound("no such file: " + path);
+  return std::unique_ptr<RandomAccessFile>(
+      new MemRandomAccessFile(entry->data));
+}
+
+bool MemEnv::FileExists(const std::string& path) { return Find(path) != nullptr; }
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  for (auto it = files_.begin(); it != files_.end(); ++it) {
+    if (it->first == path) {
+      files_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such file: " + path);
+}
+
+StatusOr<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  FileEntry* entry = Find(path);
+  if (entry == nullptr) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(entry->data->size());
+}
+
+// ---------------------------------------------------------------------------
+// IoStatsEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class CountingWritableFile final : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> target, IoStats* stats)
+      : target_(std::move(target)), stats_(stats) {}
+
+  Status Append(const void* data, size_t size) override {
+    Status s = target_->Append(data, size);
+    if (s.ok()) {
+      ++stats_->writes;
+      stats_->bytes_written += size;
+    }
+    return s;
+  }
+
+  Status Close() override { return target_->Close(); }
+  uint64_t Size() const override { return target_->Size(); }
+
+ private:
+  std::unique_ptr<WritableFile> target_;
+  IoStats* stats_;
+};
+
+class CountingRandomAccessFile final : public RandomAccessFile {
+ public:
+  CountingRandomAccessFile(std::unique_ptr<RandomAccessFile> target,
+                           IoStats* stats)
+      : target_(std::move(target)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t size, void* scratch) const override {
+    Status s = target_->Read(offset, size, scratch);
+    if (s.ok()) {
+      ++stats_->reads;
+      stats_->bytes_read += size;
+    }
+    return s;
+  }
+
+  uint64_t Size() const override { return target_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> target_;
+  IoStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WritableFile>> IoStatsEnv::NewWritableFile(
+    const std::string& path) {
+  auto file = target_->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  ++stats_->files_opened;
+  return std::unique_ptr<WritableFile>(
+      new CountingWritableFile(std::move(file).value(), stats_));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> IoStatsEnv::NewRandomAccessFile(
+    const std::string& path) {
+  auto file = target_->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  ++stats_->files_opened;
+  return std::unique_ptr<RandomAccessFile>(
+      new CountingRandomAccessFile(std::move(file).value(), stats_));
+}
+
+// ---------------------------------------------------------------------------
+// Convenience helpers
+// ---------------------------------------------------------------------------
+
+Status WriteFileBytes(Env* env, const std::string& path, const void* data,
+                      size_t size) {
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  QVT_RETURN_IF_ERROR((*file)->Append(data, size));
+  return (*file)->Close();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(Env* env,
+                                             const std::string& path) {
+  auto file = env->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  std::vector<uint8_t> buf((*file)->Size());
+  if (!buf.empty()) {
+    QVT_RETURN_IF_ERROR((*file)->Read(0, buf.size(), buf.data()));
+  }
+  return buf;
+}
+
+}  // namespace qvt

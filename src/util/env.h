@@ -1,0 +1,132 @@
+#ifndef QVT_UTIL_ENV_H_
+#define QVT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// Sequential/positional write handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `size` bytes at the end of the file.
+  virtual Status Append(const void* data, size_t size) = 0;
+
+  /// Flushes buffered data and closes the handle. Must be called exactly once
+  /// before destruction for the file contents to be durable.
+  virtual Status Close() = 0;
+
+  /// Number of bytes appended so far.
+  virtual uint64_t Size() const = 0;
+};
+
+/// Positional read handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads exactly `size` bytes at `offset` into `scratch`. Fails with
+  /// OutOfRange if the range extends past end-of-file.
+  virtual Status Read(uint64_t offset, size_t size, void* scratch) const = 0;
+
+  /// Total file size in bytes.
+  virtual uint64_t Size() const = 0;
+};
+
+/// Minimal filesystem abstraction. PosixEnv hits the real filesystem;
+/// MemEnv keeps files in memory for hermetic tests.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// Process-wide real-filesystem environment. Never deleted.
+  static Env* Posix();
+};
+
+/// In-memory environment for tests. Files live in this object.
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  StatusOr<uint64_t> GetFileSize(const std::string& path) override;
+
+ private:
+  friend class MemWritableFile;
+  struct FileEntry {
+    std::shared_ptr<std::vector<uint8_t>> data;
+  };
+  // path -> contents. Guarded by nothing: MemEnv is single-threaded by
+  // design (tests).
+  std::vector<std::pair<std::string, FileEntry>> files_;
+
+  FileEntry* Find(const std::string& path);
+};
+
+/// Counters describing physical I/O issued through an IoStatsEnv wrapper.
+struct IoStats {
+  uint64_t reads = 0;        ///< Read() calls.
+  uint64_t bytes_read = 0;   ///< Total bytes read.
+  uint64_t writes = 0;       ///< Append() calls.
+  uint64_t bytes_written = 0;
+  uint64_t files_opened = 0;
+
+  void Reset() { *this = IoStats(); }
+};
+
+/// Env decorator that counts I/O against a caller-owned IoStats. The target
+/// env and the stats object must outlive this wrapper and any file handles
+/// it produced.
+class IoStatsEnv final : public Env {
+ public:
+  IoStatsEnv(Env* target, IoStats* stats) : target_(target), stats_(stats) {}
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override {
+    return target_->FileExists(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return target_->DeleteFile(path);
+  }
+  StatusOr<uint64_t> GetFileSize(const std::string& path) override {
+    return target_->GetFileSize(path);
+  }
+
+ private:
+  Env* target_;
+  IoStats* stats_;
+};
+
+/// Convenience: writes a whole buffer to `path`, replacing any existing file.
+Status WriteFileBytes(Env* env, const std::string& path, const void* data,
+                      size_t size);
+
+/// Convenience: reads the whole file at `path`.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(Env* env, const std::string& path);
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_ENV_H_

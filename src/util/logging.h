@@ -1,0 +1,74 @@
+#ifndef QVT_UTIL_LOGGING_H_
+#define QVT_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qvt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; tests lower it, benches may raise it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by QVT_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define QVT_LOG(level)                                                     \
+  ::qvt::internal_logging::LogMessage(::qvt::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+/// Invariant check: logs expression + message and aborts when false.
+/// Used for programmer errors only; recoverable conditions return Status.
+#define QVT_CHECK(condition)                                            \
+  if (!(condition))                                                     \
+  ::qvt::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #condition " "
+
+#define QVT_CHECK_OK(expr)                                              \
+  if (::qvt::Status _qvt_check_s = (expr); !_qvt_check_s.ok())          \
+  ::qvt::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed (status): " << _qvt_check_s.ToString() << " "
+
+#define QVT_DCHECK(condition) QVT_CHECK(condition)
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_LOGGING_H_

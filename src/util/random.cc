@@ -1,0 +1,134 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  QVT_CHECK(n > 0) << "Uniform(0) is undefined";
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  QVT_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  if (span == 0) return static_cast<int64_t>(Next());
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::HeavyTail(double scale, int degrees_of_freedom) {
+  QVT_CHECK(degrees_of_freedom > 0);
+  double chi2 = 0.0;
+  for (int i = 0; i < degrees_of_freedom; ++i) {
+    const double g = NextGaussian();
+    chi2 += g * g;
+  }
+  const double denom = std::sqrt(chi2 / degrees_of_freedom);
+  return scale * NextGaussian() / (denom > 1e-12 ? denom : 1e-12);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  QVT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  QVT_CHECK(total > 0.0) << "Categorical weights must have positive sum";
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(Uniform(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  QVT_CHECK(k <= n);
+  // Floyd's algorithm would avoid the O(n) permutation, but collections here
+  // are small enough that clarity wins; sampling workloads uses k ~ 1000.
+  std::vector<uint32_t> perm = Permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+}  // namespace qvt

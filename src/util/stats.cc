@@ -1,0 +1,83 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+void SampleStats::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+double SampleStats::Sum() const {
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum;
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  QVT_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  QVT_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double v : samples_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Percentile(double p) const {
+  QVT_CHECK(!samples_.empty());
+  QVT_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+CountHistogram::CountHistogram(std::vector<uint64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  QVT_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void CountHistogram::Add(uint64_t value) {
+  const auto it =
+      std::upper_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - upper_bounds_.begin())];
+  ++total_;
+}
+
+uint64_t CountHistogram::bucket_upper_bound(size_t i) const {
+  QVT_CHECK(i < counts_.size());
+  if (i < upper_bounds_.size()) return upper_bounds_[i];
+  return std::numeric_limits<uint64_t>::max();
+}
+
+}  // namespace qvt

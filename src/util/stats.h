@@ -1,0 +1,55 @@
+#ifndef QVT_UTIL_STATS_H_
+#define QVT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qvt {
+
+/// Accumulates samples and answers simple summary queries. Used by the
+/// experiment runner to average metrics over 1,000-query workloads.
+class SampleStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+  /// Linear-interpolated percentile; p in [0, 100]. Requires count() > 0.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void EnsureSorted() const;
+};
+
+/// Fixed-bucket histogram over non-negative integers (e.g. chunk populations).
+class CountHistogram {
+ public:
+  /// Buckets are [bounds[0], bounds[1]), ..., plus a final overflow bucket.
+  explicit CountHistogram(std::vector<uint64_t> upper_bounds);
+
+  void Add(uint64_t value);
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Upper bound of bucket i; the last bucket reports UINT64_MAX.
+  uint64_t bucket_upper_bound(size_t i) const;
+  uint64_t total() const { return total_; }
+
+ private:
+  std::vector<uint64_t> upper_bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_STATS_H_

@@ -1,0 +1,89 @@
+#ifndef QVT_UTIL_STATUSOR_H_
+#define QVT_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace qvt {
+
+/// Holds either a value of type T or an error Status.
+///
+///   StatusOr<ChunkIndex> idx = ChunkIndex::Open(path);
+///   if (!idx.ok()) return idx.status();
+///   idx->Search(...);
+///
+/// Accessing the value of a non-OK StatusOr aborts the process (there are no
+/// exceptions in this codebase); always check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value; status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors; otherwise assigns the
+/// value to `lhs`.
+#define QVT_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  QVT_ASSIGN_OR_RETURN_IMPL_(                           \
+      QVT_STATUS_MACROS_CONCAT_(_qvt_statusor, __LINE__), lhs, rexpr)
+
+#define QVT_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define QVT_STATUS_MACROS_CONCAT_(x, y) QVT_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define QVT_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_STATUSOR_H_

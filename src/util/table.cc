@@ -1,0 +1,109 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace qvt {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  for (size_t i = 0; i < total; ++i) os << '-';
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+SeriesPrinter::SeriesPrinter(std::string x_label)
+    : x_label_(std::move(x_label)) {}
+
+size_t SeriesPrinter::AddSeries(const std::string& name) {
+  names_.push_back(name);
+  points_.emplace_back();
+  return names_.size() - 1;
+}
+
+void SeriesPrinter::AddPoint(size_t series_index, double x, double y) {
+  points_[series_index].emplace_back(x, y);
+}
+
+void SeriesPrinter::Print(std::ostream& os, int precision) const {
+  // Merge x values across series.
+  std::map<double, std::vector<double>> rows;  // x -> y per series (NaN = missing)
+  for (size_t s = 0; s < points_.size(); ++s) {
+    for (const auto& [x, y] : points_[s]) {
+      auto& row = rows[x];
+      row.resize(names_.size(), std::nan(""));
+      row[s] = y;
+    }
+  }
+  TablePrinter table([&] {
+    std::vector<std::string> headers{x_label_};
+    headers.insert(headers.end(), names_.begin(), names_.end());
+    return headers;
+  }());
+  for (const auto& [x, ys] : rows) {
+    std::vector<std::string> cells{TablePrinter::Num(x, precision)};
+    for (size_t s = 0; s < names_.size(); ++s) {
+      const double y = s < ys.size() ? ys[s] : std::nan("");
+      cells.push_back(std::isnan(y) ? "-" : TablePrinter::Num(y, precision));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(os);
+}
+
+}  // namespace qvt

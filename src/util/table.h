@@ -1,0 +1,64 @@
+#ifndef QVT_UTIL_TABLE_H_
+#define QVT_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qvt {
+
+/// Aligned-column text table used by the benchmark harnesses to print
+/// paper-style tables (e.g. Table 1 / Table 2 of the paper) and by
+/// EXPERIMENTS.md generation. Also serializes to CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the number of columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a numeric cell with `precision` decimal digits.
+  static std::string Num(double value, int precision = 2);
+
+  /// Writes the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A set of named y-series over a shared x-axis, used to print the paper's
+/// figures as data columns (x, series1, series2, ...). Missing points print
+/// as "-".
+class SeriesPrinter {
+ public:
+  /// `x_label` names the shared x axis.
+  explicit SeriesPrinter(std::string x_label);
+
+  /// Adds a named series; returns its index.
+  size_t AddSeries(const std::string& name);
+
+  /// Adds point (x, y) to series `series_index`. X values are merged across
+  /// series and printed sorted ascending.
+  void AddPoint(size_t series_index, double x, double y);
+
+  /// Writes one aligned row per distinct x value.
+  void Print(std::ostream& os, int precision = 3) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> names_;
+  // Parallel vectors of (x, y) per series.
+  std::vector<std::vector<std::pair<double, double>>> points_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_TABLE_H_

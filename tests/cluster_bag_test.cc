@@ -1,0 +1,192 @@
+#include "cluster/bag.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/chunker.h"
+#include "descriptor/generator.h"
+#include "geometry/sphere.h"
+#include "geometry/vec.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+/// Well-separated blobs: BAG must recover them without mixing.
+Collection Blobs(size_t num_blobs, size_t per_blob, uint64_t seed = 9) {
+  Collection c;
+  Rng rng(seed);
+  DescriptorId id = 0;
+  for (size_t blob = 0; blob < num_blobs; ++blob) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      std::vector<float> v(kDescriptorDim);
+      for (auto& x : v) {
+        x = static_cast<float>(blob * 200.0 + rng.Gaussian(0, 1.0));
+      }
+      c.Append(id++, v, static_cast<ImageId>(blob));
+    }
+  }
+  return c;
+}
+
+Collection SmallSynthetic(uint64_t seed = 4) {
+  GeneratorConfig config;
+  config.num_images = 40;
+  config.descriptors_per_image = 25;
+  config.num_modes = 8;
+  config.seed = seed;
+  return GenerateCollection(config);
+}
+
+TEST(BagTest, RecoversSeparatedBlobs) {
+  const Collection c = Blobs(5, 40);
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(5).ok());
+  EXPECT_LE(bag.NumClusters(), 5u);
+
+  const ChunkingResult result = bag.Snapshot();
+  ASSERT_TRUE(ValidateChunking(result, c.size()).ok());
+  // Every chunk must be pure (one blob) because blobs are far apart
+  // relative to their spread -- BAG merges within blobs long before radii
+  // inflate enough to bridge blobs.
+  for (const auto& chunk : result.chunks) {
+    const ImageId blob = c.Image(chunk[0]);
+    for (size_t pos : chunk) EXPECT_EQ(c.Image(pos), blob);
+  }
+}
+
+TEST(BagTest, SnapshotIsValidPartition) {
+  const Collection c = SmallSynthetic();
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(20).ok());
+  const ChunkingResult result = bag.Snapshot();
+  ASSERT_TRUE(ValidateChunking(result, c.size()).ok());
+  EXPECT_FALSE(result.chunks.empty());
+}
+
+TEST(BagTest, SuccessionMonotonicallyCoarsens) {
+  const Collection c = SmallSynthetic();
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(30).ok());
+  const size_t at_30 = bag.NumClusters();
+  const double avg_30 = bag.Snapshot().AverageChunkSize();
+  ASSERT_TRUE(bag.RunUntil(15).ok());
+  const size_t at_15 = bag.NumClusters();
+  const double avg_15 = bag.Snapshot().AverageChunkSize();
+  EXPECT_LE(at_15, at_30);
+  EXPECT_LE(at_15, 15u);
+  EXPECT_GE(avg_15, avg_30);
+}
+
+TEST(BagTest, SnapshotDoesNotDisturbState) {
+  const Collection c = SmallSynthetic();
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(25).ok());
+  const ChunkingResult a = bag.Snapshot();
+  const ChunkingResult b = bag.Snapshot();
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_EQ(a.outliers, b.outliers);
+}
+
+TEST(BagTest, GridMatchesBruteForce) {
+  // The grid acceleration must be semantically invisible: identical chunks,
+  // identical outliers, for several data shapes.
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Collection c = SmallSynthetic(seed);
+    BagConfig grid_config;
+    grid_config.use_grid_acceleration = true;
+    BagConfig brute_config;
+    brute_config.use_grid_acceleration = false;
+
+    BagClusterer grid(&c, grid_config);
+    BagClusterer brute(&c, brute_config);
+    ASSERT_TRUE(grid.RunUntil(20).ok());
+    ASSERT_TRUE(brute.RunUntil(20).ok());
+
+    const ChunkingResult from_grid = grid.Snapshot();
+    const ChunkingResult from_brute = brute.Snapshot();
+    EXPECT_EQ(from_grid.chunks, from_brute.chunks) << "seed " << seed;
+    EXPECT_EQ(from_grid.outliers, from_brute.outliers) << "seed " << seed;
+  }
+}
+
+TEST(BagTest, RareBundlesBecomeOutliers) {
+  GeneratorConfig gen;
+  gen.num_images = 80;
+  gen.descriptors_per_image = 25;
+  gen.num_modes = 8;
+  gen.outlier_fraction = 0.15;
+  gen.seed = 11;
+  const Collection c = GenerateCollection(gen);
+
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(15).ok());
+  const ChunkingResult result = bag.Snapshot();
+  // Some of the rare bundles must end up discarded.
+  EXPECT_GT(result.outliers.size(), 0u);
+  EXPECT_LT(result.outliers.size(), c.size() / 3);
+}
+
+TEST(BagTest, ChunksAreSpatiallyTight) {
+  const Collection c = Blobs(4, 50);
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(4).ok());
+  const ChunkingResult result = bag.Snapshot();
+  for (const auto& chunk : result.chunks) {
+    std::vector<std::span<const float>> pts;
+    for (size_t pos : chunk) pts.push_back(c.Vector(pos));
+    const Sphere sphere = CentroidBoundingSphere(pts, c.dim());
+    // Blob stddev is 1 per dim -> radius around sqrt(24)*~1.5.
+    EXPECT_LT(sphere.radius, 20.0);
+  }
+}
+
+TEST(BagTest, StatsArepopulated) {
+  const Collection c = Blobs(3, 30);
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(3).ok());
+  EXPECT_GT(bag.stats().passes, 0u);
+  EXPECT_GT(bag.stats().merges, 0u);
+  EXPECT_GT(bag.stats().partner_checks, bag.stats().merges);
+}
+
+TEST(BagTest, PassCapReturnsError) {
+  const Collection c = Blobs(4, 20);
+  BagConfig config;
+  config.max_passes = 1;
+  BagClusterer bag(&c, config);
+  // One pass cannot get to a single cluster.
+  EXPECT_TRUE(bag.RunUntil(1).IsFailedPrecondition());
+}
+
+TEST(BagTest, TargetAlreadyMetIsNoOp) {
+  const Collection c = Blobs(2, 10);
+  BagConfig config;
+  BagClusterer bag(&c, config);
+  ASSERT_TRUE(bag.RunUntil(c.size()).ok());  // already satisfied
+  EXPECT_EQ(bag.stats().passes, 0u);
+}
+
+TEST(BagChunkerTest, AdapterRunsEndToEnd) {
+  const Collection c = SmallSynthetic();
+  BagChunker chunker(20, BagConfig{});
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_EQ(chunker.name(), "BAG");
+}
+
+TEST(BagChunkerTest, RejectsEmptyCollection) {
+  Collection empty;
+  BagChunker chunker(5, BagConfig{});
+  EXPECT_TRUE(chunker.FormChunks(empty).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,158 @@
+#include "cluster/birch.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/bag.h"
+#include "descriptor/generator.h"
+#include "geometry/sphere.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection Blobs(size_t num_blobs, size_t per_blob, uint64_t seed = 13) {
+  Collection c;
+  Rng rng(seed);
+  DescriptorId id = 0;
+  for (size_t blob = 0; blob < num_blobs; ++blob) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      std::vector<float> v(kDescriptorDim);
+      for (auto& x : v) {
+        x = static_cast<float>(blob * 150.0 + rng.Gaussian(0, 1.0));
+      }
+      c.Append(id++, v, static_cast<ImageId>(blob));
+    }
+  }
+  return c;
+}
+
+Collection Synthetic(uint64_t seed = 6) {
+  GeneratorConfig config;
+  config.num_images = 60;
+  config.descriptors_per_image = 30;
+  config.num_modes = 10;
+  config.seed = seed;
+  return GenerateCollection(config);
+}
+
+TEST(BirchTest, PartitionIsValid) {
+  const Collection c = Synthetic();
+  BirchChunker chunker(BirchConfig{});
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_TRUE(result->outliers.empty());
+  EXPECT_EQ(chunker.name(), "BIRCH");
+  EXPECT_GT(chunker.stats().subclusters, 1u);
+  EXPECT_GT(chunker.stats().final_threshold, 0.0);
+}
+
+TEST(BirchTest, RecoversSeparatedBlobs) {
+  const Collection c = Blobs(4, 60);
+  BirchConfig config;
+  config.max_subclusters = 8;
+  BirchChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_LE(result->chunks.size(), 8u);
+  // Chunks must be pure: blob gaps (150) dwarf blob spread (~5), so no
+  // threshold that keeps the count within budget can mix blobs.
+  for (const auto& chunk : result->chunks) {
+    const ImageId blob = c.Image(chunk[0]);
+    for (size_t pos : chunk) EXPECT_EQ(c.Image(pos), blob);
+  }
+}
+
+TEST(BirchTest, SubclusterBudgetRespected) {
+  const Collection c = Synthetic();
+  for (size_t budget : {4u, 16u, 64u}) {
+    BirchConfig config;
+    config.max_subclusters = budget;
+    BirchChunker chunker(config);
+    auto result = chunker.FormChunks(c);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->chunks.size(), budget) << "budget " << budget;
+  }
+}
+
+TEST(BirchTest, SmallerBudgetMeansCoarserChunks) {
+  const Collection c = Synthetic();
+  BirchConfig fine;
+  fine.max_subclusters = 128;
+  BirchConfig coarse;
+  coarse.max_subclusters = 8;
+  BirchChunker fine_chunker(fine), coarse_chunker(coarse);
+  auto fine_result = fine_chunker.FormChunks(c);
+  auto coarse_result = coarse_chunker.FormChunks(c);
+  ASSERT_TRUE(fine_result.ok());
+  ASSERT_TRUE(coarse_result.ok());
+  EXPECT_GT(fine_result->chunks.size(), coarse_result->chunks.size());
+  EXPECT_LE(fine_chunker.stats().final_threshold,
+            coarse_chunker.stats().final_threshold);
+}
+
+TEST(BirchTest, ChunksAreSpatiallyTight) {
+  const Collection c = Blobs(5, 40);
+  BirchConfig config;
+  config.max_subclusters = 10;
+  BirchChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  for (const auto& chunk : result->chunks) {
+    std::vector<std::span<const float>> pts;
+    for (size_t pos : chunk) pts.push_back(c.Vector(pos));
+    EXPECT_LT(CentroidBoundingSphere(pts, c.dim()).radius, 20.0);
+  }
+}
+
+TEST(BirchTest, MuchFasterThanBag) {
+  // The point of the lineage: BIRCH phase 1 gets BAG-flavored chunks with
+  // insertion passes instead of O(C^2) merge passes.
+  const Collection c = Synthetic(8);
+  WallClock wall;
+
+  Stopwatch birch_watch(&wall);
+  BirchConfig birch_config;
+  birch_config.max_subclusters = 30;
+  BirchChunker birch(birch_config);
+  ASSERT_TRUE(birch.FormChunks(c).ok());
+  const double birch_seconds = birch_watch.ElapsedSeconds();
+
+  Stopwatch bag_watch(&wall);
+  BagChunker bag(30, BagConfig{});
+  ASSERT_TRUE(bag.FormChunks(c).ok());
+  const double bag_seconds = bag_watch.ElapsedSeconds();
+
+  EXPECT_LT(birch_seconds, bag_seconds);
+}
+
+TEST(BirchTest, SinglePointCollection) {
+  Collection c;
+  c.Append(0, std::vector<float>(kDescriptorDim, 1.0f));
+  BirchChunker chunker(BirchConfig{});
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->chunks.size(), 1u);
+  EXPECT_EQ(result->chunks[0].size(), 1u);
+}
+
+TEST(BirchTest, RejectsEmptyCollection) {
+  Collection empty;
+  BirchChunker chunker(BirchConfig{});
+  EXPECT_TRUE(chunker.FormChunks(empty).status().IsInvalidArgument());
+}
+
+TEST(BirchTest, DeterministicAcrossRuns) {
+  const Collection c = Synthetic(9);
+  BirchChunker a(BirchConfig{}), b(BirchConfig{});
+  auto ra = a.FormChunks(c);
+  auto rb = b.FormChunks(c);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->chunks, rb->chunks);
+}
+
+}  // namespace
+}  // namespace qvt

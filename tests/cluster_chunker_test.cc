@@ -1,0 +1,128 @@
+#include "cluster/chunker.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/round_robin.h"
+#include "cluster/srtree_chunker.h"
+#include "descriptor/generator.h"
+#include "geometry/sphere.h"
+
+namespace qvt {
+namespace {
+
+Collection TestCollection(size_t images = 30) {
+  GeneratorConfig config;
+  config.num_images = images;
+  config.descriptors_per_image = 30;
+  config.num_modes = 6;
+  config.seed = 3;
+  return GenerateCollection(config);
+}
+
+TEST(ValidateChunkingTest, AcceptsProperPartition) {
+  ChunkingResult result;
+  result.chunks = {{0, 2}, {3}};
+  result.outliers = {1};
+  EXPECT_TRUE(ValidateChunking(result, 4).ok());
+}
+
+TEST(ValidateChunkingTest, RejectsDuplicates) {
+  ChunkingResult result;
+  result.chunks = {{0, 1}, {1}};
+  EXPECT_TRUE(ValidateChunking(result, 2).IsCorruption());
+}
+
+TEST(ValidateChunkingTest, RejectsMissingPositions) {
+  ChunkingResult result;
+  result.chunks = {{0}};
+  EXPECT_TRUE(ValidateChunking(result, 2).IsCorruption());
+}
+
+TEST(ValidateChunkingTest, RejectsOutOfRange) {
+  ChunkingResult result;
+  result.chunks = {{0, 5}};
+  EXPECT_TRUE(ValidateChunking(result, 2).IsCorruption());
+}
+
+TEST(ValidateChunkingTest, RejectsEmptyChunks) {
+  ChunkingResult result;
+  result.chunks = {{0}, {}};
+  result.outliers = {1};
+  EXPECT_TRUE(ValidateChunking(result, 2).IsCorruption());
+}
+
+TEST(ChunkingResultTest, Accounting) {
+  ChunkingResult result;
+  result.chunks = {{0, 1, 2}, {3, 4}};
+  result.outliers = {5};
+  EXPECT_EQ(result.TotalChunkedDescriptors(), 5u);
+  EXPECT_DOUBLE_EQ(result.AverageChunkSize(), 2.5);
+  EXPECT_DOUBLE_EQ(ChunkingResult{}.AverageChunkSize(), 0.0);
+}
+
+TEST(RoundRobinChunkerTest, UniformSizesAndValidPartition) {
+  const Collection c = TestCollection();
+  RoundRobinChunker chunker(100);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_TRUE(result->outliers.empty());
+
+  size_t min = SIZE_MAX, max = 0;
+  for (const auto& chunk : result->chunks) {
+    min = std::min(min, chunk.size());
+    max = std::max(max, chunk.size());
+  }
+  EXPECT_LE(max - min, 1u);  // perfectly uniform up to remainder
+  EXPECT_EQ(result->chunks.size(), (c.size() + 99) / 100);
+}
+
+TEST(RoundRobinChunkerTest, RejectsEmptyCollection) {
+  Collection empty;
+  RoundRobinChunker chunker(10);
+  EXPECT_TRUE(chunker.FormChunks(empty).status().IsInvalidArgument());
+}
+
+TEST(SrTreeChunkerTest, ProducesValidUniformChunks) {
+  const Collection c = TestCollection(60);
+  SrTreeChunker chunker(120);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_TRUE(result->outliers.empty());
+  EXPECT_EQ(chunker.name(), "SR");
+
+  size_t min = SIZE_MAX, max = 0;
+  for (const auto& chunk : result->chunks) {
+    min = std::min(min, chunk.size());
+    max = std::max(max, chunk.size());
+  }
+  EXPECT_LE(max, 120u);
+  EXPECT_GE(min, 55u);  // > capacity/2
+}
+
+TEST(SrTreeChunkerTest, ChunksAreSpatiallyCoherent) {
+  // SR chunks should have much lower intra-chunk spread than round-robin
+  // chunks of the same size.
+  const Collection c = TestCollection(60);
+  SrTreeChunker sr(100);
+  RoundRobinChunker rr(100);
+  auto sr_result = sr.FormChunks(c);
+  auto rr_result = rr.FormChunks(c);
+  ASSERT_TRUE(sr_result.ok());
+  ASSERT_TRUE(rr_result.ok());
+
+  auto mean_radius = [&](const ChunkingResult& chunking) {
+    double total = 0;
+    for (const auto& chunk : chunking.chunks) {
+      std::vector<std::span<const float>> points;
+      for (size_t pos : chunk) points.push_back(c.Vector(pos));
+      total += CentroidBoundingSphere(points, c.dim()).radius;
+    }
+    return total / static_cast<double>(chunking.chunks.size());
+  };
+  EXPECT_LT(mean_radius(*sr_result), 0.8 * mean_radius(*rr_result));
+}
+
+}  // namespace
+}  // namespace qvt

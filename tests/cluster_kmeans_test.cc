@@ -1,0 +1,143 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/chunker.h"
+#include "descriptor/generator.h"
+#include "geometry/vec.h"
+
+namespace qvt {
+namespace {
+
+/// Four well-separated 24-d blobs of 50 points each.
+Collection FourBlobs() {
+  Collection c;
+  Rng rng(77);
+  const float centers[4] = {0.0f, 100.0f, 200.0f, 300.0f};
+  DescriptorId id = 0;
+  for (int blob = 0; blob < 4; ++blob) {
+    for (int i = 0; i < 50; ++i) {
+      std::vector<float> v(kDescriptorDim);
+      for (auto& x : v) {
+        x = centers[blob] + static_cast<float>(rng.Gaussian(0, 1.0));
+      }
+      c.Append(id++, v, blob);
+    }
+  }
+  return c;
+}
+
+TEST(KMeansTest, PartitionIsValid) {
+  const Collection c = FourBlobs();
+  KMeansConfig config;
+  config.num_clusters = 4;
+  KMeansChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_TRUE(result->outliers.empty());
+  EXPECT_EQ(chunker.name(), "KM");
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const Collection c = FourBlobs();
+  KMeansConfig config;
+  config.num_clusters = 4;
+  KMeansChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->chunks.size(), 4u);
+  // Every chunk should be pure: all members from one source blob.
+  for (const auto& chunk : result->chunks) {
+    EXPECT_EQ(chunk.size(), 50u);
+    const ImageId blob = c.Image(chunk[0]);
+    for (size_t pos : chunk) EXPECT_EQ(c.Image(pos), blob);
+  }
+}
+
+TEST(KMeansTest, MoreClustersThanPointsClamps) {
+  Collection c;
+  for (int i = 0; i < 3; ++i) {
+    c.Append(i, std::vector<float>(kDescriptorDim, static_cast<float>(i)));
+  }
+  KMeansConfig config;
+  config.num_clusters = 10;
+  KMeansChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+  EXPECT_LE(result->chunks.size(), 3u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const Collection c = FourBlobs();
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.seed = 5;
+  KMeansChunker a(config), b(config);
+  auto ra = a.FormChunks(c);
+  auto rb = b.FormChunks(c);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->chunks, rb->chunks);
+}
+
+TEST(KMeansTest, RandomInitAlsoWorks) {
+  const Collection c = FourBlobs();
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.plus_plus_init = false;
+  KMeansChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ValidateChunking(*result, c.size()).ok());
+}
+
+TEST(KMeansTest, ConvergesEarlyOnEasyData) {
+  const Collection c = FourBlobs();
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.max_iterations = 50;
+  KMeansChunker chunker(config);
+  ASSERT_TRUE(chunker.FormChunks(c).ok());
+  EXPECT_LT(chunker.last_iterations(), 50u);
+}
+
+TEST(KMeansTest, RejectsEmptyCollection) {
+  Collection empty;
+  KMeansChunker chunker(KMeansConfig{});
+  EXPECT_TRUE(chunker.FormChunks(empty).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, LowerVarianceThanRoundRobinAssignment) {
+  GeneratorConfig gen;
+  gen.num_images = 40;
+  gen.descriptors_per_image = 25;
+  gen.num_modes = 8;
+  const Collection c = GenerateCollection(gen);
+
+  KMeansConfig config;
+  config.num_clusters = 8;
+  KMeansChunker chunker(config);
+  auto result = chunker.FormChunks(c);
+  ASSERT_TRUE(result.ok());
+
+  // Within-cluster sum of squares must beat a random assignment of the same
+  // cluster count.
+  auto wcss = [&](const std::vector<std::vector<size_t>>& chunks) {
+    double total = 0;
+    for (const auto& chunk : chunks) {
+      std::vector<std::span<const float>> pts;
+      for (size_t pos : chunk) pts.push_back(c.Vector(pos));
+      const auto mean = vec::Mean(pts, c.dim());
+      for (const auto& p : pts) total += vec::SquaredDistance(mean, p);
+    }
+    return total;
+  };
+  std::vector<std::vector<size_t>> random_chunks(8);
+  for (size_t i = 0; i < c.size(); ++i) random_chunks[i % 8].push_back(i);
+  EXPECT_LT(wcss(result->chunks), 0.5 * wcss(random_chunks));
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,72 @@
+#include "cluster/outlier.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/vec.h"
+
+namespace qvt {
+namespace {
+
+Collection LineCollection() {
+  // Points at distance 0..9 from the origin along dim 0; centroid at 4.5.
+  Collection c(kDescriptorDim);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<float> v(kDescriptorDim, 0.0f);
+    v[0] = static_cast<float>(i);
+    c.Append(static_cast<DescriptorId>(i), v);
+  }
+  return c;
+}
+
+TEST(OutlierTest, CentroidDistanceSplit) {
+  const Collection c = LineCollection();
+  // Centroid is at 4.5 along dim 0; distance ranges 0.5..4.5.
+  const OutlierSplit split = SplitByCentroidDistance(c, 3.0);
+  // |i - 4.5| > 3 -> i in {0, 1, 8, 9}.
+  EXPECT_EQ(split.outliers.size(), 4u);
+  EXPECT_EQ(split.retained.size(), 6u);
+}
+
+TEST(OutlierTest, ThresholdAboveAllKeepsEverything) {
+  const Collection c = LineCollection();
+  const OutlierSplit split = SplitByCentroidDistance(c, 100.0);
+  EXPECT_TRUE(split.outliers.empty());
+  EXPECT_EQ(split.retained.size(), c.size());
+}
+
+TEST(OutlierTest, FractionTargeting) {
+  const Collection c = LineCollection();
+  double threshold = 0.0;
+  const OutlierSplit split =
+      SplitByCentroidDistanceFraction(c, 0.2, &threshold);
+  EXPECT_EQ(split.outliers.size(), 2u);
+  EXPECT_EQ(split.retained.size(), 8u);
+  EXPECT_GT(threshold, 0.0);
+}
+
+TEST(OutlierTest, FractionZeroKeepsAll) {
+  const Collection c = LineCollection();
+  const OutlierSplit split = SplitByCentroidDistanceFraction(c, 0.0);
+  EXPECT_TRUE(split.outliers.empty());
+}
+
+TEST(OutlierTest, SplitByNormUsesRawLength) {
+  const Collection c = LineCollection();
+  // Norm of point i is exactly i.
+  const OutlierSplit split = SplitByNorm(c, 6.5);
+  EXPECT_EQ(split.outliers.size(), 3u);  // 7, 8, 9
+  for (size_t pos : split.outliers) {
+    EXPECT_GT(vec::Norm(c.Vector(pos)), 6.5);
+  }
+}
+
+TEST(OutlierTest, SplitsArePartitions) {
+  const Collection c = LineCollection();
+  for (double threshold : {0.0, 2.0, 5.0}) {
+    const OutlierSplit split = SplitByCentroidDistance(c, threshold);
+    EXPECT_EQ(split.retained.size() + split.outliers.size(), c.size());
+  }
+}
+
+}  // namespace
+}  // namespace qvt

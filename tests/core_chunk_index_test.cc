@@ -1,0 +1,138 @@
+#include "core/chunk_index.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/round_robin.h"
+#include "cluster/srtree_chunker.h"
+#include "descriptor/generator.h"
+#include "geometry/vec.h"
+
+namespace qvt {
+namespace {
+
+Collection TestCollection(size_t images = 30) {
+  GeneratorConfig config;
+  config.num_images = images;
+  config.descriptors_per_image = 25;
+  config.num_modes = 6;
+  config.seed = 8;
+  return GenerateCollection(config);
+}
+
+TEST(ChunkIndexTest, BuildAndValidate) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  SrTreeChunker chunker(100);
+  auto chunking = chunker.FormChunks(c);
+  ASSERT_TRUE(chunking.ok());
+
+  auto index = ChunkIndex::Build(c, *chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_chunks(), chunking->chunks.size());
+  EXPECT_EQ(index->total_descriptors(), c.size());
+  EXPECT_TRUE(index->Validate().ok());
+}
+
+TEST(ChunkIndexTest, OpenMatchesBuild) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  RoundRobinChunker chunker(64);
+  auto chunking = chunker.FormChunks(c);
+  ASSERT_TRUE(chunking.ok());
+  const ChunkIndexPaths paths = ChunkIndexPaths::ForBase("idx");
+  auto built = ChunkIndex::Build(c, *chunking, &env, paths);
+  ASSERT_TRUE(built.ok());
+
+  auto opened = ChunkIndex::Open(&env, paths);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened->num_chunks(), built->num_chunks());
+  for (size_t i = 0; i < opened->num_chunks(); ++i) {
+    EXPECT_EQ(opened->entry(i).location, built->entry(i).location);
+    EXPECT_DOUBLE_EQ(opened->entry(i).bounds.radius,
+                     built->entry(i).bounds.radius);
+  }
+  EXPECT_TRUE(opened->Validate().ok());
+}
+
+TEST(ChunkIndexTest, OutliersAreExcluded) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  ChunkingResult chunking;
+  chunking.chunks = {{0, 1, 2}, {3, 4}};
+  for (size_t i = 5; i < c.size(); ++i) chunking.outliers.push_back(i);
+
+  auto index = ChunkIndex::Build(c, chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->total_descriptors(), 5u);
+  EXPECT_EQ(index->num_chunks(), 2u);
+}
+
+TEST(ChunkIndexTest, EntriesHaveExactMinimumBoundingRadius) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  SrTreeChunker chunker(50);
+  auto chunking = chunker.FormChunks(c);
+  ASSERT_TRUE(chunking.ok());
+  auto index = ChunkIndex::Build(c, *chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+
+  ChunkData chunk;
+  for (size_t i = 0; i < index->num_chunks(); ++i) {
+    ASSERT_TRUE(index->ReadChunk(i, &chunk).ok());
+    double max_dist = 0;
+    for (size_t d = 0; d < chunk.size(); ++d) {
+      max_dist = std::max(
+          max_dist, vec::Distance(index->entry(i).bounds.center,
+                                  chunk.Vector(d)));
+    }
+    // Radius is tight: equals the farthest member distance.
+    EXPECT_NEAR(index->entry(i).bounds.radius, max_dist, 1e-4);
+  }
+}
+
+TEST(ChunkIndexTest, ReadChunkOutOfRange) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  RoundRobinChunker chunker(1000);
+  auto chunking = chunker.FormChunks(c);
+  ASSERT_TRUE(chunking.ok());
+  auto index = ChunkIndex::Build(c, *chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+  ChunkData chunk;
+  EXPECT_TRUE(index->ReadChunk(index->num_chunks(), &chunk).IsOutOfRange());
+}
+
+TEST(ChunkIndexTest, EmptyChunkingRejected) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  ChunkingResult chunking;
+  EXPECT_TRUE(ChunkIndex::Build(c, chunking, &env,
+                                ChunkIndexPaths::ForBase("idx"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ChunkIndexTest, MaxChunkDescriptors) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  ChunkingResult chunking;
+  chunking.chunks = {{0}, {1, 2, 3}, {4, 5}};
+  for (size_t i = 6; i < c.size(); ++i) chunking.outliers.push_back(i);
+  auto index = ChunkIndex::Build(c, chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->max_chunk_descriptors(), 3u);
+}
+
+TEST(ChunkIndexPathsTest, ForBaseAppendsSuffixes) {
+  const ChunkIndexPaths paths = ChunkIndexPaths::ForBase("/tmp/foo");
+  EXPECT_EQ(paths.chunk_file, "/tmp/foo.chunks");
+  EXPECT_EQ(paths.index_file, "/tmp/foo.index");
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,116 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "descriptor/workload.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+TEST(TruthSetTest, MembershipAndCounting) {
+  std::vector<DescriptorId> ids = {1, 2, 3};
+  TruthSet truth(ids);
+  EXPECT_EQ(truth.size(), 3u);
+  EXPECT_TRUE(truth.Contains(2));
+  EXPECT_FALSE(truth.Contains(9));
+
+  std::vector<Neighbor> candidates = {{2, 0.1}, {9, 0.2}, {1, 0.3}};
+  EXPECT_EQ(truth.CountFound(candidates), 2u);
+}
+
+TEST(PrecisionTest, PerfectAndEmpty) {
+  std::vector<DescriptorId> truth = {5, 6, 7};
+  std::vector<Neighbor> perfect = {{5, 0.0}, {6, 0.1}, {7, 0.2}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(perfect, truth, 3), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, truth, 3), 0.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  std::vector<DescriptorId> truth = {1, 2, 3, 4};
+  std::vector<Neighbor> result = {{1, 0.0}, {9, 0.1}, {3, 0.2}, {8, 0.3}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(result, truth, 4), 0.5);
+}
+
+TEST(PrecisionTest, TruncatesBothSidesToK) {
+  std::vector<DescriptorId> truth = {1, 2, 3, 4, 5};
+  std::vector<Neighbor> result = {{1, 0.0}, {2, 0.1}, {9, 0.2}};
+  // k = 2: only first two of each side considered.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(result, truth, 2), 1.0);
+  // k = 3: hits {1,2}, miss {9}.
+  EXPECT_NEAR(PrecisionAtK(result, truth, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExactScanTest, FindsSelfAsNearest) {
+  GeneratorConfig gen;
+  gen.num_images = 20;
+  gen.descriptors_per_image = 20;
+  gen.num_modes = 4;
+  const Collection c = GenerateCollection(gen);
+  const auto nn = ExactScan(c, c.Vector(17), 5);
+  ASSERT_EQ(nn.size(), 5u);
+  EXPECT_EQ(nn[0].id, c.Id(17));
+  EXPECT_DOUBLE_EQ(nn[0].distance, 0.0);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_GE(nn[i].distance, nn[i - 1].distance);
+  }
+}
+
+TEST(GroundTruthTest, ComputeMatchesExactScan) {
+  GeneratorConfig gen;
+  gen.num_images = 20;
+  gen.descriptors_per_image = 20;
+  gen.num_modes = 4;
+  const Collection c = GenerateCollection(gen);
+  Rng rng(1);
+  const Workload dq = MakeDatasetQueries(c, 10, &rng);
+  const GroundTruth truth = GroundTruth::Compute(c, dq, 7);
+
+  EXPECT_EQ(truth.k(), 7u);
+  EXPECT_EQ(truth.num_queries(), 10u);
+  for (size_t q = 0; q < 10; ++q) {
+    const auto expected = ExactScan(c, dq.Query(q), 7);
+    const auto ids = truth.TruthFor(q);
+    for (size_t i = 0; i < 7; ++i) EXPECT_EQ(ids[i], expected[i].id);
+  }
+}
+
+TEST(GroundTruthTest, SaveLoadRoundTrip) {
+  GeneratorConfig gen;
+  gen.num_images = 15;
+  gen.descriptors_per_image = 15;
+  gen.num_modes = 3;
+  const Collection c = GenerateCollection(gen);
+  Rng rng(2);
+  const Workload dq = MakeDatasetQueries(c, 5, &rng);
+  const GroundTruth truth = GroundTruth::Compute(c, dq, 4);
+
+  MemEnv env;
+  ASSERT_TRUE(truth.Save(&env, "truth").ok());
+  auto loaded = GroundTruth::Load(&env, "truth");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->k(), 4u);
+  EXPECT_EQ(loaded->num_queries(), 5u);
+  for (size_t q = 0; q < 5; ++q) {
+    const auto a = truth.TruthFor(q);
+    const auto b = loaded->TruthFor(q);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(GroundTruthTest, LoadRejectsGarbage) {
+  MemEnv env;
+  std::vector<uint8_t> tiny(4, 0);
+  ASSERT_TRUE(WriteFileBytes(&env, "bad", tiny.data(), tiny.size()).ok());
+  EXPECT_TRUE(GroundTruth::Load(&env, "bad").status().IsCorruption());
+
+  // Valid header but truncated payload.
+  uint64_t header[2] = {30, 100};
+  ASSERT_TRUE(WriteFileBytes(&env, "bad2", header, sizeof(header)).ok());
+  EXPECT_TRUE(GroundTruth::Load(&env, "bad2").status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace qvt

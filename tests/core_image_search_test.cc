@@ -1,0 +1,173 @@
+#include "core/image_search.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/srtree_chunker.h"
+#include "core/chunk_index.h"
+#include "descriptor/generator.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+struct Fixture {
+  MemEnv env;
+  Collection collection;
+  std::optional<ChunkIndex> index;
+  std::optional<Searcher> searcher;
+  std::vector<ImageId> image_of;
+
+  Fixture() {
+    GeneratorConfig generator;
+    generator.num_images = 60;
+    generator.descriptors_per_image = 40;
+    generator.num_modes = 10;
+    generator.seed = 77;
+    collection = GenerateCollection(generator);
+
+    image_of.resize(collection.size());
+    for (size_t i = 0; i < collection.size(); ++i) {
+      image_of[collection.Id(i)] = collection.Image(i);
+    }
+
+    SrTreeChunker chunker(300);
+    auto chunking = chunker.FormChunks(collection);
+    QVT_CHECK(chunking.ok());
+    auto built = ChunkIndex::Build(collection, *chunking, &env,
+                                   ChunkIndexPaths::ForBase("idx"));
+    QVT_CHECK(built.ok());
+    index.emplace(std::move(built).value());
+    searcher.emplace(&*index, DiskCostModel());
+  }
+
+  /// All descriptors of `image`, flat, optionally with noise.
+  std::vector<float> ImageDescriptors(ImageId image, double noise,
+                                      Rng* rng) const {
+    std::vector<float> out;
+    for (size_t i = 0; i < collection.size(); ++i) {
+      if (collection.Image(i) != image) continue;
+      for (float x : collection.Vector(i)) {
+        out.push_back(noise > 0
+                          ? static_cast<float>(x + rng->Gaussian(0, noise))
+                          : x);
+      }
+    }
+    return out;
+  }
+};
+
+TEST(ImageSearchTest, IdentifiesExactSourceImage) {
+  Fixture fx;
+  Rng rng(1);
+  const std::vector<float> query = fx.ImageDescriptors(17, 0.0, &rng);
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+
+  auto matches = image_search.Search(query, fx.collection.dim(),
+                                     ImageSearchOptions{});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ(matches->front().image, 17u);
+  // The source image must dominate the runner-up.
+  if (matches->size() > 1) {
+    EXPECT_GT(matches->front().score, 2.0 * (*matches)[1].score);
+  }
+}
+
+TEST(ImageSearchTest, IdentifiesNoisySourceImage) {
+  Fixture fx;
+  Rng rng(2);
+  const std::vector<float> query = fx.ImageDescriptors(33, 0.4, &rng);
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+  auto matches = image_search.Search(query, fx.collection.dim(),
+                                     ImageSearchOptions{});
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ(matches->front().image, 33u);
+}
+
+TEST(ImageSearchTest, VotingSchemesAllIdentify) {
+  Fixture fx;
+  Rng rng(3);
+  const std::vector<float> query = fx.ImageDescriptors(5, 0.2, &rng);
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+  for (VotingScheme scheme :
+       {VotingScheme::kCount, VotingScheme::kDistanceWeighted,
+        VotingScheme::kRankWeighted}) {
+    ImageSearchOptions options;
+    options.voting = scheme;
+    auto matches = image_search.Search(query, fx.collection.dim(), options);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ(matches->front().image, 5u);
+  }
+}
+
+TEST(ImageSearchTest, StatsAccumulate) {
+  Fixture fx;
+  Rng rng(4);
+  const std::vector<float> query = fx.ImageDescriptors(8, 0.0, &rng);
+  const size_t num_descriptors = query.size() / fx.collection.dim();
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+
+  ImageSearchOptions options;
+  options.stop = StopRule::MaxChunks(2);
+  ImageSearchStats stats;
+  auto matches =
+      image_search.Search(query, fx.collection.dim(), options, &stats);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(stats.descriptor_queries, num_descriptors);
+  EXPECT_LE(stats.chunks_read, 2 * num_descriptors);
+  EXPECT_GT(stats.chunks_read, 0u);
+  EXPECT_GT(stats.model_elapsed_micros, 0);
+}
+
+TEST(ImageSearchTest, MaxResultsTruncates) {
+  Fixture fx;
+  Rng rng(5);
+  const std::vector<float> query = fx.ImageDescriptors(9, 0.0, &rng);
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+  ImageSearchOptions options;
+  options.max_results = 3;
+  auto matches = image_search.Search(query, fx.collection.dim(), options);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_LE(matches->size(), 3u);
+}
+
+TEST(ImageSearchTest, ScoresSortedDescending) {
+  Fixture fx;
+  Rng rng(6);
+  const std::vector<float> query = fx.ImageDescriptors(11, 0.5, &rng);
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+  ImageSearchOptions options;
+  options.max_results = 0;
+  auto matches = image_search.Search(query, fx.collection.dim(), options);
+  ASSERT_TRUE(matches.ok());
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_GE((*matches)[i - 1].score, (*matches)[i].score);
+  }
+}
+
+TEST(ImageSearchTest, InvalidInputsRejected) {
+  Fixture fx;
+  ImageSearcher image_search(&*fx.searcher, fx.image_of);
+  std::vector<float> not_multiple(fx.collection.dim() + 1, 0.0f);
+  EXPECT_TRUE(image_search
+                  .Search(not_multiple, fx.collection.dim(),
+                          ImageSearchOptions{})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(image_search.Search({}, fx.collection.dim(),
+                                  ImageSearchOptions{})
+                  .status()
+                  .IsInvalidArgument());
+  ImageSearchOptions zero_k;
+  zero_k.k_per_descriptor = 0;
+  std::vector<float> one(fx.collection.dim(), 0.0f);
+  EXPECT_TRUE(image_search.Search(one, fx.collection.dim(), zero_k)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace qvt

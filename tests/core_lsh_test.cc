@@ -1,0 +1,151 @@
+#include "core/lsh.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection Synthetic(uint64_t seed = 23) {
+  GeneratorConfig config;
+  config.num_images = 50;
+  config.descriptors_per_image = 30;
+  config.num_modes = 8;
+  config.seed = seed;
+  return GenerateCollection(config);
+}
+
+TEST(LshTest, SelfQueryFindsSelf) {
+  const Collection c = Synthetic();
+  const LshIndex index = LshIndex::Build(&c, LshConfig{});
+  for (size_t pos : {0u, 77u, 700u}) {
+    auto result = index.Search(c.Vector(pos), 5);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->empty());
+    // The query point collides with itself in every table.
+    EXPECT_EQ(result->front().id, c.Id(pos));
+    EXPECT_DOUBLE_EQ(result->front().distance, 0.0);
+  }
+}
+
+TEST(LshTest, ReasonableRecallOnClusteredData) {
+  const Collection c = Synthetic();
+  LshConfig config;
+  config.num_tables = 16;
+  config.hashes_per_table = 6;
+  const LshIndex index = LshIndex::Build(&c, config);
+
+  Rng rng(9);
+  const size_t k = 10;
+  double recall = 0.0;
+  const size_t trials = 20;
+  for (size_t t = 0; t < trials; ++t) {
+    const size_t pos = rng.Uniform(c.size());
+    auto approx = index.Search(c.Vector(pos), k);
+    ASSERT_TRUE(approx.ok());
+    const auto exact = ExactScan(c, c.Vector(pos), k);
+    for (const Neighbor& a : *approx) {
+      for (const Neighbor& e : exact) {
+        if (a.id == e.id) {
+          recall += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(recall / (trials * k), 0.4);
+}
+
+TEST(LshTest, CandidateSetIsSubLinear) {
+  const Collection c = Synthetic();
+  LshConfig config;
+  config.num_tables = 8;
+  config.hashes_per_table = 10;  // selective buckets
+  const LshIndex index = LshIndex::Build(&c, config);
+  LshStats stats;
+  auto result = index.Search(c.Vector(3), 10, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.buckets_probed, 8u);
+  EXPECT_LT(stats.distance_computations, c.size() / 2);
+  EXPECT_GT(stats.distance_computations, 0u);
+}
+
+TEST(LshTest, MoreTablesImproveRecall) {
+  const Collection c = Synthetic(29);
+  LshConfig few;
+  few.num_tables = 2;
+  LshConfig many;
+  many.num_tables = 24;
+  const LshIndex few_index = LshIndex::Build(&c, few);
+  const LshIndex many_index = LshIndex::Build(&c, many);
+
+  Rng rng(11);
+  const size_t k = 10;
+  double few_recall = 0, many_recall = 0;
+  for (size_t t = 0; t < 15; ++t) {
+    const size_t pos = rng.Uniform(c.size());
+    const auto exact = ExactScan(c, c.Vector(pos), k);
+    for (auto [index, recall] :
+         {std::make_pair(&few_index, &few_recall),
+          std::make_pair(&many_index, &many_recall)}) {
+      auto approx = index->Search(c.Vector(pos), k);
+      ASSERT_TRUE(approx.ok());
+      for (const Neighbor& a : *approx) {
+        for (const Neighbor& e : exact) {
+          if (a.id == e.id) {
+            *recall += 1.0;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(many_recall, few_recall);
+}
+
+TEST(LshTest, ResultsSortedAndDeduplicated) {
+  const Collection c = Synthetic();
+  const LshIndex index = LshIndex::Build(&c, LshConfig{});
+  auto result = index.Search(c.Vector(50), 20);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_GE((*result)[i].distance, (*result)[i - 1].distance);
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NE((*result)[i].id, (*result)[j].id);
+    }
+  }
+}
+
+TEST(LshTest, DataDrivenBucketWidthIsPositive) {
+  const Collection c = Synthetic();
+  const LshIndex index = LshIndex::Build(&c, LshConfig{});
+  EXPECT_GT(index.bucket_width(), 0.0);
+}
+
+TEST(LshTest, InvalidArgumentsRejected) {
+  const Collection c = Synthetic();
+  const LshIndex index = LshIndex::Build(&c, LshConfig{});
+  EXPECT_TRUE(index.Search(c.Vector(0), 0).status().IsInvalidArgument());
+  std::vector<float> wrong(2, 0.0f);
+  EXPECT_TRUE(index.Search(wrong, 5).status().IsInvalidArgument());
+}
+
+TEST(LshTest, DeterministicForSeed) {
+  const Collection c = Synthetic();
+  const LshIndex a = LshIndex::Build(&c, LshConfig{});
+  const LshIndex b = LshIndex::Build(&c, LshConfig{});
+  auto ra = a.Search(c.Vector(1), 10);
+  auto rb = b.Search(c.Vector(1), 10);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace qvt

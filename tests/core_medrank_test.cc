@@ -1,0 +1,156 @@
+#include "core/medrank.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection Synthetic(uint64_t seed = 15) {
+  GeneratorConfig config;
+  config.num_images = 50;
+  config.descriptors_per_image = 30;
+  config.num_modes = 8;
+  config.seed = seed;
+  return GenerateCollection(config);
+}
+
+TEST(MedrankTest, ReturnsRequestedCount) {
+  const Collection c = Synthetic();
+  const MedrankIndex index = MedrankIndex::Build(&c, MedrankConfig{});
+  auto result = index.Search(c.Vector(10), 15);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 15u);
+}
+
+TEST(MedrankTest, SelfQueryEmitsSelfFirst) {
+  const Collection c = Synthetic();
+  const MedrankIndex index = MedrankIndex::Build(&c, MedrankConfig{});
+  // The query point itself has rank 0 on every line, so it must be the
+  // first to reach the median count.
+  for (size_t pos : {0u, 100u, 500u}) {
+    auto result = index.Search(c.Vector(pos), 3);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->empty());
+    EXPECT_EQ(result->front().id, c.Id(pos));
+    EXPECT_DOUBLE_EQ(result->front().distance, 0.0);
+  }
+}
+
+TEST(MedrankTest, HighRecallOnClusteredData) {
+  const Collection c = Synthetic();
+  MedrankConfig config;
+  config.num_lines = 24;
+  const MedrankIndex index = MedrankIndex::Build(&c, config);
+
+  Rng rng(3);
+  double recall_sum = 0.0;
+  const size_t k = 10;
+  const size_t trials = 20;
+  for (size_t t = 0; t < trials; ++t) {
+    const size_t pos = rng.Uniform(c.size());
+    auto approx = index.Search(c.Vector(pos), k);
+    ASSERT_TRUE(approx.ok());
+    const auto exact = ExactScan(c, c.Vector(pos), k);
+    size_t hits = 0;
+    for (const Neighbor& a : *approx) {
+      for (const Neighbor& e : exact) {
+        if (a.id == e.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+  }
+  // Medrank is approximate; on well-clustered data with 24 lines it should
+  // recover well over half of the true neighbors.
+  EXPECT_GT(recall_sum / static_cast<double>(trials), 0.5);
+}
+
+TEST(MedrankTest, MoreLinesImproveRecall) {
+  const Collection c = Synthetic(16);
+  MedrankConfig few;
+  few.num_lines = 4;
+  MedrankConfig many;
+  many.num_lines = 32;
+  const MedrankIndex few_index = MedrankIndex::Build(&c, few);
+  const MedrankIndex many_index = MedrankIndex::Build(&c, many);
+
+  Rng rng(5);
+  const size_t k = 10;
+  double few_recall = 0.0, many_recall = 0.0;
+  for (size_t t = 0; t < 20; ++t) {
+    const size_t pos = rng.Uniform(c.size());
+    const auto exact = ExactScan(c, c.Vector(pos), k);
+    for (auto [index, recall] :
+         {std::make_pair(&few_index, &few_recall),
+          std::make_pair(&many_index, &many_recall)}) {
+      auto approx = index->Search(c.Vector(pos), k);
+      ASSERT_TRUE(approx.ok());
+      for (const Neighbor& a : *approx) {
+        for (const Neighbor& e : exact) {
+          if (a.id == e.id) {
+            *recall += 1.0;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(many_recall, few_recall);
+}
+
+TEST(MedrankTest, StatsCountSortedAccesses) {
+  const Collection c = Synthetic();
+  const MedrankIndex index = MedrankIndex::Build(&c, MedrankConfig{});
+  MedrankStats stats;
+  auto result = index.Search(c.Vector(0), 5, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.sorted_accesses, 0u);
+  // Emitting 5 neighbors at median frequency needs at least 5 * lines/2
+  // accesses.
+  EXPECT_GE(stats.sorted_accesses, 5 * index.num_lines() / 2);
+}
+
+TEST(MedrankTest, InvalidArgumentsRejected) {
+  const Collection c = Synthetic();
+  const MedrankIndex index = MedrankIndex::Build(&c, MedrankConfig{});
+  EXPECT_TRUE(index.Search(c.Vector(0), 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      index.Search(c.Vector(0), c.size() + 1).status().IsInvalidArgument());
+  std::vector<float> wrong(3, 0.0f);
+  EXPECT_TRUE(index.Search(wrong, 5).status().IsInvalidArgument());
+}
+
+TEST(MedrankTest, FullFrequencyStillTerminates) {
+  const Collection c = Synthetic();
+  MedrankConfig config;
+  config.min_frequency = 1.0;  // must be seen on every line
+  const MedrankIndex index = MedrankIndex::Build(&c, config);
+  auto result = index.Search(c.Vector(42), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+  EXPECT_EQ(result->front().id, c.Id(42));
+}
+
+TEST(MedrankTest, DeterministicForSeed) {
+  const Collection c = Synthetic();
+  MedrankConfig config;
+  config.seed = 9;
+  const MedrankIndex a = MedrankIndex::Build(&c, config);
+  const MedrankIndex b = MedrankIndex::Build(&c, config);
+  auto ra = a.Search(c.Vector(7), 10);
+  auto rb = b.Search(c.Vector(7), 10);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace qvt

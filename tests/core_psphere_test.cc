@@ -1,0 +1,111 @@
+#include "core/psphere.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection Synthetic(uint64_t seed = 27) {
+  GeneratorConfig config;
+  config.num_images = 50;
+  config.descriptors_per_image = 30;
+  config.num_modes = 8;
+  config.seed = seed;
+  return GenerateCollection(config);
+}
+
+TEST(PSphereTest, SelfQueryFindsSelf) {
+  const Collection c = Synthetic();
+  const PSphereTree tree = PSphereTree::Build(&c, PSphereConfig{});
+  for (size_t pos : {0u, 50u, 900u}) {
+    auto result = tree.Search(c.Vector(pos), 1);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 1u);
+    // The nearest sphere to a data point contains that point with high
+    // probability; at fill factor 4 this holds for essentially all points.
+    EXPECT_EQ(result->front().id, c.Id(pos));
+  }
+}
+
+TEST(PSphereTest, ReplicationFactorMatchesFillFactor) {
+  const Collection c = Synthetic();
+  PSphereConfig config;
+  config.fill_factor = 3.0;
+  const PSphereTree tree = PSphereTree::Build(&c, config);
+  EXPECT_NEAR(tree.ReplicationFactor(), 3.0, 0.2);
+}
+
+TEST(PSphereTest, ScansOnlyOneSphere) {
+  const Collection c = Synthetic();
+  PSphereConfig config;
+  config.num_spheres = 32;
+  config.fill_factor = 2.0;
+  const PSphereTree tree = PSphereTree::Build(&c, config);
+  PSphereStats stats;
+  auto result = tree.Search(c.Vector(5), 10, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(stats.vectors_scanned, c.size() / 4);
+  EXPECT_GT(stats.vectors_scanned, 0u);
+}
+
+TEST(PSphereTest, HigherFillFactorImprovesRecall) {
+  const Collection c = Synthetic(33);
+  PSphereConfig thin;
+  thin.fill_factor = 1.0;
+  PSphereConfig fat;
+  fat.fill_factor = 6.0;
+  const PSphereTree thin_tree = PSphereTree::Build(&c, thin);
+  const PSphereTree fat_tree = PSphereTree::Build(&c, fat);
+
+  Rng rng(3);
+  const size_t k = 10;
+  double thin_recall = 0, fat_recall = 0;
+  for (size_t t = 0; t < 20; ++t) {
+    const size_t pos = rng.Uniform(c.size());
+    const auto exact = ExactScan(c, c.Vector(pos), k);
+    for (auto [tree, recall] : {std::make_pair(&thin_tree, &thin_recall),
+                                std::make_pair(&fat_tree, &fat_recall)}) {
+      auto approx = tree->Search(c.Vector(pos), k);
+      ASSERT_TRUE(approx.ok());
+      for (const Neighbor& a : *approx) {
+        for (const Neighbor& e : exact) {
+          if (a.id == e.id) {
+            *recall += 1.0;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(fat_recall, thin_recall);
+  EXPECT_GT(fat_recall / (20.0 * k), 0.5);
+}
+
+TEST(PSphereTest, MoreSpheresThanPointsClamps) {
+  Collection c;
+  for (int i = 0; i < 5; ++i) {
+    c.Append(i, std::vector<float>(kDescriptorDim, static_cast<float>(i)));
+  }
+  PSphereConfig config;
+  config.num_spheres = 50;
+  const PSphereTree tree = PSphereTree::Build(&c, config);
+  EXPECT_LE(tree.num_spheres(), 5u);
+  auto result = tree.Search(c.Vector(2), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->front().id, 2u);
+}
+
+TEST(PSphereTest, InvalidArgumentsRejected) {
+  const Collection c = Synthetic();
+  const PSphereTree tree = PSphereTree::Build(&c, PSphereConfig{});
+  EXPECT_TRUE(tree.Search(c.Vector(0), 0).status().IsInvalidArgument());
+  std::vector<float> wrong(2, 0.0f);
+  EXPECT_TRUE(tree.Search(wrong, 3).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,93 @@
+#include "core/result_set.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+TEST(KnnResultSetTest, FillsUpToK) {
+  KnnResultSet set(3);
+  EXPECT_FALSE(set.full());
+  EXPECT_EQ(set.KthDistance(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(set.Insert(1, 5.0));
+  EXPECT_TRUE(set.Insert(2, 1.0));
+  EXPECT_TRUE(set.Insert(3, 3.0));
+  EXPECT_TRUE(set.full());
+  EXPECT_DOUBLE_EQ(set.KthDistance(), 5.0);
+}
+
+TEST(KnnResultSetTest, EvictsWorst) {
+  KnnResultSet set(2);
+  set.Insert(1, 5.0);
+  set.Insert(2, 3.0);
+  EXPECT_FALSE(set.Insert(3, 9.0));  // worse than kth
+  EXPECT_TRUE(set.Insert(4, 1.0));   // evicts id 1
+  const auto sorted = set.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 4u);
+  EXPECT_EQ(sorted[1].id, 2u);
+  EXPECT_DOUBLE_EQ(set.KthDistance(), 3.0);
+}
+
+TEST(KnnResultSetTest, EqualDistanceIsNotAnImprovement) {
+  KnnResultSet set(1);
+  set.Insert(1, 2.0);
+  EXPECT_FALSE(set.Insert(2, 2.0));
+  EXPECT_EQ(set.Sorted()[0].id, 1u);
+}
+
+TEST(KnnResultSetTest, SortedIsAscendingAndStable) {
+  KnnResultSet set(5);
+  set.Insert(10, 3.0);
+  set.Insert(11, 1.0);
+  set.Insert(12, 2.0);
+  const auto sorted = set.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 11u);
+  EXPECT_EQ(sorted[1].id, 12u);
+  EXPECT_EQ(sorted[2].id, 10u);
+  // Sorted() leaves the set intact.
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(KnnResultSetTest, ClearEmpties) {
+  KnnResultSet set(2);
+  set.Insert(1, 1.0);
+  set.Clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.full());
+}
+
+class ResultSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ResultSetPropertyTest, MatchesSortOfAllCandidates) {
+  Rng rng(GetParam());
+  const size_t k = 10;
+  KnnResultSet set(k);
+  std::vector<Neighbor> all;
+  for (DescriptorId id = 0; id < 500; ++id) {
+    const double dist = rng.UniformDouble(0, 100);
+    set.Insert(id, dist);
+    all.push_back({id, dist});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  const auto result = set.Sorted();
+  ASSERT_EQ(result.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(result[i].distance, all[i].distance) << "rank " << i;
+    EXPECT_EQ(result[i].id, all[i].id);
+  }
+  EXPECT_DOUBLE_EQ(set.KthDistance(), all[k - 1].distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResultSetPropertyTest,
+                         ::testing::Values(1, 7, 42, 1000));
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,347 @@
+#include "core/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/round_robin.h"
+#include "cluster/srtree_chunker.h"
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "descriptor/workload.h"
+#include "geometry/vec.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection TestCollection(uint64_t seed = 21) {
+  GeneratorConfig config;
+  config.num_images = 40;
+  config.descriptors_per_image = 25;
+  config.num_modes = 8;
+  config.seed = seed;
+  return GenerateCollection(config);
+}
+
+struct IndexFixture {
+  MemEnv env;
+  Collection collection;
+  std::optional<ChunkIndex> index;
+
+  explicit IndexFixture(Chunker* chunker, uint64_t seed = 21)
+      : collection(TestCollection(seed)) {
+    auto chunking = chunker->FormChunks(collection);
+    QVT_CHECK(chunking.ok());
+    auto built = ChunkIndex::Build(collection, *chunking, &env,
+                                   ChunkIndexPaths::ForBase("idx"));
+    QVT_CHECK(built.ok());
+    index.emplace(std::move(built).value());
+  }
+};
+
+TEST(SearcherTest, ExactSearchMatchesSequentialScan) {
+  SrTreeChunker chunker(80);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> query(kDescriptorDim);
+    for (auto& x : query) x = static_cast<float>(rng.UniformDouble(20, 80));
+
+    auto result = searcher.Search(query, 10, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->exact);
+    const auto truth = ExactScan(fx.collection, query, 10);
+    ASSERT_EQ(result->neighbors.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(result->neighbors[i].distance, truth[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST(SearcherTest, ExactStopReadsFewerChunksThanAll) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  // A dataset query sits inside a chunk; the exact search should prune.
+  const auto query = fx.collection.Vector(100);
+  auto result = searcher.Search(query, 5, StopRule::Exact());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exact);
+  EXPECT_LT(result->chunks_read, fx.index->num_chunks());
+  EXPECT_GT(result->chunks_read, 0u);
+  // The query itself is its own nearest neighbor.
+  EXPECT_DOUBLE_EQ(result->neighbors[0].distance, 0.0);
+}
+
+TEST(SearcherTest, MaxChunksStopRespected) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  const auto query = fx.collection.Vector(0);
+  for (size_t budget : {1u, 3u, 7u}) {
+    auto result = searcher.Search(query, 30, StopRule::MaxChunks(budget));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->chunks_read, std::min<size_t>(budget,
+                                                    fx.index->num_chunks()));
+    EXPECT_FALSE(result->exact);
+  }
+}
+
+TEST(SearcherTest, ZeroChunkBudgetReturnsEmpty) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  auto result =
+      searcher.Search(fx.collection.Vector(0), 5, StopRule::MaxChunks(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->chunks_read, 0u);
+  EXPECT_TRUE(result->neighbors.empty());
+}
+
+TEST(SearcherTest, TimeBudgetStopsEarly) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  const auto query = fx.collection.Vector(50);
+  // Zero budget: the model time after index scan alone exceeds it.
+  auto tiny = searcher.Search(query, 30, StopRule::TimeBudget(0));
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->chunks_read, 0u);
+
+  // Generous budget: search reads chunks.
+  auto roomy = searcher.Search(query, 30,
+                               StopRule::TimeBudget(60LL * 1000 * 1000));
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_GT(roomy->chunks_read, 0u);
+}
+
+TEST(SearcherTest, TimeBudgetIsMonotoneInChunksRead) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const auto query = fx.collection.Vector(7);
+
+  size_t last_chunks = 0;
+  for (int64_t budget_ms : {20, 60, 200, 2000}) {
+    auto result =
+        searcher.Search(query, 30, StopRule::TimeBudget(budget_ms * 1000));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->chunks_read, last_chunks);
+    last_chunks = result->chunks_read;
+  }
+}
+
+TEST(SearcherTest, ObserverSeesMonotoneProgress) {
+  RoundRobinChunker chunker(50);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  size_t calls = 0;
+  int64_t last_model = 0;
+  uint64_t last_descriptors = 0;
+  const SearchObserver observer = [&](const SearchProgress& progress) {
+    ++calls;
+    EXPECT_EQ(progress.chunks_read, calls);
+    EXPECT_GT(progress.model_elapsed_micros, last_model);
+    EXPECT_GT(progress.descriptors_processed, last_descriptors);
+    EXPECT_NE(progress.result, nullptr);
+    last_model = progress.model_elapsed_micros;
+    last_descriptors = progress.descriptors_processed;
+  };
+  auto result = searcher.Search(fx.collection.Vector(3), 10,
+                                StopRule::Exact(), observer);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, result->chunks_read);
+}
+
+TEST(SearcherTest, ModelTimeIncludesIndexScan) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  DiskCostModel model;
+  Searcher searcher(&*fx.index, model);
+  auto result =
+      searcher.Search(fx.collection.Vector(0), 5, StopRule::MaxChunks(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model_elapsed_micros,
+            model.IndexScanMicros(fx.index->num_chunks()));
+}
+
+TEST(SearcherTest, InvalidArgumentsRejected) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  EXPECT_TRUE(searcher.Search(fx.collection.Vector(0), 0, StopRule::Exact())
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<float> wrong_dim(7, 0.0f);
+  EXPECT_TRUE(searcher.Search(wrong_dim, 5, StopRule::Exact())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SearcherTest, RangeSearchMatchesBruteForce) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t pos = rng.Uniform(fx.collection.size());
+    const double radius = rng.UniformDouble(1.0, 12.0);
+    auto result = searcher.SearchRange(fx.collection.Vector(pos), radius,
+                                       StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->exact);
+
+    size_t expected = 0;
+    for (size_t i = 0; i < fx.collection.size(); ++i) {
+      if (vec::Distance(fx.collection.Vector(i),
+                        fx.collection.Vector(pos)) <= radius) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(result->neighbors.size(), expected) << "radius " << radius;
+    for (size_t i = 1; i < result->neighbors.size(); ++i) {
+      EXPECT_GE(result->neighbors[i].distance,
+                result->neighbors[i - 1].distance);
+    }
+    // The bound-based pruning must save reads for small balls.
+    EXPECT_LE(result->chunks_read, fx.index->num_chunks());
+  }
+}
+
+TEST(SearcherTest, ApproximateRangeIsSubset) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const auto query = fx.collection.Vector(33);
+  const double radius = 8.0;
+
+  auto exact = searcher.SearchRange(query, radius, StopRule::Exact());
+  auto approx = searcher.SearchRange(query, radius, StopRule::MaxChunks(2));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  EXPECT_FALSE(approx->exact);
+  EXPECT_LE(approx->neighbors.size(), exact->neighbors.size());
+  // Every approximate hit is a true hit.
+  for (const Neighbor& a : approx->neighbors) {
+    bool found = false;
+    for (const Neighbor& e : exact->neighbors) {
+      if (e.id == a.id) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SearcherTest, RangeSearchRejectsBadArguments) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  EXPECT_TRUE(searcher
+                  .SearchRange(fx.collection.Vector(0), -0.5,
+                               StopRule::Exact())
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<float> wrong(3, 0.0f);
+  EXPECT_TRUE(searcher.SearchRange(wrong, 1.0, StopRule::Exact())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SearcherTest, ExactAcrossChunkersAgrees) {
+  // Whatever the chunking, exact search must return identical distances.
+  SrTreeChunker sr(70);
+  RoundRobinChunker rr(70);
+  IndexFixture sr_fx(&sr, 33);
+  IndexFixture rr_fx(&rr, 33);
+  Searcher sr_search(&*sr_fx.index, DiskCostModel());
+  Searcher rr_search(&*rr_fx.index, DiskCostModel());
+
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> query(kDescriptorDim);
+    for (auto& x : query) x = static_cast<float>(rng.UniformDouble(30, 70));
+    auto a = sr_search.Search(query, 8, StopRule::Exact());
+    auto b = rr_search.Search(query, 8, StopRule::Exact());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(a->neighbors[i].distance, b->neighbors[i].distance, 1e-6);
+    }
+  }
+}
+
+TEST(SearcherTest, EpsilonApproximationBoundsError) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<float> query(kDescriptorDim);
+    for (auto& x : query) x = static_cast<float>(rng.UniformDouble(30, 70));
+    auto exact = searcher.Search(query, 10, StopRule::Exact());
+    ASSERT_TRUE(exact.ok());
+    for (double epsilon : {0.2, 1.0}) {
+      auto approx =
+          searcher.Search(query, 10, StopRule::EpsilonApproximate(epsilon));
+      ASSERT_TRUE(approx.ok());
+      // The exactness flag may only be claimed when every chunk was
+      // scanned (then the answer is exact regardless of epsilon).
+      if (approx->exact) {
+        EXPECT_EQ(approx->chunks_read, fx.index->num_chunks());
+      }
+      // (1+eps)-guarantee: every reported distance is within (1+eps) of the
+      // true distance at that rank.
+      for (size_t i = 0; i < 10; ++i) {
+        EXPECT_LE(approx->neighbors[i].distance,
+                  (1.0 + epsilon) * exact->neighbors[i].distance + 1e-9);
+      }
+      // Never more work than the exact search.
+      EXPECT_LE(approx->chunks_read, exact->chunks_read);
+    }
+  }
+}
+
+TEST(SearcherTest, ZeroEpsilonEqualsExact) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const auto query = fx.collection.Vector(42);
+  auto a = searcher.Search(query, 10, StopRule::Exact());
+  auto b = searcher.Search(query, 10, StopRule::EpsilonApproximate(0.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->exact);
+  EXPECT_EQ(a->chunks_read, b->chunks_read);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id);
+  }
+}
+
+TEST(SearcherTest, ApproximateIsSubsetQualityOfExact) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const auto query = fx.collection.Vector(123);
+
+  auto exact = searcher.Search(query, 10, StopRule::Exact());
+  ASSERT_TRUE(exact.ok());
+  auto approx = searcher.Search(query, 10, StopRule::MaxChunks(2));
+  ASSERT_TRUE(approx.ok());
+  // The approximate k-th distance can never beat the exact one.
+  ASSERT_FALSE(approx->neighbors.empty());
+  EXPECT_GE(approx->neighbors.back().distance,
+            exact->neighbors.back().distance - 1e-9);
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,137 @@
+#include "descriptor/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geometry/vec.h"
+
+namespace qvt {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_images = 50;
+  config.descriptors_per_image = 40;
+  config.num_modes = 10;
+  config.seed = 99;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSameConfig) {
+  const Collection a = GenerateCollection(SmallConfig());
+  const Collection b = GenerateCollection(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.Id(i), b.Id(i));
+    for (size_t d = 0; d < a.dim(); ++d) {
+      EXPECT_EQ(a.Vector(i)[d], b.Vector(i)[d]);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig other = SmallConfig();
+  other.seed = 100;
+  const Collection a = GenerateCollection(SmallConfig());
+  const Collection b = GenerateCollection(other);
+  ASSERT_EQ(a.dim(), b.dim());
+  // Same structure but different values.
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.size(), b.size()) && !any_diff; ++i) {
+    any_diff = a.Vector(i)[0] != b.Vector(i)[0];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, SizeNearExpectation) {
+  const Collection c = GenerateCollection(SmallConfig());
+  const double expected = 50.0 * 40.0;
+  EXPECT_GT(c.size(), expected * 0.7);
+  EXPECT_LT(c.size(), expected * 1.3);
+}
+
+TEST(GeneratorTest, SequentialIdsAndImageIds) {
+  const Collection c = GenerateCollection(SmallConfig());
+  std::set<ImageId> images;
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.Id(i), static_cast<DescriptorId>(i));
+    images.insert(c.Image(i));
+  }
+  EXPECT_EQ(images.size(), 50u);  // every image contributed (count >= 1)
+}
+
+TEST(GeneratorTest, DescriptorsOfSameImageAreCorrelated) {
+  const Collection c = GenerateCollection(SmallConfig());
+  // Average distance between two descriptors of the same image should be
+  // well below the average distance across random pairs.
+  double same_sum = 0, cross_sum = 0;
+  int same_n = 0, cross_n = 0;
+  for (size_t i = 0; i + 1 < c.size() && same_n < 500; ++i) {
+    if (c.Image(i) == c.Image(i + 1)) {
+      same_sum += vec::Distance(c.Vector(i), c.Vector(i + 1));
+      ++same_n;
+    }
+  }
+  for (size_t i = 0; i < 500; ++i) {
+    const size_t a = (i * 97) % c.size();
+    const size_t b = (i * 389 + c.size() / 2) % c.size();
+    if (c.Image(a) == c.Image(b)) continue;
+    cross_sum += vec::Distance(c.Vector(a), c.Vector(b));
+    ++cross_n;
+  }
+  ASSERT_GT(same_n, 50);
+  ASSERT_GT(cross_n, 50);
+  EXPECT_LT(same_sum / same_n, 0.8 * cross_sum / cross_n);
+}
+
+TEST(GeneratorTest, ModeCentersMatchBetweenCalls) {
+  const auto a = GeneratorModeCenters(SmallConfig());
+  const auto b = GeneratorModeCenters(SmallConfig());
+  ASSERT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorTest, RareImagesExist) {
+  GeneratorConfig config = SmallConfig();
+  config.num_images = 400;
+  config.outlier_fraction = 0.5;  // make rare images plentiful
+  const Collection c = GenerateCollection(config);
+
+  // Rare images put all their descriptors far from the mode region;
+  // compute per-image mean distance to the global centroid and check for a
+  // clearly bimodal spread.
+  const size_t dim = c.dim();
+  std::vector<double> centroid(dim, 0.0);
+  for (size_t i = 0; i < c.size(); ++i) {
+    for (size_t d = 0; d < dim; ++d) centroid[d] += c.Vector(i)[d];
+  }
+  for (auto& x : centroid) x /= static_cast<double>(c.size());
+  std::vector<float> centroid_f(centroid.begin(), centroid.end());
+
+  size_t far_points = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (vec::Distance(centroid_f, c.Vector(i)) > 150.0) ++far_points;
+  }
+  EXPECT_GT(far_points, c.size() / 20);
+}
+
+TEST(GeneratorTest, ZeroOutlierFractionHasNoFarBundles) {
+  GeneratorConfig config = SmallConfig();
+  config.outlier_fraction = 0.0;
+  const Collection c = GenerateCollection(config);
+  const auto modes = GeneratorModeCenters(config);
+  // Every descriptor should be near some mode.
+  size_t stray = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    double best = 1e18;
+    for (const auto& m : modes) {
+      best = std::min(best, vec::Distance(m, c.Vector(i)));
+    }
+    if (best > 60.0) ++stray;
+  }
+  EXPECT_EQ(stray, 0u);
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,113 @@
+#include "descriptor/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "descriptor/generator.h"
+#include "descriptor/range_analysis.h"
+#include "geometry/vec.h"
+
+namespace qvt {
+namespace {
+
+Collection TestCollection() {
+  GeneratorConfig config;
+  config.num_images = 40;
+  config.descriptors_per_image = 30;
+  config.num_modes = 8;
+  config.seed = 5;
+  return GenerateCollection(config);
+}
+
+TEST(RangeAnalysisTest, TrimmedRangesOnKnownData) {
+  Collection c(1);
+  for (int i = 0; i < 100; ++i) {
+    c.Append(static_cast<DescriptorId>(i),
+             std::vector<float>{static_cast<float>(i)});
+  }
+  const DimensionRanges ranges = ComputeTrimmedRanges(c, 0.05);
+  ASSERT_EQ(ranges.dim(), 1u);
+  EXPECT_FLOAT_EQ(ranges.lo[0], 5.0f);
+  EXPECT_FLOAT_EQ(ranges.hi[0], 94.0f);
+}
+
+TEST(RangeAnalysisTest, ZeroTrimIsFullRange) {
+  Collection c(2);
+  c.Append(0, std::vector<float>{-5, 1});
+  c.Append(1, std::vector<float>{10, 2});
+  const DimensionRanges ranges = ComputeTrimmedRanges(c, 0.0);
+  EXPECT_FLOAT_EQ(ranges.lo[0], -5.0f);
+  EXPECT_FLOAT_EQ(ranges.hi[0], 10.0f);
+  EXPECT_FLOAT_EQ(ranges.lo[1], 1.0f);
+  EXPECT_FLOAT_EQ(ranges.hi[1], 2.0f);
+}
+
+TEST(RangeAnalysisTest, TrimDiscardsOutliers) {
+  const Collection c = TestCollection();
+  const DimensionRanges full = ComputeTrimmedRanges(c, 0.0);
+  const DimensionRanges trimmed = ComputeTrimmedRanges(c, 0.05);
+  for (size_t d = 0; d < c.dim(); ++d) {
+    EXPECT_GE(trimmed.lo[d], full.lo[d]);
+    EXPECT_LE(trimmed.hi[d], full.hi[d]);
+  }
+}
+
+TEST(WorkloadTest, DatasetQueriesAreCollectionMembers) {
+  const Collection c = TestCollection();
+  Rng rng(1);
+  const Workload dq = MakeDatasetQueries(c, 50, &rng);
+  EXPECT_EQ(dq.name, "DQ");
+  EXPECT_EQ(dq.num_queries(), 50u);
+
+  for (size_t q = 0; q < dq.num_queries(); ++q) {
+    bool found = false;
+    for (size_t i = 0; i < c.size() && !found; ++i) {
+      found = vec::SquaredDistance(c.Vector(i), dq.Query(q)) == 0.0;
+    }
+    EXPECT_TRUE(found) << "query " << q << " is not a collection member";
+  }
+}
+
+TEST(WorkloadTest, DatasetQueriesAreDistinct) {
+  const Collection c = TestCollection();
+  Rng rng(2);
+  const Workload dq = MakeDatasetQueries(c, 100, &rng);
+  // Sampling is without replacement; queries should not repeat (generator
+  // collisions are astronomically unlikely).
+  size_t duplicate_pairs = 0;
+  for (size_t a = 0; a < dq.num_queries(); ++a) {
+    for (size_t b = a + 1; b < dq.num_queries(); ++b) {
+      if (vec::SquaredDistance(dq.Query(a), dq.Query(b)) == 0.0) {
+        ++duplicate_pairs;
+      }
+    }
+  }
+  EXPECT_EQ(duplicate_pairs, 0u);
+}
+
+TEST(WorkloadTest, SpaceQueriesStayInTrimmedRanges) {
+  const Collection c = TestCollection();
+  const DimensionRanges ranges = ComputeTrimmedRanges(c, 0.05);
+  Rng rng(3);
+  const Workload sq = MakeSpaceQueries(ranges, 80, &rng);
+  EXPECT_EQ(sq.name, "SQ");
+  EXPECT_EQ(sq.num_queries(), 80u);
+  for (size_t q = 0; q < sq.num_queries(); ++q) {
+    const auto query = sq.Query(q);
+    for (size_t d = 0; d < ranges.dim(); ++d) {
+      EXPECT_GE(query[d], ranges.lo[d]);
+      EXPECT_LE(query[d], ranges.hi[d]);
+    }
+  }
+}
+
+TEST(WorkloadTest, SpaceQueriesAreDeterministicPerRngState) {
+  const Collection c = TestCollection();
+  const DimensionRanges ranges = ComputeTrimmedRanges(c, 0.05);
+  Rng rng_a(7), rng_b(7);
+  const Workload a = MakeSpaceQueries(ranges, 10, &rng_a);
+  const Workload b = MakeSpaceQueries(ranges, 10, &rng_b);
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+}  // namespace
+}  // namespace qvt

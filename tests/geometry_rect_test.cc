@@ -1,0 +1,116 @@
+#include "geometry/rect.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/vec.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+TEST(RectTest, PointRectIsDegenerate) {
+  std::vector<float> p = {1, 2};
+  Rect r{std::span<const float>(p)};
+  EXPECT_TRUE(r.Contains(p));
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(p), 0.0);
+  EXPECT_DOUBLE_EQ(r.HalfDiagonal(), 0.0);
+}
+
+TEST(RectTest, ExtendToCoverPoints) {
+  Rect r;
+  std::vector<float> a = {0, 0};
+  std::vector<float> b = {2, -3};
+  r.ExtendToCover(a);
+  r.ExtendToCover(b);
+  EXPECT_TRUE(r.Contains(a));
+  EXPECT_TRUE(r.Contains(b));
+  std::vector<float> mid = {1, -1};
+  EXPECT_TRUE(r.Contains(mid));
+  std::vector<float> out = {3, 0};
+  EXPECT_FALSE(r.Contains(out));
+}
+
+TEST(RectTest, MinDistanceOutsideAxis) {
+  Rect r({0, 0}, {2, 2});
+  std::vector<float> p = {4, 1};
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(p), 2.0);
+  std::vector<float> corner = {5, 6};
+  EXPECT_DOUBLE_EQ(r.MinDistanceTo(corner), 5.0);  // 3-4-5 from (2,2)
+}
+
+TEST(RectTest, MaxDistanceIsFarthestCorner) {
+  Rect r({0, 0}, {2, 2});
+  std::vector<float> p = {-1, -1};
+  EXPECT_DOUBLE_EQ(r.MaxDistanceTo(p), vec::Distance(p, std::vector<float>{2, 2}));
+}
+
+TEST(RectTest, CenterAndHalfDiagonal) {
+  Rect r({0, 0}, {4, 2});
+  const auto center = r.Center();
+  EXPECT_FLOAT_EQ(center[0], 2.0f);
+  EXPECT_FLOAT_EQ(center[1], 1.0f);
+  EXPECT_NEAR(r.HalfDiagonal(), std::sqrt(4.0 + 1.0), 1e-9);
+}
+
+TEST(RectTest, ExtendToCoverRect) {
+  Rect a({0, 0}, {1, 1});
+  Rect b({2, -1}, {3, 0});
+  a.ExtendToCover(b);
+  std::vector<float> p = {3, -1};
+  EXPECT_TRUE(a.Contains(p));
+  EXPECT_FLOAT_EQ(a.min[1], -1.0f);
+  EXPECT_FLOAT_EQ(a.max[0], 3.0f);
+}
+
+TEST(BoundingRectTest, CoversAllPointsExactly) {
+  std::vector<std::vector<float>> points = {{1, 5}, {-2, 3}, {0, 7}};
+  std::vector<std::span<const float>> spans(points.begin(), points.end());
+  const Rect r = BoundingRect(spans, 2);
+  EXPECT_FLOAT_EQ(r.min[0], -2.0f);
+  EXPECT_FLOAT_EQ(r.max[0], 1.0f);
+  EXPECT_FLOAT_EQ(r.min[1], 3.0f);
+  EXPECT_FLOAT_EQ(r.max[1], 7.0f);
+}
+
+TEST(BoundingRectTest, EmptyGivesZeroRect) {
+  const Rect r = BoundingRect({}, 3);
+  EXPECT_EQ(r.dim(), 3u);
+  EXPECT_DOUBLE_EQ(r.HalfDiagonal(), 0.0);
+}
+
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, MinMaxDistanceBracketTrueDistances) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    // Random rect from two corners.
+    std::vector<float> lo(4), hi(4);
+    for (size_t d = 0; d < 4; ++d) {
+      const double a = rng.UniformDouble(-5, 5);
+      const double b = rng.UniformDouble(-5, 5);
+      lo[d] = static_cast<float>(std::min(a, b));
+      hi[d] = static_cast<float>(std::max(a, b));
+    }
+    Rect r(lo, hi);
+    std::vector<float> q(4);
+    for (auto& x : q) x = static_cast<float>(rng.UniformDouble(-10, 10));
+
+    // Sample points inside the rect; all must respect the bounds.
+    for (int s = 0; s < 20; ++s) {
+      std::vector<float> p(4);
+      for (size_t d = 0; d < 4; ++d) {
+        p[d] = static_cast<float>(rng.UniformDouble(lo[d], hi[d]));
+      }
+      const double dist = vec::Distance(p, q);
+      EXPECT_GE(dist, r.MinDistanceTo(q) - 1e-5);
+      EXPECT_LE(dist, r.MaxDistanceTo(q) + 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest, ::testing::Values(3, 7, 9));
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,250 @@
+#include "srtree/sr_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "geometry/vec.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+Collection ClusteredCollection(size_t n, uint64_t seed = 1) {
+  GeneratorConfig config;
+  // Over-generate (per-image counts vary), then trim to exactly n.
+  config.num_images = std::max<size_t>(8, n / 30 + 8);
+  config.descriptors_per_image = 30;
+  config.num_modes = std::max<size_t>(2, n / 300);
+  config.seed = seed;
+  Collection c = GenerateCollection(config);
+  QVT_CHECK(c.size() >= n);
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < n; ++i) keep.push_back(i);
+  return c.Subset(keep);
+}
+
+std::vector<float> RandomQuery(Rng* rng) {
+  std::vector<float> q(kDescriptorDim);
+  for (auto& x : q) x = static_cast<float>(rng->UniformDouble(0, 100));
+  return q;
+}
+
+TEST(SrTreeTest, EmptyTreeBehaves) {
+  Collection c;
+  SrTree tree(&c, SrTreeConfig{});
+  tree.BuildStatic();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_TRUE(tree.LeafPartitions().empty());
+  std::vector<float> q(kDescriptorDim, 0.0f);
+  EXPECT_TRUE(tree.NearestNeighbors(q, 5).empty());
+}
+
+TEST(SrTreeTest, StaticBuildValidatesAndCoversAllPoints) {
+  const Collection c = ClusteredCollection(1000);
+  SrTreeConfig config;
+  config.leaf_capacity = 64;
+  SrTree tree(&c, config);
+  tree.BuildStatic();
+  EXPECT_EQ(tree.size(), c.size());
+  ASSERT_TRUE(tree.Validate().ok());
+
+  const auto partitions = tree.LeafPartitions();
+  std::set<size_t> seen;
+  for (const auto& part : partitions) {
+    for (size_t pos : part) {
+      EXPECT_TRUE(seen.insert(pos).second) << "duplicate position " << pos;
+    }
+  }
+  EXPECT_EQ(seen.size(), c.size());
+}
+
+TEST(SrTreeTest, StaticBuildLeafSizesAreUniform) {
+  const Collection c = ClusteredCollection(1200);
+  SrTreeConfig config;
+  config.leaf_capacity = 100;
+  SrTree tree(&c, config);
+  tree.BuildStatic();
+  const SrTreeStats stats = tree.Stats();
+  // 1200/100 = 12 leaves of exactly 100 each (up to rounding).
+  EXPECT_EQ(stats.num_leaves, 12u);
+  EXPECT_GE(stats.min_leaf_size, 99u);
+  EXPECT_LE(stats.max_leaf_size, 101u);
+}
+
+TEST(SrTreeTest, StaticBuildUniformityAcrossAwkwardSizes) {
+  // 1050 points with capacity 100 -> 11 leaves of ~95.
+  const Collection c = ClusteredCollection(1050);
+  SrTreeConfig config;
+  config.leaf_capacity = 100;
+  SrTree tree(&c, config);
+  tree.BuildStatic();
+  const SrTreeStats stats = tree.Stats();
+  EXPECT_EQ(stats.num_leaves, 11u);
+  EXPECT_GE(stats.min_leaf_size, 94u);
+  EXPECT_LE(stats.max_leaf_size, 97u);
+}
+
+TEST(SrTreeTest, SingleLeafWhenSmall) {
+  const Collection c = ClusteredCollection(50);
+  SrTreeConfig config;
+  config.leaf_capacity = 100;
+  SrTree tree(&c, config);
+  tree.BuildStatic();
+  const SrTreeStats stats = tree.Stats();
+  EXPECT_EQ(stats.num_leaves, 1u);
+  EXPECT_EQ(stats.height, 1u);
+}
+
+TEST(SrTreeTest, BuildStaticOnSubset) {
+  const Collection c = ClusteredCollection(300);
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < c.size(); i += 2) subset.push_back(i);
+  SrTreeConfig config;
+  config.leaf_capacity = 32;
+  SrTree tree(&c, config);
+  tree.BuildStatic(subset);
+  EXPECT_EQ(tree.size(), subset.size());
+  EXPECT_TRUE(tree.Validate().ok());
+
+  const auto partitions = tree.LeafPartitions();
+  std::set<size_t> seen;
+  for (const auto& part : partitions) seen.insert(part.begin(), part.end());
+  EXPECT_EQ(seen.size(), subset.size());
+  for (size_t pos : seen) EXPECT_EQ(pos % 2, 0u);
+}
+
+TEST(SrTreeTest, DynamicInsertValidates) {
+  const Collection c = ClusteredCollection(500);
+  SrTreeConfig config;
+  config.leaf_capacity = 16;
+  config.internal_fanout = 8;
+  SrTree tree(&c, config);
+  for (size_t i = 0; i < c.size(); ++i) tree.Insert(i);
+  EXPECT_EQ(tree.size(), c.size());
+  EXPECT_TRUE(tree.Validate().ok());
+  const SrTreeStats stats = tree.Stats();
+  EXPECT_GT(stats.height, 1u);
+  EXPECT_GT(stats.num_leaves, 10u);
+}
+
+class SrTreeNnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SrTreeNnTest, StaticNnMatchesExactScan) {
+  const Collection c = ClusteredCollection(800, GetParam());
+  SrTreeConfig config;
+  config.leaf_capacity = 50;
+  SrTree tree(&c, config);
+  tree.BuildStatic();
+
+  Rng rng(GetParam() * 17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto query = RandomQuery(&rng);
+    const auto tree_nn = tree.NearestNeighbors(query, 10);
+    const auto exact = ExactScan(c, query, 10);
+    ASSERT_EQ(tree_nn.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(tree_nn[i].distance, exact[i].distance, 1e-6)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST_P(SrTreeNnTest, DynamicNnMatchesExactScan) {
+  const Collection c = ClusteredCollection(400, GetParam() ^ 0x55);
+  SrTreeConfig config;
+  config.leaf_capacity = 20;
+  config.internal_fanout = 6;
+  SrTree tree(&c, config);
+  for (size_t i = 0; i < c.size(); ++i) tree.Insert(i);
+
+  Rng rng(GetParam() * 31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto query = RandomQuery(&rng);
+    const auto tree_nn = tree.NearestNeighbors(query, 5);
+    const auto exact = ExactScan(c, query, 5);
+    ASSERT_EQ(tree_nn.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(tree_nn[i].distance, exact[i].distance, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SrTreeNnTest, ::testing::Values(1, 2, 3));
+
+TEST(SrTreeTest, NnWithKLargerThanCollection) {
+  const Collection c = ClusteredCollection(20);
+  SrTree tree(&c, SrTreeConfig{});
+  tree.BuildStatic();
+  std::vector<float> q(kDescriptorDim, 50.0f);
+  const auto nn = tree.NearestNeighbors(q, 100);
+  EXPECT_EQ(nn.size(), 20u);
+  // Sorted ascending.
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_GE(nn[i].distance, nn[i - 1].distance);
+  }
+}
+
+TEST_P(SrTreeNnTest, RangeSearchMatchesBruteForce) {
+  const Collection c = ClusteredCollection(600, GetParam() ^ 0x99);
+  SrTreeConfig config;
+  config.leaf_capacity = 40;
+  SrTree tree(&c, config);
+  tree.BuildStatic();
+
+  Rng rng(GetParam() * 13);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Center the ball on a data point so it is non-empty.
+    const size_t pos = rng.Uniform(c.size());
+    const double radius = rng.UniformDouble(0.5, 15.0);
+    const auto found = tree.RangeSearch(c.Vector(pos), radius);
+
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < c.size(); ++i) {
+      if (vec::Distance(c.Vector(i), c.Vector(pos)) <= radius) {
+        expected.push_back(i);
+      }
+    }
+    ASSERT_EQ(found.size(), expected.size()) << "radius " << radius;
+    // Sorted ascending and within the ball.
+    for (size_t i = 0; i < found.size(); ++i) {
+      EXPECT_LE(found[i].distance, radius);
+      if (i > 0) EXPECT_GE(found[i].distance, found[i - 1].distance);
+    }
+  }
+}
+
+TEST(SrTreeTest, RangeSearchEdgeCases) {
+  const Collection c = ClusteredCollection(100);
+  SrTree tree(&c, SrTreeConfig{});
+  tree.BuildStatic();
+  // Zero radius centered on a point finds at least that point.
+  const auto exact_hit = tree.RangeSearch(c.Vector(7), 0.0);
+  ASSERT_FALSE(exact_hit.empty());
+  EXPECT_EQ(exact_hit.front().position, 7u);
+  // Negative radius finds nothing.
+  EXPECT_TRUE(tree.RangeSearch(c.Vector(7), -1.0).empty());
+  // Huge radius finds everything.
+  EXPECT_EQ(tree.RangeSearch(c.Vector(7), 1e9).size(), c.size());
+}
+
+TEST(SrTreeTest, LeafCapacityControlsChunkSize) {
+  const Collection c = ClusteredCollection(2000);
+  for (size_t cap : {50u, 200u, 800u}) {
+    SrTreeConfig config;
+    config.leaf_capacity = cap;
+    SrTree tree(&c, config);
+    tree.BuildStatic();
+    const SrTreeStats stats = tree.Stats();
+    EXPECT_LE(stats.max_leaf_size, cap);
+    EXPECT_GT(stats.max_leaf_size, cap / 2);
+  }
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,158 @@
+#include "storage/chunk_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/srtree_chunker.h"
+#include "core/chunk_index.h"
+#include "core/searcher.h"
+#include "descriptor/generator.h"
+#include "util/logging.h"
+
+namespace qvt {
+namespace {
+
+ChunkData MakeChunk(size_t n, DescriptorId first_id) {
+  ChunkData chunk;
+  chunk.dim = 4;
+  for (size_t i = 0; i < n; ++i) {
+    chunk.ids.push_back(first_id + static_cast<DescriptorId>(i));
+    for (size_t d = 0; d < 4; ++d) {
+      chunk.values.push_back(static_cast<float>(i + d));
+    }
+  }
+  return chunk;
+}
+
+TEST(ChunkCacheTest, MissThenHit) {
+  ChunkCache cache(10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, MakeChunk(3, 100), 2);
+  const ChunkData* hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->ids[0], 100u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.used_pages(), 2u);
+}
+
+TEST(ChunkCacheTest, EvictsLeastRecentlyUsed) {
+  ChunkCache cache(4);
+  cache.Put(1, MakeChunk(1, 0), 2);
+  cache.Put(2, MakeChunk(1, 10), 2);
+  ASSERT_NE(cache.Get(1), nullptr);   // 1 is now MRU
+  cache.Put(3, MakeChunk(1, 20), 2);  // evicts 2
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.used_pages(), 4u);
+}
+
+TEST(ChunkCacheTest, OversizedChunkNotCached) {
+  ChunkCache cache(4);
+  cache.Put(1, MakeChunk(1, 0), 5);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.used_pages(), 0u);
+}
+
+TEST(ChunkCacheTest, PutRefreshesExistingEntry) {
+  ChunkCache cache(10);
+  cache.Put(1, MakeChunk(1, 0), 2);
+  cache.Put(1, MakeChunk(2, 50), 3);
+  const ChunkData* hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ(hit->ids[0], 50u);
+  EXPECT_EQ(cache.used_pages(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ChunkCacheTest, ClearEmpties) {
+  ChunkCache cache(10);
+  cache.Put(1, MakeChunk(1, 0), 2);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.used_pages(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ChunkCacheTest, HitRate) {
+  ChunkCache cache(10);
+  cache.Put(1, MakeChunk(1, 0), 1);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(2);
+  EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Searcher integration
+// ---------------------------------------------------------------------------
+
+struct SearchFixture {
+  MemEnv env;
+  Collection collection;
+  std::optional<ChunkIndex> index;
+
+  SearchFixture() {
+    GeneratorConfig generator;
+    generator.num_images = 40;
+    generator.descriptors_per_image = 30;
+    generator.num_modes = 8;
+    generator.seed = 31;
+    collection = GenerateCollection(generator);
+    SrTreeChunker chunker(100);
+    auto chunking = chunker.FormChunks(collection);
+    QVT_CHECK(chunking.ok());
+    auto built = ChunkIndex::Build(collection, *chunking, &env,
+                                   ChunkIndexPaths::ForBase("idx"));
+    QVT_CHECK(built.ok());
+    index.emplace(std::move(built).value());
+  }
+};
+
+TEST(CachedSearcherTest, RepeatedQueryHitsCache) {
+  SearchFixture fx;
+  ChunkCache cache(100000);
+  Searcher searcher(&*fx.index, DiskCostModel(), &cache);
+
+  auto cold = searcher.Search(fx.collection.Vector(5), 10, StopRule::Exact());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  const uint64_t misses_after_cold = cache.stats().misses;
+  EXPECT_GT(misses_after_cold, 0u);
+
+  auto warm = searcher.Search(fx.collection.Vector(5), 10, StopRule::Exact());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.stats().misses, misses_after_cold);  // all hits now
+  EXPECT_GT(cache.stats().hits, 0u);
+
+  // Identical answers, cheaper modeled time (no I/O charges on hits).
+  ASSERT_EQ(cold->neighbors.size(), warm->neighbors.size());
+  for (size_t i = 0; i < cold->neighbors.size(); ++i) {
+    EXPECT_EQ(cold->neighbors[i].id, warm->neighbors[i].id);
+  }
+  EXPECT_LT(warm->model_elapsed_micros, cold->model_elapsed_micros);
+}
+
+TEST(CachedSearcherTest, CacheAgreesWithUncachedSearch) {
+  SearchFixture fx;
+  ChunkCache cache(64);  // tiny: constant eviction churn
+  Searcher cached(&*fx.index, DiskCostModel(), &cache);
+  Searcher plain(&*fx.index, DiskCostModel());
+
+  for (size_t pos : {0u, 11u, 222u, 333u}) {
+    auto a = cached.Search(fx.collection.Vector(pos), 8, StopRule::Exact());
+    auto b = plain.Search(fx.collection.Vector(pos), 8, StopRule::Exact());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->neighbors.size(), b->neighbors.size());
+    for (size_t i = 0; i < a->neighbors.size(); ++i) {
+      EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id);
+      EXPECT_DOUBLE_EQ(a->neighbors[i].distance, b->neighbors[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qvt

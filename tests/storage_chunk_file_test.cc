@@ -1,0 +1,154 @@
+#include "storage/chunk_file.h"
+
+#include <gtest/gtest.h>
+
+#include "descriptor/generator.h"
+
+namespace qvt {
+namespace {
+
+Collection SmallCollection(size_t n = 100) {
+  Collection c;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> v(kDescriptorDim, static_cast<float>(i));
+    c.Append(static_cast<DescriptorId>(1000 + i), v);
+  }
+  return c;
+}
+
+TEST(ChunkFileTest, WriteReadRoundTrip) {
+  MemEnv env;
+  const Collection c = SmallCollection();
+  auto writer = ChunkFileWriter::Create(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(writer.ok());
+
+  std::vector<size_t> first = {0, 1, 2};
+  std::vector<size_t> second = {50, 99};
+  auto loc1 = (*writer)->AppendChunk(c, first);
+  auto loc2 = (*writer)->AppendChunk(c, second);
+  ASSERT_TRUE(loc1.ok());
+  ASSERT_TRUE(loc2.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  EXPECT_EQ(loc1->first_page, 0u);
+  EXPECT_EQ(loc1->num_descriptors, 3u);
+  EXPECT_EQ(loc2->first_page, loc1->num_pages);
+
+  auto reader = ChunkFileReader::Open(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(reader.ok());
+  ChunkData data;
+  ASSERT_TRUE((*reader)->ReadChunk(*loc2, &data).ok());
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.ids[0], 1050u);
+  EXPECT_EQ(data.ids[1], 1099u);
+  EXPECT_FLOAT_EQ(data.Vector(0)[0], 50.0f);
+  EXPECT_FLOAT_EQ(data.Vector(1)[23], 99.0f);
+}
+
+TEST(ChunkFileTest, ChunksArePagePadded) {
+  MemEnv env;
+  const Collection c = SmallCollection();
+  auto writer = ChunkFileWriter::Create(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(writer.ok());
+
+  // 3 descriptors = 300 bytes -> 1 page. 100 descriptors = 10000 bytes ->
+  // 2 pages.
+  std::vector<size_t> small = {0, 1, 2};
+  std::vector<size_t> large(100);
+  for (size_t i = 0; i < 100; ++i) large[i] = i;
+  auto loc_small = (*writer)->AppendChunk(c, small);
+  auto loc_large = (*writer)->AppendChunk(c, large);
+  ASSERT_TRUE(loc_small.ok());
+  ASSERT_TRUE(loc_large.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  EXPECT_EQ(loc_small->num_pages, 1u);
+  EXPECT_EQ(loc_large->num_pages, 2u);
+  EXPECT_EQ(*env.GetFileSize("chunks"), 3 * kPageSize);
+}
+
+TEST(ChunkFileTest, EmptyChunkRejected) {
+  MemEnv env;
+  const Collection c = SmallCollection();
+  auto writer = ChunkFileWriter::Create(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(
+      (*writer)->AppendChunk(c, std::vector<size_t>{}).status()
+          .IsInvalidArgument());
+}
+
+TEST(ChunkFileTest, WriteAfterCloseFails) {
+  MemEnv env;
+  const Collection c = SmallCollection();
+  auto writer = ChunkFileWriter::Create(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  std::vector<size_t> positions = {0};
+  EXPECT_TRUE((*writer)->AppendChunk(c, positions).status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ChunkFileTest, ReaderRejectsUnalignedFile) {
+  MemEnv env;
+  std::vector<uint8_t> bytes(kPageSize + 17, 0);
+  ASSERT_TRUE(WriteFileBytes(&env, "bad", bytes.data(), bytes.size()).ok());
+  EXPECT_TRUE(ChunkFileReader::Open(&env, "bad", kDescriptorDim)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(ChunkFileTest, ReadBeyondFileFails) {
+  MemEnv env;
+  const Collection c = SmallCollection();
+  auto writer = ChunkFileWriter::Create(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(writer.ok());
+  std::vector<size_t> positions = {0};
+  ASSERT_TRUE((*writer)->AppendChunk(c, positions).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reader = ChunkFileReader::Open(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(reader.ok());
+  ChunkLocation bogus{5, 1, 1};
+  ChunkData data;
+  EXPECT_FALSE((*reader)->ReadChunk(bogus, &data).ok());
+}
+
+TEST(ChunkFileTest, CorruptLocationPayloadRejected) {
+  MemEnv env;
+  const Collection c = SmallCollection();
+  auto writer = ChunkFileWriter::Create(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(writer.ok());
+  std::vector<size_t> positions = {0};
+  ASSERT_TRUE((*writer)->AppendChunk(c, positions).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reader = ChunkFileReader::Open(&env, "chunks", kDescriptorDim);
+  ASSERT_TRUE(reader.ok());
+  // Claims 200 descriptors in one page: 20000 bytes > 8192.
+  ChunkLocation bogus{0, 1, 200};
+  ChunkData data;
+  EXPECT_TRUE((*reader)->ReadChunk(bogus, &data).IsCorruption());
+}
+
+TEST(ChunkFileTest, AppendChunkDataVariant) {
+  MemEnv env;
+  auto writer = ChunkFileWriter::Create(&env, "chunks", 4);
+  ASSERT_TRUE(writer.ok());
+  ChunkData chunk;
+  chunk.dim = 4;
+  chunk.ids = {5, 6};
+  chunk.values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto loc = (*writer)->AppendChunk(chunk);
+  ASSERT_TRUE(loc.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reader = ChunkFileReader::Open(&env, "chunks", 4);
+  ASSERT_TRUE(reader.ok());
+  ChunkData out;
+  ASSERT_TRUE((*reader)->ReadChunk(*loc, &out).ok());
+  EXPECT_EQ(out.ids, chunk.ids);
+  EXPECT_EQ(out.values, chunk.values);
+}
+
+}  // namespace
+}  // namespace qvt

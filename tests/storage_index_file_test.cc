@@ -1,0 +1,75 @@
+#include "storage/index_file.h"
+
+#include <gtest/gtest.h>
+
+namespace qvt {
+namespace {
+
+ChunkIndexEntry MakeEntry(size_t dim, float center, double radius,
+                          uint64_t page, uint32_t pages, uint32_t count) {
+  ChunkIndexEntry entry;
+  entry.bounds = Sphere(std::vector<float>(dim, center), radius);
+  entry.location = ChunkLocation{page, pages, count};
+  return entry;
+}
+
+TEST(IndexFileTest, RoundTrip) {
+  MemEnv env;
+  std::vector<ChunkIndexEntry> entries = {
+      MakeEntry(24, 1.0f, 2.5, 0, 3, 100),
+      MakeEntry(24, -4.0f, 0.0, 3, 1, 7),
+  };
+  ASSERT_TRUE(WriteIndexFile(&env, "idx", 24, entries).ok());
+  EXPECT_EQ(*env.GetFileSize("idx"), 2 * IndexEntryBytes(24));
+
+  auto loaded = ReadIndexFile(&env, "idx", 24);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].bounds.center, entries[0].bounds.center);
+  EXPECT_DOUBLE_EQ((*loaded)[0].bounds.radius, 2.5);
+  EXPECT_EQ((*loaded)[0].location, entries[0].location);
+  EXPECT_EQ((*loaded)[1].location.first_page, 3u);
+  EXPECT_EQ((*loaded)[1].location.num_descriptors, 7u);
+}
+
+TEST(IndexFileTest, EmptyIndexRoundTrip) {
+  MemEnv env;
+  ASSERT_TRUE(WriteIndexFile(&env, "idx", 24, {}).ok());
+  auto loaded = ReadIndexFile(&env, "idx", 24);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(IndexFileTest, WrongDimEntryRejectedAtWrite) {
+  MemEnv env;
+  std::vector<ChunkIndexEntry> entries = {MakeEntry(8, 1.0f, 1.0, 0, 1, 1)};
+  EXPECT_TRUE(WriteIndexFile(&env, "idx", 24, entries).IsInvalidArgument());
+}
+
+TEST(IndexFileTest, TruncatedFileRejected) {
+  MemEnv env;
+  std::vector<uint8_t> garbage(IndexEntryBytes(24) - 1, 0);
+  ASSERT_TRUE(WriteFileBytes(&env, "idx", garbage.data(), garbage.size()).ok());
+  EXPECT_TRUE(ReadIndexFile(&env, "idx", 24).status().IsCorruption());
+}
+
+TEST(IndexFileTest, InvalidEntryContentsRejected) {
+  MemEnv env;
+  // A zero-page entry is structurally invalid.
+  std::vector<ChunkIndexEntry> entries = {MakeEntry(24, 0.0f, 1.0, 0, 1, 5)};
+  entries[0].location.num_pages = 0;
+  // Write manually since WriteIndexFile would happily serialize it.
+  ASSERT_TRUE(WriteIndexFile(&env, "idx", 24, entries).ok());
+  EXPECT_TRUE(ReadIndexFile(&env, "idx", 24).status().IsCorruption());
+}
+
+TEST(IndexFileTest, DimMismatchDetectedViaSize) {
+  MemEnv env;
+  std::vector<ChunkIndexEntry> entries = {MakeEntry(24, 1.0f, 1.0, 0, 1, 1)};
+  ASSERT_TRUE(WriteIndexFile(&env, "idx", 24, entries).ok());
+  // Reading with dim 16 yields a size mismatch.
+  EXPECT_TRUE(ReadIndexFile(&env, "idx", 16).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,144 @@
+#include "util/env.h"
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qvt {
+namespace {
+
+class EnvRoundTripTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      env_ = Env::Posix();
+      dir_ = std::filesystem::temp_directory_path() /
+             ("qvt_env_test_" + std::to_string(::getpid()));
+      std::filesystem::create_directories(dir_);
+    } else {
+      mem_env_ = std::make_unique<MemEnv>();
+      env_ = mem_env_.get();
+      dir_ = "mem";
+    }
+  }
+
+  void TearDown() override {
+    if (GetParam()) std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  Env* env_ = nullptr;
+  std::unique_ptr<MemEnv> mem_env_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(EnvRoundTripTest, WriteThenRead) {
+  const std::string data = "hello chunk index";
+  ASSERT_TRUE(
+      WriteFileBytes(env_, Path("f"), data.data(), data.size()).ok());
+  auto read = ReadFileBytes(env_, Path("f"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::string(read->begin(), read->end()), data);
+}
+
+TEST_P(EnvRoundTripTest, PositionalRead) {
+  const std::string data = "0123456789";
+  ASSERT_TRUE(
+      WriteFileBytes(env_, Path("f"), data.data(), data.size()).ok());
+  auto file = env_->NewRandomAccessFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  char buf[4];
+  ASSERT_TRUE((*file)->Read(3, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "3456");
+  EXPECT_EQ((*file)->Size(), 10u);
+}
+
+TEST_P(EnvRoundTripTest, ReadPastEofFails) {
+  ASSERT_TRUE(WriteFileBytes(env_, Path("f"), "abc", 3).ok());
+  auto file = env_->NewRandomAccessFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  char buf[8];
+  EXPECT_TRUE((*file)->Read(1, 8, buf).IsOutOfRange());
+}
+
+TEST_P(EnvRoundTripTest, MissingFileFailsToOpen) {
+  EXPECT_FALSE(env_->NewRandomAccessFile(Path("missing")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("missing")));
+}
+
+TEST_P(EnvRoundTripTest, OverwriteTruncates) {
+  ASSERT_TRUE(WriteFileBytes(env_, Path("f"), "long content", 12).ok());
+  ASSERT_TRUE(WriteFileBytes(env_, Path("f"), "hi", 2).ok());
+  auto size = env_->GetFileSize(Path("f"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+}
+
+TEST_P(EnvRoundTripTest, DeleteRemoves) {
+  ASSERT_TRUE(WriteFileBytes(env_, Path("f"), "x", 1).ok());
+  EXPECT_TRUE(env_->FileExists(Path("f")));
+  ASSERT_TRUE(env_->DeleteFile(Path("f")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("f")));
+  EXPECT_TRUE(env_->DeleteFile(Path("f")).IsIoError() ||
+              env_->DeleteFile(Path("f")).IsNotFound());
+}
+
+TEST_P(EnvRoundTripTest, AppendAccumulates) {
+  auto file = env_->NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("ab", 2).ok());
+  ASSERT_TRUE((*file)->Append("cd", 2).ok());
+  EXPECT_EQ((*file)->Size(), 4u);
+  ASSERT_TRUE((*file)->Close().ok());
+  auto read = ReadFileBytes(env_, Path("f"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::string(read->begin(), read->end()), "abcd");
+}
+
+TEST_P(EnvRoundTripTest, DoubleCloseFails) {
+  auto file = env_->NewWritableFile(Path("f"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_TRUE((*file)->Close().IsFailedPrecondition());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvRoundTripTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "Posix" : "Mem";
+                         });
+
+TEST(IoStatsEnvTest, CountsReadsAndWrites) {
+  MemEnv mem;
+  IoStats stats;
+  IoStatsEnv env(&mem, &stats);
+
+  ASSERT_TRUE(WriteFileBytes(&env, "f", "hello", 5).ok());
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.bytes_written, 5u);
+  EXPECT_EQ(stats.files_opened, 1u);
+
+  auto read = ReadFileBytes(&env, "f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.bytes_read, 5u);
+  EXPECT_EQ(stats.files_opened, 2u);
+
+  stats.Reset();
+  EXPECT_EQ(stats.reads, 0u);
+  EXPECT_EQ(stats.bytes_written, 0u);
+}
+
+TEST(MemEnvTest, FilesAreIndependent) {
+  MemEnv env;
+  ASSERT_TRUE(WriteFileBytes(&env, "a", "1", 1).ok());
+  ASSERT_TRUE(WriteFileBytes(&env, "b", "22", 2).ok());
+  EXPECT_EQ(*env.GetFileSize("a"), 1u);
+  EXPECT_EQ(*env.GetFileSize("b"), 2u);
+}
+
+}  // namespace
+}  // namespace qvt

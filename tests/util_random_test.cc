@@ -1,0 +1,155 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qvt {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(5.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, HeavyTailHasOutliers) {
+  Rng rng(17);
+  const int n = 20000;
+  int beyond_5_sigma = 0;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(rng.HeavyTail(1.0, 2)) > 5.0) ++beyond_5_sigma;
+  }
+  // A Gaussian would give ~0.00006% beyond 5 sigma; a t(2) tail gives ~1-3%.
+  EXPECT_GT(beyond_5_sigma, 50);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.25);
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(29);
+  const auto perm = rng.Permutation(100);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(perm.size(), 100u);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(31);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  const auto one = rng.Permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 20u);
+  EXPECT_EQ(seen.size(), 20u);
+  for (uint32_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(41);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+/// Property sweep: uniformity of Uniform(n) across seeds, chi-square-ish.
+class RngUniformitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformitySweep, UniformIsRoughlyFlat) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 16000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.15)
+        << "bucket " << b << " for seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformitySweep,
+                         ::testing::Values(1, 42, 1337, 0xdeadbeef,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace qvt {
+namespace {
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+  EXPECT_NEAR(stats.StdDev(), 1.2909944, 1e-6);
+}
+
+TEST(SampleStatsTest, EmptyMeanIsZero) {
+  SampleStats stats;
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.StdDev(), 0.0);
+}
+
+TEST(SampleStatsTest, SingleSampleStdDevZero) {
+  SampleStats stats;
+  stats.Add(7.0);
+  EXPECT_EQ(stats.StdDev(), 0.0);
+}
+
+TEST(SampleStatsTest, PercentileInterpolates) {
+  SampleStats stats;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(12.5), 15.0);
+}
+
+TEST(SampleStatsTest, PercentileAfterMoreAdds) {
+  SampleStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 3.0);
+  stats.Add(1.0);  // invalidates the sort
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 1.0);
+}
+
+TEST(CountHistogramTest, BucketsValues) {
+  CountHistogram hist({10, 100, 1000});
+  hist.Add(5);
+  hist.Add(10);   // [10, 100)
+  hist.Add(99);
+  hist.Add(5000);  // overflow
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.num_buckets(), 4u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 2u);
+  EXPECT_EQ(hist.bucket_count(2), 0u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+}
+
+TEST(CountHistogramTest, BoundsReported) {
+  CountHistogram hist({8, 64});
+  EXPECT_EQ(hist.bucket_upper_bound(0), 8u);
+  EXPECT_EQ(hist.bucket_upper_bound(1), 64u);
+  EXPECT_EQ(hist.bucket_upper_bound(2), UINT64_MAX);
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace qvt {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header and separator and two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"a,b", "quote\"inside"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n\"a,b\",\"quote\"\"inside\"\n");
+}
+
+TEST(SeriesPrinterTest, MergesXAcrossSeries) {
+  SeriesPrinter series("n");
+  const size_t a = series.AddSeries("alpha");
+  const size_t b = series.AddSeries("beta");
+  series.AddPoint(a, 1, 10);
+  series.AddPoint(a, 2, 20);
+  series.AddPoint(b, 2, 200);
+  series.AddPoint(b, 3, 300);
+  std::ostringstream os;
+  series.Print(os, 0);
+  const std::string out = os.str();
+  // x=1 has beta missing; x=3 has alpha missing.
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
+  EXPECT_NE(out.find("300"), std::string::npos);
+  // 3 data rows + header + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(SeriesPrinterTest, SortsByX) {
+  SeriesPrinter series("x");
+  const size_t s = series.AddSeries("s");
+  series.AddPoint(s, 5, 50);
+  series.AddPoint(s, 1, 10);
+  std::ostringstream os;
+  series.Print(os, 0);
+  const std::string out = os.str();
+  EXPECT_LT(out.find("10"), out.find("50"));
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,0 +1,216 @@
+// qvt_tool — command-line front end for the library.
+//
+//   qvt_tool generate --out col.desc [--images 200] [--descriptors 100]
+//                     [--modes 20] [--seed 42]
+//   qvt_tool build    --collection col.desc --out idx
+//                     [--chunker sr|rr|kmeans|birch|bag] [--chunk-size 1000]
+//   qvt_tool info     --index idx
+//   qvt_tool search   --collection col.desc --index idx --query-pos 123
+//                     [--k 10] [--max-chunks 0 (=exact)]
+//
+// The collection file uses the paper's 100-byte record format, so indexes
+// built here interoperate with every library API.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/bag.h"
+#include "cluster/birch.h"
+#include "cluster/kmeans.h"
+#include "cluster/round_robin.h"
+#include "cluster/srtree_chunker.h"
+#include "core/chunk_index.h"
+#include "core/searcher.h"
+#include "descriptor/generator.h"
+#include "util/stats.h"
+
+namespace qvt {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  bool Has(const std::string& name) const { return values_.count(name) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  if (!flags.Has("out")) {
+    std::fprintf(stderr, "generate requires --out\n");
+    return 2;
+  }
+  GeneratorConfig config;
+  config.num_images = static_cast<size_t>(flags.GetInt("images", 200));
+  config.descriptors_per_image =
+      static_cast<size_t>(flags.GetInt("descriptors", 100));
+  config.num_modes = static_cast<size_t>(flags.GetInt("modes", 20));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  const Collection collection = GenerateCollection(config);
+  const Status status = collection.Save(Env::Posix(), flags.Get("out", ""));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu descriptors (%zu images) to %s\n", collection.size(),
+              config.num_images, flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  if (!flags.Has("collection") || !flags.Has("out")) {
+    std::fprintf(stderr, "build requires --collection and --out\n");
+    return 2;
+  }
+  auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
+  if (!collection.ok()) return Fail(collection.status());
+
+  const size_t chunk_size =
+      static_cast<size_t>(flags.GetInt("chunk-size", 1000));
+  const std::string kind = flags.Get("chunker", "sr");
+
+  std::unique_ptr<Chunker> chunker;
+  if (kind == "sr") {
+    chunker = std::make_unique<SrTreeChunker>(chunk_size);
+  } else if (kind == "rr") {
+    chunker = std::make_unique<RoundRobinChunker>(chunk_size);
+  } else if (kind == "kmeans") {
+    KMeansConfig config;
+    config.num_clusters =
+        std::max<size_t>(1, collection->size() / chunk_size);
+    chunker = std::make_unique<KMeansChunker>(config);
+  } else if (kind == "birch") {
+    BirchConfig config;
+    config.max_subclusters =
+        std::max<size_t>(1, collection->size() / chunk_size * 2);
+    chunker = std::make_unique<BirchChunker>(config);
+  } else if (kind == "bag") {
+    chunker = std::make_unique<BagChunker>(
+        std::max<size_t>(1, collection->size() / chunk_size * 2),
+        BagConfig{});
+  } else {
+    std::fprintf(stderr, "unknown chunker '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  auto chunking = chunker->FormChunks(*collection);
+  if (!chunking.ok()) return Fail(chunking.status());
+  auto index =
+      ChunkIndex::Build(*collection, *chunking, Env::Posix(),
+                        ChunkIndexPaths::ForBase(flags.Get("out", "")));
+  if (!index.ok()) return Fail(index.status());
+  std::printf("built %zu chunks (%zu descriptors retained, %zu outliers) "
+              "with %s\n",
+              index->num_chunks(),
+              static_cast<size_t>(index->total_descriptors()),
+              chunking->outliers.size(), chunker->name().c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (!flags.Has("index")) {
+    std::fprintf(stderr, "info requires --index\n");
+    return 2;
+  }
+  auto index = ChunkIndex::Open(Env::Posix(),
+                                ChunkIndexPaths::ForBase(flags.Get("index", "")));
+  if (!index.ok()) return Fail(index.status());
+
+  SampleStats sizes;
+  uint64_t pages = 0;
+  for (const auto& entry : index->entries()) {
+    sizes.Add(static_cast<double>(entry.location.num_descriptors));
+    pages += entry.location.num_pages;
+  }
+  std::printf("chunks:            %zu\n", index->num_chunks());
+  std::printf("descriptors:       %llu\n",
+              static_cast<unsigned long long>(index->total_descriptors()));
+  std::printf("pages:             %llu (%.1f MiB padded)\n",
+              static_cast<unsigned long long>(pages),
+              static_cast<double>(pages) * kPageSize / (1024.0 * 1024.0));
+  std::printf("chunk size:        min %.0f / mean %.0f / p95 %.0f / max %.0f\n",
+              sizes.Min(), sizes.Mean(), sizes.Percentile(95), sizes.Max());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  if (!flags.Has("collection") || !flags.Has("index") ||
+      !flags.Has("query-pos")) {
+    std::fprintf(stderr,
+                 "search requires --collection, --index and --query-pos\n");
+    return 2;
+  }
+  auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
+  if (!collection.ok()) return Fail(collection.status());
+  auto index = ChunkIndex::Open(Env::Posix(),
+                                ChunkIndexPaths::ForBase(flags.Get("index", "")));
+  if (!index.ok()) return Fail(index.status());
+
+  const size_t pos = static_cast<size_t>(flags.GetInt("query-pos", 0));
+  if (pos >= collection->size()) {
+    std::fprintf(stderr, "query-pos out of range (collection has %zu)\n",
+                 collection->size());
+    return 2;
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const int64_t max_chunks = flags.GetInt("max-chunks", 0);
+
+  Searcher searcher(&*index, DiskCostModel());
+  const StopRule stop = max_chunks > 0
+                            ? StopRule::MaxChunks(
+                                  static_cast<size_t>(max_chunks))
+                            : StopRule::Exact();
+  auto result = searcher.Search(collection->Vector(pos), k, stop);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%s search: %zu chunks read, %.1f ms modeled, %.1f ms wall\n",
+              result->exact ? "exact" : "approximate", result->chunks_read,
+              result->model_elapsed_micros / 1000.0,
+              result->wall_elapsed_micros / 1000.0);
+  for (const Neighbor& n : result->neighbors) {
+    std::printf("  id %-10u dist %.4f\n", n.id, n.distance);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: qvt_tool <generate|build|info|search> [--flag value]...\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "search") return CmdSearch(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace qvt
+
+int main(int argc, char** argv) { return qvt::Main(argc, argv); }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunkers.dir/bench_ablation_chunkers.cc.o"
+  "CMakeFiles/bench_ablation_chunkers.dir/bench_ablation_chunkers.cc.o.d"
+  "bench_ablation_chunkers"
+  "bench_ablation_chunkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outliers.dir/bench_ablation_outliers.cc.o"
+  "CMakeFiles/bench_ablation_outliers.dir/bench_ablation_outliers.cc.o.d"
+  "bench_ablation_outliers"
+  "bench_ablation_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

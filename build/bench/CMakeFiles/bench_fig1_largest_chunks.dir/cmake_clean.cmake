@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_largest_chunks.dir/bench_fig1_largest_chunks.cc.o"
+  "CMakeFiles/bench_fig1_largest_chunks.dir/bench_fig1_largest_chunks.cc.o.d"
+  "bench_fig1_largest_chunks"
+  "bench_fig1_largest_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_largest_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

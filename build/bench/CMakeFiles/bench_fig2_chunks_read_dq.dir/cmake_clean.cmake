@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_chunks_read_dq.dir/bench_fig2_chunks_read_dq.cc.o"
+  "CMakeFiles/bench_fig2_chunks_read_dq.dir/bench_fig2_chunks_read_dq.cc.o.d"
+  "bench_fig2_chunks_read_dq"
+  "bench_fig2_chunks_read_dq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_chunks_read_dq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

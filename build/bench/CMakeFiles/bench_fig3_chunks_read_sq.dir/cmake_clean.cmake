@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_chunks_read_sq.dir/bench_fig3_chunks_read_sq.cc.o"
+  "CMakeFiles/bench_fig3_chunks_read_sq.dir/bench_fig3_chunks_read_sq.cc.o.d"
+  "bench_fig3_chunks_read_sq"
+  "bench_fig3_chunks_read_sq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_chunks_read_sq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

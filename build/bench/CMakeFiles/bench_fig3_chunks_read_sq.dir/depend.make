@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_chunks_read_sq.
+# This may be replaced when dependencies are built.

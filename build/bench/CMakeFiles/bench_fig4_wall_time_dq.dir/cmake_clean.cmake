@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wall_time_dq.dir/bench_fig4_wall_time_dq.cc.o"
+  "CMakeFiles/bench_fig4_wall_time_dq.dir/bench_fig4_wall_time_dq.cc.o.d"
+  "bench_fig4_wall_time_dq"
+  "bench_fig4_wall_time_dq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wall_time_dq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

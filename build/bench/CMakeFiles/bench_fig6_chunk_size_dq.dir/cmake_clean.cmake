@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_chunk_size_dq.dir/bench_fig6_chunk_size_dq.cc.o"
+  "CMakeFiles/bench_fig6_chunk_size_dq.dir/bench_fig6_chunk_size_dq.cc.o.d"
+  "bench_fig6_chunk_size_dq"
+  "bench_fig6_chunk_size_dq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_chunk_size_dq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

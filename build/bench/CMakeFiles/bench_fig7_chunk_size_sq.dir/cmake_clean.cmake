@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_chunk_size_sq.dir/bench_fig7_chunk_size_sq.cc.o"
+  "CMakeFiles/bench_fig7_chunk_size_sq.dir/bench_fig7_chunk_size_sq.cc.o.d"
+  "bench_fig7_chunk_size_sq"
+  "bench_fig7_chunk_size_sq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chunk_size_sq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

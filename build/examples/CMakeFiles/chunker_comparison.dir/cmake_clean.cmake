@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunker_comparison.dir/chunker_comparison.cpp.o"
+  "CMakeFiles/chunker_comparison.dir/chunker_comparison.cpp.o.d"
+  "chunker_comparison"
+  "chunker_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunker_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copyright_search.dir/copyright_search.cpp.o"
+  "CMakeFiles/copyright_search.dir/copyright_search.cpp.o.d"
+  "copyright_search"
+  "copyright_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copyright_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

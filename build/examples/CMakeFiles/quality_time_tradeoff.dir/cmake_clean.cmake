@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_time_tradeoff.dir/quality_time_tradeoff.cpp.o"
+  "CMakeFiles/quality_time_tradeoff.dir/quality_time_tradeoff.cpp.o.d"
+  "quality_time_tradeoff"
+  "quality_time_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_time_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

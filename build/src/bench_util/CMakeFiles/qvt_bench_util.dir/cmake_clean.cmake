@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_bench_util.dir/experiment_config.cc.o"
+  "CMakeFiles/qvt_bench_util.dir/experiment_config.cc.o.d"
+  "CMakeFiles/qvt_bench_util.dir/figures.cc.o"
+  "CMakeFiles/qvt_bench_util.dir/figures.cc.o.d"
+  "CMakeFiles/qvt_bench_util.dir/index_suite.cc.o"
+  "CMakeFiles/qvt_bench_util.dir/index_suite.cc.o.d"
+  "CMakeFiles/qvt_bench_util.dir/runner.cc.o"
+  "CMakeFiles/qvt_bench_util.dir/runner.cc.o.d"
+  "libqvt_bench_util.a"
+  "libqvt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bag.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/bag.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/bag.cc.o.d"
+  "/root/repo/src/cluster/birch.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/birch.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/birch.cc.o.d"
+  "/root/repo/src/cluster/chunker.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/chunker.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/chunker.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/outlier.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/outlier.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/outlier.cc.o.d"
+  "/root/repo/src/cluster/round_robin.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/round_robin.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/round_robin.cc.o.d"
+  "/root/repo/src/cluster/srtree_chunker.cc" "src/cluster/CMakeFiles/qvt_cluster.dir/srtree_chunker.cc.o" "gcc" "src/cluster/CMakeFiles/qvt_cluster.dir/srtree_chunker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qvt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/qvt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptor/CMakeFiles/qvt_descriptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/srtree/CMakeFiles/qvt_srtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_cluster.dir/bag.cc.o"
+  "CMakeFiles/qvt_cluster.dir/bag.cc.o.d"
+  "CMakeFiles/qvt_cluster.dir/birch.cc.o"
+  "CMakeFiles/qvt_cluster.dir/birch.cc.o.d"
+  "CMakeFiles/qvt_cluster.dir/chunker.cc.o"
+  "CMakeFiles/qvt_cluster.dir/chunker.cc.o.d"
+  "CMakeFiles/qvt_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/qvt_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/qvt_cluster.dir/outlier.cc.o"
+  "CMakeFiles/qvt_cluster.dir/outlier.cc.o.d"
+  "CMakeFiles/qvt_cluster.dir/round_robin.cc.o"
+  "CMakeFiles/qvt_cluster.dir/round_robin.cc.o.d"
+  "CMakeFiles/qvt_cluster.dir/srtree_chunker.cc.o"
+  "CMakeFiles/qvt_cluster.dir/srtree_chunker.cc.o.d"
+  "libqvt_cluster.a"
+  "libqvt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

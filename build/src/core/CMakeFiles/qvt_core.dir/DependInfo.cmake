@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chunk_index.cc" "src/core/CMakeFiles/qvt_core.dir/chunk_index.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/chunk_index.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/qvt_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/exact_scan.cc" "src/core/CMakeFiles/qvt_core.dir/exact_scan.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/exact_scan.cc.o.d"
+  "/root/repo/src/core/image_search.cc" "src/core/CMakeFiles/qvt_core.dir/image_search.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/image_search.cc.o.d"
+  "/root/repo/src/core/lsh.cc" "src/core/CMakeFiles/qvt_core.dir/lsh.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/lsh.cc.o.d"
+  "/root/repo/src/core/medrank.cc" "src/core/CMakeFiles/qvt_core.dir/medrank.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/medrank.cc.o.d"
+  "/root/repo/src/core/psphere.cc" "src/core/CMakeFiles/qvt_core.dir/psphere.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/psphere.cc.o.d"
+  "/root/repo/src/core/result_set.cc" "src/core/CMakeFiles/qvt_core.dir/result_set.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/result_set.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/core/CMakeFiles/qvt_core.dir/searcher.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/searcher.cc.o.d"
+  "/root/repo/src/core/va_file.cc" "src/core/CMakeFiles/qvt_core.dir/va_file.cc.o" "gcc" "src/core/CMakeFiles/qvt_core.dir/va_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qvt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/qvt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptor/CMakeFiles/qvt_descriptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qvt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qvt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/srtree/CMakeFiles/qvt_srtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

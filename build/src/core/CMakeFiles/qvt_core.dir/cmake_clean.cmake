@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_core.dir/chunk_index.cc.o"
+  "CMakeFiles/qvt_core.dir/chunk_index.cc.o.d"
+  "CMakeFiles/qvt_core.dir/evaluation.cc.o"
+  "CMakeFiles/qvt_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/qvt_core.dir/exact_scan.cc.o"
+  "CMakeFiles/qvt_core.dir/exact_scan.cc.o.d"
+  "CMakeFiles/qvt_core.dir/image_search.cc.o"
+  "CMakeFiles/qvt_core.dir/image_search.cc.o.d"
+  "CMakeFiles/qvt_core.dir/lsh.cc.o"
+  "CMakeFiles/qvt_core.dir/lsh.cc.o.d"
+  "CMakeFiles/qvt_core.dir/medrank.cc.o"
+  "CMakeFiles/qvt_core.dir/medrank.cc.o.d"
+  "CMakeFiles/qvt_core.dir/psphere.cc.o"
+  "CMakeFiles/qvt_core.dir/psphere.cc.o.d"
+  "CMakeFiles/qvt_core.dir/result_set.cc.o"
+  "CMakeFiles/qvt_core.dir/result_set.cc.o.d"
+  "CMakeFiles/qvt_core.dir/searcher.cc.o"
+  "CMakeFiles/qvt_core.dir/searcher.cc.o.d"
+  "CMakeFiles/qvt_core.dir/va_file.cc.o"
+  "CMakeFiles/qvt_core.dir/va_file.cc.o.d"
+  "libqvt_core.a"
+  "libqvt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/descriptor/collection.cc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/collection.cc.o" "gcc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/collection.cc.o.d"
+  "/root/repo/src/descriptor/generator.cc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/generator.cc.o" "gcc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/generator.cc.o.d"
+  "/root/repo/src/descriptor/range_analysis.cc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/range_analysis.cc.o" "gcc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/range_analysis.cc.o.d"
+  "/root/repo/src/descriptor/workload.cc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/workload.cc.o" "gcc" "src/descriptor/CMakeFiles/qvt_descriptor.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qvt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/qvt_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_descriptor.dir/collection.cc.o"
+  "CMakeFiles/qvt_descriptor.dir/collection.cc.o.d"
+  "CMakeFiles/qvt_descriptor.dir/generator.cc.o"
+  "CMakeFiles/qvt_descriptor.dir/generator.cc.o.d"
+  "CMakeFiles/qvt_descriptor.dir/range_analysis.cc.o"
+  "CMakeFiles/qvt_descriptor.dir/range_analysis.cc.o.d"
+  "CMakeFiles/qvt_descriptor.dir/workload.cc.o"
+  "CMakeFiles/qvt_descriptor.dir/workload.cc.o.d"
+  "libqvt_descriptor.a"
+  "libqvt_descriptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/rect.cc" "src/geometry/CMakeFiles/qvt_geometry.dir/rect.cc.o" "gcc" "src/geometry/CMakeFiles/qvt_geometry.dir/rect.cc.o.d"
+  "/root/repo/src/geometry/sphere.cc" "src/geometry/CMakeFiles/qvt_geometry.dir/sphere.cc.o" "gcc" "src/geometry/CMakeFiles/qvt_geometry.dir/sphere.cc.o.d"
+  "/root/repo/src/geometry/vec.cc" "src/geometry/CMakeFiles/qvt_geometry.dir/vec.cc.o" "gcc" "src/geometry/CMakeFiles/qvt_geometry.dir/vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qvt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

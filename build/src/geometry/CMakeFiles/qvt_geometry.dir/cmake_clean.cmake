@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_geometry.dir/rect.cc.o"
+  "CMakeFiles/qvt_geometry.dir/rect.cc.o.d"
+  "CMakeFiles/qvt_geometry.dir/sphere.cc.o"
+  "CMakeFiles/qvt_geometry.dir/sphere.cc.o.d"
+  "CMakeFiles/qvt_geometry.dir/vec.cc.o"
+  "CMakeFiles/qvt_geometry.dir/vec.cc.o.d"
+  "libqvt_geometry.a"
+  "libqvt_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_srtree.dir/sr_tree.cc.o"
+  "CMakeFiles/qvt_srtree.dir/sr_tree.cc.o.d"
+  "libqvt_srtree.a"
+  "libqvt_srtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_srtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

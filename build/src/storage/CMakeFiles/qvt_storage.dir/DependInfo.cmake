@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/chunk_cache.cc" "src/storage/CMakeFiles/qvt_storage.dir/chunk_cache.cc.o" "gcc" "src/storage/CMakeFiles/qvt_storage.dir/chunk_cache.cc.o.d"
+  "/root/repo/src/storage/chunk_file.cc" "src/storage/CMakeFiles/qvt_storage.dir/chunk_file.cc.o" "gcc" "src/storage/CMakeFiles/qvt_storage.dir/chunk_file.cc.o.d"
+  "/root/repo/src/storage/index_file.cc" "src/storage/CMakeFiles/qvt_storage.dir/index_file.cc.o" "gcc" "src/storage/CMakeFiles/qvt_storage.dir/index_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qvt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/qvt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptor/CMakeFiles/qvt_descriptor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_storage.dir/chunk_cache.cc.o"
+  "CMakeFiles/qvt_storage.dir/chunk_cache.cc.o.d"
+  "CMakeFiles/qvt_storage.dir/chunk_file.cc.o"
+  "CMakeFiles/qvt_storage.dir/chunk_file.cc.o.d"
+  "CMakeFiles/qvt_storage.dir/index_file.cc.o"
+  "CMakeFiles/qvt_storage.dir/index_file.cc.o.d"
+  "libqvt_storage.a"
+  "libqvt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

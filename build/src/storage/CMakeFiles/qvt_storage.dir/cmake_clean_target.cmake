@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqvt_storage.a"
+)

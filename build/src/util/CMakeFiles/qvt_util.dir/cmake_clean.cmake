@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_util.dir/env.cc.o"
+  "CMakeFiles/qvt_util.dir/env.cc.o.d"
+  "CMakeFiles/qvt_util.dir/logging.cc.o"
+  "CMakeFiles/qvt_util.dir/logging.cc.o.d"
+  "CMakeFiles/qvt_util.dir/random.cc.o"
+  "CMakeFiles/qvt_util.dir/random.cc.o.d"
+  "CMakeFiles/qvt_util.dir/stats.cc.o"
+  "CMakeFiles/qvt_util.dir/stats.cc.o.d"
+  "CMakeFiles/qvt_util.dir/status.cc.o"
+  "CMakeFiles/qvt_util.dir/status.cc.o.d"
+  "CMakeFiles/qvt_util.dir/table.cc.o"
+  "CMakeFiles/qvt_util.dir/table.cc.o.d"
+  "libqvt_util.a"
+  "libqvt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_birch_test.dir/cluster_birch_test.cc.o"
+  "CMakeFiles/cluster_birch_test.dir/cluster_birch_test.cc.o.d"
+  "cluster_birch_test"
+  "cluster_birch_test.pdb"
+  "cluster_birch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_birch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_chunker_test.dir/cluster_chunker_test.cc.o"
+  "CMakeFiles/cluster_chunker_test.dir/cluster_chunker_test.cc.o.d"
+  "cluster_chunker_test"
+  "cluster_chunker_test.pdb"
+  "cluster_chunker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_chunker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

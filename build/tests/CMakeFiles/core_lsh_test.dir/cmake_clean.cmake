@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lsh_test.dir/core_lsh_test.cc.o"
+  "CMakeFiles/core_lsh_test.dir/core_lsh_test.cc.o.d"
+  "core_lsh_test"
+  "core_lsh_test.pdb"
+  "core_lsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_psphere_test.dir/core_psphere_test.cc.o"
+  "CMakeFiles/core_psphere_test.dir/core_psphere_test.cc.o.d"
+  "core_psphere_test"
+  "core_psphere_test.pdb"
+  "core_psphere_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_psphere_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_searcher_test.dir/core_searcher_test.cc.o"
+  "CMakeFiles/core_searcher_test.dir/core_searcher_test.cc.o.d"
+  "core_searcher_test"
+  "core_searcher_test.pdb"
+  "core_searcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_searcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descriptor_collection_test.dir/descriptor_collection_test.cc.o"
+  "CMakeFiles/descriptor_collection_test.dir/descriptor_collection_test.cc.o.d"
+  "descriptor_collection_test"
+  "descriptor_collection_test.pdb"
+  "descriptor_collection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descriptor_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

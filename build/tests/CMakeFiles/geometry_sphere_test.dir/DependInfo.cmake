@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geometry_sphere_test.cc" "tests/CMakeFiles/geometry_sphere_test.dir/geometry_sphere_test.cc.o" "gcc" "tests/CMakeFiles/geometry_sphere_test.dir/geometry_sphere_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/qvt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qvt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qvt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/srtree/CMakeFiles/qvt_srtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qvt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptor/CMakeFiles/qvt_descriptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/qvt_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qvt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

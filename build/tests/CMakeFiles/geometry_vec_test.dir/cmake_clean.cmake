@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_vec_test.dir/geometry_vec_test.cc.o"
+  "CMakeFiles/geometry_vec_test.dir/geometry_vec_test.cc.o.d"
+  "geometry_vec_test"
+  "geometry_vec_test.pdb"
+  "geometry_vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

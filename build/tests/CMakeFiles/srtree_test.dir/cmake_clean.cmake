@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srtree_test.dir/srtree_test.cc.o"
+  "CMakeFiles/srtree_test.dir/srtree_test.cc.o.d"
+  "srtree_test"
+  "srtree_test.pdb"
+  "srtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qvt_tool.dir/qvt_tool.cc.o"
+  "CMakeFiles/qvt_tool.dir/qvt_tool.cc.o.d"
+  "qvt_tool"
+  "qvt_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qvt_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -38,8 +38,9 @@ void Run(const ExperimentConfig& config) {
     Searcher searcher(&v.index, DiskCostModel(config.cost_model), &cache);
 
     for (const char* pass : {"cold", "warm"}) {
-      const uint64_t hits_before = cache.stats().hits;
-      const uint64_t misses_before = cache.stats().misses;
+      const ChunkCacheStats before = cache.Stats();
+      const uint64_t hits_before = before.hits;
+      const uint64_t misses_before = before.misses;
       double seconds = 0.0;
       for (size_t q = 0; q < workload.num_queries(); ++q) {
         auto result =
@@ -47,8 +48,9 @@ void Run(const ExperimentConfig& config) {
         QVT_CHECK_OK(result.status());
         seconds += static_cast<double>(result->model_elapsed_micros) * 1e-6;
       }
-      const uint64_t hits = cache.stats().hits - hits_before;
-      const uint64_t misses = cache.stats().misses - misses_before;
+      const ChunkCacheStats after = cache.Stats();
+      const uint64_t hits = after.hits - hits_before;
+      const uint64_t misses = after.misses - misses_before;
       table.AddRow({std::to_string(capacity),
                     TablePrinter::Num(100.0 * share, 0) + "%", pass,
                     TablePrinter::Num(

@@ -18,7 +18,10 @@ uint64_t MixDouble(uint64_t h, double value) {
 }  // namespace
 
 uint64_t ExperimentConfig::Fingerprint() const {
-  uint64_t h = 0x5eed0001ULL;
+  // Cache-format version. Bump whenever search/ground-truth semantics
+  // change so stale on-disk suite caches are rebuilt rather than trusted
+  // (v2: k-NN distance ties are broken by descriptor id).
+  uint64_t h = 0x5eed0002ULL;
   h = MixU64(h, generator.dim);
   h = MixU64(h, generator.seed);
   h = MixU64(h, generator.num_images);

@@ -1,5 +1,9 @@
 #include "bench_util/index_suite.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -85,6 +89,29 @@ class Manifest {
   std::map<std::string, double> values_;
 };
 
+/// Exclusive advisory lock on `path` for the lifetime of the object. The
+/// suite cache is shared across test/bench processes (parallel ctest runs
+/// it cold); without this, two processes race to build the same files and
+/// read each other's partial writes.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path)
+      : fd_(::open(path.c_str(), O_CREAT | O_RDWR, 0644)) {
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
 }  // namespace
 
 std::string IndexSuite::CachePath(const std::string& name) const {
@@ -100,6 +127,9 @@ StatusOr<std::unique_ptr<IndexSuite>> IndexSuite::BuildOrLoad(
     return Status::IoError("cannot create cache dir " + config.cache_dir);
   }
   std::unique_ptr<IndexSuite> suite(new IndexSuite(config, env));
+  // Serialize concurrent builders of the same cache: the loser of the race
+  // blocks here, then finds a complete manifest and takes the load path.
+  const FileLock lock(suite->CachePath("build.lock"));
   QVT_RETURN_IF_ERROR(suite->BuildEverything());
   return suite;
 }

@@ -75,4 +75,48 @@ StatusOr<QualityCurves> RunWorkload(const Searcher& searcher,
   return curves;
 }
 
+StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
+                                          const Workload& workload,
+                                          const GroundTruth* truth, size_t k,
+                                          const StopRule& stop,
+                                          size_t num_threads) {
+  if (truth != nullptr &&
+      (truth->num_queries() != workload.num_queries() || truth->k() < k)) {
+    return Status::InvalidArgument("ground truth does not match workload");
+  }
+
+  const BatchSearcher batch_searcher(&searcher, num_threads);
+  auto batch = batch_searcher.SearchAll(workload, k, stop);
+  if (!batch.ok()) return batch.status();
+
+  BatchRunReport report;
+  report.num_queries = workload.num_queries();
+  report.num_threads = batch->num_threads;
+  report.batch_wall_seconds =
+      static_cast<double>(batch->batch_wall_micros) * 1e-6;
+  report.queries_per_second =
+      report.batch_wall_seconds > 0.0
+          ? static_cast<double>(report.num_queries) / report.batch_wall_seconds
+          : 0.0;
+  report.wall = batch->wall;
+  report.model = batch->model;
+
+  // Reduce per-query metrics serially in input order, so the report is
+  // identical whatever thread interleaving produced the results.
+  for (size_t q = 0; q < batch->results.size(); ++q) {
+    const SearchResult& result = batch->results[q];
+    report.mean_chunks_read += static_cast<double>(result.chunks_read);
+    if (truth != nullptr) {
+      report.mean_final_precision +=
+          PrecisionAtK(result.neighbors, truth->TruthFor(q), k);
+    }
+  }
+  if (report.num_queries > 0) {
+    const double n = static_cast<double>(report.num_queries);
+    report.mean_chunks_read /= n;
+    report.mean_final_precision /= n;
+  }
+  return report;
+}
+
 }  // namespace qvt

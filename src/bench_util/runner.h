@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/batch_searcher.h"
 #include "core/exact_scan.h"
 #include "core/searcher.h"
 #include "descriptor/workload.h"
@@ -43,6 +44,31 @@ StatusOr<QualityCurves> RunWorkload(const Searcher& searcher,
                                     const Workload& workload,
                                     const GroundTruth& truth, size_t k,
                                     const StopRule& stop = StopRule::Exact());
+
+/// Aggregate report of one concurrent batch run (no per-chunk curves — the
+/// per-chunk observer is a serial-methodology instrument; the batch engine
+/// reports throughput and tail latency instead).
+struct BatchRunReport {
+  size_t num_queries = 0;
+  size_t num_threads = 1;
+  double batch_wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  LatencyPercentiles wall;   ///< per-query wall micros
+  LatencyPercentiles model;  ///< per-query cost-model micros
+  double mean_chunks_read = 0.0;
+  /// Precision@k against `truth`; 0 when no truth was supplied.
+  double mean_final_precision = 0.0;
+};
+
+/// Runs every query of `workload` through a BatchSearcher over `searcher`
+/// with `num_threads` workers. `truth` may be null (skips precision
+/// scoring). With num_threads == 1 the per-query results are bit-identical
+/// to looping Searcher::Search serially.
+StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
+                                          const Workload& workload,
+                                          const GroundTruth* truth, size_t k,
+                                          const StopRule& stop,
+                                          size_t num_threads);
 
 }  // namespace qvt
 

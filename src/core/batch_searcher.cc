@@ -1,0 +1,90 @@
+#include "core/batch_searcher.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "util/clock.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace qvt {
+
+namespace {
+
+LatencyPercentiles Percentiles(const std::vector<SearchResult>& results,
+                               int64_t SearchResult::* field) {
+  LatencyPercentiles out;
+  if (results.empty()) return out;
+  SampleStats stats;
+  for (const SearchResult& r : results) {
+    stats.Add(static_cast<double>(r.*field));
+  }
+  out.p50 = static_cast<int64_t>(stats.Percentile(50));
+  out.p95 = static_cast<int64_t>(stats.Percentile(95));
+  out.p99 = static_cast<int64_t>(stats.Percentile(99));
+  out.max = static_cast<int64_t>(stats.Max());
+  out.mean = stats.Mean();
+  return out;
+}
+
+}  // namespace
+
+BatchSearcher::BatchSearcher(const Searcher* searcher, size_t num_threads)
+    : searcher_(searcher), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
+    const Workload& queries, size_t k, const StopRule& stop) const {
+  const size_t n = queries.num_queries();
+  BatchSearchResult batch;
+  batch.num_threads = num_threads_;
+  batch.results.resize(n);
+
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+
+  if (num_threads_ == 1 || n <= 1) {
+    // Serial fast path: same loop a caller would write around Search(),
+    // preserving the paper's single-stream methodology exactly.
+    SearchScratch scratch;
+    for (size_t q = 0; q < n; ++q) {
+      auto result =
+          searcher_->Search(queries.Query(q), k, stop, nullptr, &scratch);
+      if (!result.ok()) return result.status();
+      batch.results[q] = std::move(result).value();
+    }
+  } else {
+    std::atomic<size_t> next_query{0};
+    std::mutex error_mu;
+    Status first_error = Status::OK();
+
+    ThreadPool pool(num_threads_);
+    for (size_t t = 0; t < num_threads_; ++t) {
+      pool.Submit([&] {
+        SearchScratch scratch;  // one per worker, reused across its queries
+        for (;;) {
+          const size_t q = next_query.fetch_add(1, std::memory_order_relaxed);
+          if (q >= n) return;
+          auto result =
+              searcher_->Search(queries.Query(q), k, stop, nullptr, &scratch);
+          if (!result.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = result.status();
+            return;
+          }
+          batch.results[q] = std::move(result).value();
+        }
+      });
+    }
+    pool.Wait();
+    if (!first_error.ok()) return first_error;
+  }
+
+  batch.batch_wall_micros = stopwatch.ElapsedMicros();
+  batch.wall = Percentiles(batch.results, &SearchResult::wall_elapsed_micros);
+  batch.model =
+      Percentiles(batch.results, &SearchResult::model_elapsed_micros);
+  return batch;
+}
+
+}  // namespace qvt

@@ -1,0 +1,71 @@
+#ifndef QVT_CORE_BATCH_SEARCHER_H_
+#define QVT_CORE_BATCH_SEARCHER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/searcher.h"
+#include "descriptor/workload.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// Latency distribution over the per-query times of one batch, in
+/// microseconds. Per-query latency variability under concurrent load is a
+/// first-class metric for cluster-based indexes (Tavenard et al.); p95/p99
+/// expose the tail the mean hides.
+struct LatencyPercentiles {
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+};
+
+/// Outcome of one batch: per-query results in input order plus aggregate
+/// timing.
+struct BatchSearchResult {
+  /// results[i] answers queries.Query(i), regardless of which worker ran it.
+  std::vector<SearchResult> results;
+  /// Wall time of the whole batch (submission to last completion).
+  int64_t batch_wall_micros = 0;
+  /// Distribution of per-query wall latencies.
+  LatencyPercentiles wall;
+  /// Distribution of per-query modeled (cost-model) latencies. Independent
+  /// of the thread count: the model charges each query as if it ran alone.
+  LatencyPercentiles model;
+  size_t num_threads = 1;
+};
+
+/// Fans a query workload out across a fixed-size thread pool. Every worker
+/// thread owns a SearchScratch and pulls query indices from a shared atomic
+/// cursor, so the division of labor adapts to per-query cost skew (the
+/// paper's giant BAG chunks make that skew severe, Fig. 1).
+///
+/// With num_threads == 1 no pool is created and queries run in submission
+/// order on the calling thread — bit-identical to looping over
+/// Searcher::Search, which keeps the paper's figure benchmarks reproducible.
+/// With more threads, per-query neighbors, chunks_read, and modeled times
+/// are still deterministic (all per-query state is private; ties are broken
+/// by descriptor id); only wall-clock figures vary run to run.
+class BatchSearcher {
+ public:
+  /// `searcher` is borrowed and must outlive the batch searcher.
+  BatchSearcher(const Searcher* searcher, size_t num_threads);
+
+  /// Runs every query of `queries` for its k nearest neighbors under `stop`.
+  /// Fails with the first per-query error, if any.
+  StatusOr<BatchSearchResult> SearchAll(const Workload& queries, size_t k,
+                                        const StopRule& stop) const;
+
+  size_t num_threads() const { return num_threads_; }
+
+ private:
+  const Searcher* searcher_;
+  size_t num_threads_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_BATCH_SEARCHER_H_

@@ -7,8 +7,13 @@
 namespace qvt {
 
 namespace {
+// Candidates are ordered by (distance, id); the heap keeps the lexicographic
+// worst at the front. Breaking exact-distance ties by id makes the retained
+// set independent of insertion order — serial, threaded, and differently
+// chunked scans of the same candidates all report the same neighbors.
 bool HeapLess(const Neighbor& a, const Neighbor& b) {
-  return a.distance < b.distance;
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
 }
 }  // namespace
 
@@ -23,7 +28,11 @@ bool KnnResultSet::Insert(DescriptorId id, double distance) {
     std::push_heap(heap_.begin(), heap_.end(), HeapLess);
     return true;
   }
-  if (distance >= heap_.front().distance) return false;
+  const Neighbor& worst = heap_.front();
+  if (distance > worst.distance ||
+      (distance == worst.distance && id >= worst.id)) {
+    return false;
+  }
   std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
   heap_.back() = {id, distance};
   std::push_heap(heap_.begin(), heap_.end(), HeapLess);

@@ -17,7 +17,9 @@ struct Neighbor {
 
 /// Bounded max-heap holding the current k best candidates during a search.
 /// Insert is O(log k) and a no-op when the candidate is worse than the
-/// current k-th distance.
+/// current k-th under (distance, id) order — exact-distance ties are broken
+/// by the smaller descriptor id, so the final set does not depend on the
+/// order candidates were offered (scan order, chunker, or thread schedule).
 class KnnResultSet {
  public:
   explicit KnnResultSet(size_t k);

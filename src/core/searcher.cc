@@ -14,51 +14,81 @@ Searcher::Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
   QVT_CHECK(index != nullptr);
 }
 
-StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
-                                        size_t k, const StopRule& stop,
-                                        const SearchObserver& observer) const {
-  if (k == 0) return Status::InvalidArgument("k must be positive");
-  if (query.size() != index_->dim()) {
-    return Status::InvalidArgument("query dimensionality mismatch");
-  }
+int64_t Searcher::RankChunks(std::span<const float> query,
+                             SearchScratch& scratch) const {
   const size_t num_chunks = index_->num_chunks();
-
-  WallClock wall;
-  Stopwatch stopwatch(&wall);
-  int64_t model_micros = 0;
-
-  // --- Step 1: rank all chunks by centroid distance (§4.3). ---------------
-  rank_order_.resize(num_chunks);
-  centroid_distance_.resize(num_chunks);
+  scratch.rank_order.resize(num_chunks);
+  scratch.centroid_distance.resize(num_chunks);
   for (size_t i = 0; i < num_chunks; ++i) {
-    rank_order_[i] = static_cast<uint32_t>(i);
-    centroid_distance_[i] =
+    scratch.rank_order[i] = static_cast<uint32_t>(i);
+    scratch.centroid_distance[i] =
         vec::Distance(index_->entry(i).bounds.center, query);
   }
-  std::sort(rank_order_.begin(), rank_order_.end(),
+  std::sort(scratch.rank_order.begin(), scratch.rank_order.end(),
             [&](uint32_t a, uint32_t b) {
-              if (centroid_distance_[a] != centroid_distance_[b]) {
-                return centroid_distance_[a] < centroid_distance_[b];
+              if (scratch.centroid_distance[a] !=
+                  scratch.centroid_distance[b]) {
+                return scratch.centroid_distance[a] <
+                       scratch.centroid_distance[b];
               }
               return a < b;
             });
-  model_micros += cost_model_.IndexScanMicros(num_chunks);
 
   // Suffix minimum of the chunk lower bounds (centroid distance - radius)
-  // over the ranked order. suffix_min_bound_[r] is the closest any
+  // over the ranked order. suffix_min_bound[r] is the closest any
   // descriptor in chunks ranked >= r can be to the query; the exact stop
   // rule fires when it exceeds the k-th distance. (The paper phrases the
   // rule as "minimum distance to the next chunk"; taking the minimum over
   // all remaining chunks is what makes the guarantee airtight, since
   // centroid order is not lower-bound order.)
-  suffix_min_bound_.resize(num_chunks + 1);
-  suffix_min_bound_[num_chunks] = std::numeric_limits<double>::infinity();
+  scratch.suffix_min_bound.resize(num_chunks + 1);
+  scratch.suffix_min_bound[num_chunks] =
+      std::numeric_limits<double>::infinity();
   for (size_t r = num_chunks; r-- > 0;) {
-    const uint32_t chunk_id = rank_order_[r];
-    const double lower_bound = std::max(
-        0.0, centroid_distance_[chunk_id] - index_->entry(chunk_id).bounds.radius);
-    suffix_min_bound_[r] = std::min(suffix_min_bound_[r + 1], lower_bound);
+    const uint32_t chunk_id = scratch.rank_order[r];
+    const double lower_bound =
+        std::max(0.0, scratch.centroid_distance[chunk_id] -
+                          index_->entry(chunk_id).bounds.radius);
+    scratch.suffix_min_bound[r] =
+        std::min(scratch.suffix_min_bound[r + 1], lower_bound);
   }
+  return cost_model_.IndexScanMicros(num_chunks);
+}
+
+Status Searcher::FetchChunk(uint32_t chunk_id, SearchScratch& scratch,
+                            std::shared_ptr<const ChunkData>* cache_ref,
+                            const ChunkData** data, bool* from_cache) const {
+  *from_cache = false;
+  if (cache_ != nullptr) {
+    *cache_ref = cache_->Get(chunk_id);
+    if (*cache_ref != nullptr) {
+      *data = cache_ref->get();
+      *from_cache = true;
+      return Status::OK();
+    }
+  }
+  QVT_RETURN_IF_ERROR(index_->ReadChunk(chunk_id, &scratch.chunk));
+  *data = &scratch.chunk;
+  return Status::OK();
+}
+
+StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
+                                        size_t k, const StopRule& stop,
+                                        const SearchObserver& observer,
+                                        SearchScratch* scratch) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.size() != index_->dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  SearchScratch local_scratch;
+  SearchScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  const size_t num_chunks = index_->num_chunks();
+
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+
+  // --- Step 1: rank all chunks by centroid distance (§4.3). ---------------
+  int64_t model_micros = RankChunks(query, s);
 
   // --- Steps 2 & 3: scan chunks in rank order under the stop rule. --------
   KnnResultSet result_set(k);
@@ -75,25 +105,20 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
       break;
     }
     if (stop.kind == StopRule::Kind::kExact && result_set.full() &&
-        suffix_min_bound_[r] * (1.0 + stop.epsilon) >
+        s.suffix_min_bound[r] * (1.0 + stop.epsilon) >
             result_set.KthDistance()) {
       result.exact = stop.epsilon == 0.0;
       break;
     }
 
-    const uint32_t chunk_id = rank_order_[r];
+    const uint32_t chunk_id = s.rank_order[r];
     const ChunkIndexEntry& entry = index_->entry(chunk_id);
 
+    std::shared_ptr<const ChunkData> cache_ref;
     const ChunkData* data = nullptr;
     bool from_cache = false;
-    if (cache_ != nullptr) {
-      data = cache_->Get(chunk_id);
-      from_cache = data != nullptr;
-    }
-    if (data == nullptr) {
-      QVT_RETURN_IF_ERROR(index_->ReadChunk(chunk_id, &chunk_));
-      data = &chunk_;
-    }
+    QVT_RETURN_IF_ERROR(
+        FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
 
     for (size_t i = 0; i < data->size(); ++i) {
       const double d = vec::Distance(data->Vector(i), query);
@@ -109,7 +134,11 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
             : cost_model_.ChunkTotalMicros(entry.location.num_pages,
                                            entry.location.num_descriptors);
     if (cache_ != nullptr && !from_cache) {
-      cache_->Put(chunk_id, chunk_, entry.location.num_pages);
+      // The chunk was scanned above, so the buffer can be moved into the
+      // cache instead of copied; scratch.chunk is left empty-but-valid.
+      data = nullptr;
+      cache_->Put(chunk_id, std::move(s.chunk), entry.location.num_pages);
+      s.chunk = ChunkData();
     }
 
     if (observer) {
@@ -138,45 +167,23 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
 
 StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
                                              double radius,
-                                             const StopRule& stop) const {
+                                             const StopRule& stop,
+                                             SearchScratch* scratch) const {
   if (radius < 0.0) {
     return Status::InvalidArgument("radius must be non-negative");
   }
   if (query.size() != index_->dim()) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
+  SearchScratch local_scratch;
+  SearchScratch& s = scratch != nullptr ? *scratch : local_scratch;
   const size_t num_chunks = index_->num_chunks();
 
   WallClock wall;
   Stopwatch stopwatch(&wall);
-  int64_t model_micros = 0;
 
   // Rank chunks by centroid distance, as in Search().
-  rank_order_.resize(num_chunks);
-  centroid_distance_.resize(num_chunks);
-  for (size_t i = 0; i < num_chunks; ++i) {
-    rank_order_[i] = static_cast<uint32_t>(i);
-    centroid_distance_[i] =
-        vec::Distance(index_->entry(i).bounds.center, query);
-  }
-  std::sort(rank_order_.begin(), rank_order_.end(),
-            [&](uint32_t a, uint32_t b) {
-              if (centroid_distance_[a] != centroid_distance_[b]) {
-                return centroid_distance_[a] < centroid_distance_[b];
-              }
-              return a < b;
-            });
-  model_micros += cost_model_.IndexScanMicros(num_chunks);
-
-  suffix_min_bound_.resize(num_chunks + 1);
-  suffix_min_bound_[num_chunks] = std::numeric_limits<double>::infinity();
-  for (size_t r = num_chunks; r-- > 0;) {
-    const uint32_t chunk_id = rank_order_[r];
-    const double lower_bound =
-        std::max(0.0, centroid_distance_[chunk_id] -
-                          index_->entry(chunk_id).bounds.radius);
-    suffix_min_bound_[r] = std::min(suffix_min_bound_[r + 1], lower_bound);
-  }
+  int64_t model_micros = RankChunks(query, s);
 
   SearchResult result;
   for (size_t r = 0; r < num_chunks; ++r) {
@@ -189,27 +196,41 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
       break;
     }
     if (stop.kind == StopRule::Kind::kExact &&
-        suffix_min_bound_[r] > radius) {
+        s.suffix_min_bound[r] > radius) {
       result.exact = true;
       break;
     }
     // Skip chunks whose own bound proves they cannot intersect the ball
     // (cheap: the ranking is already computed; no I/O is charged).
-    const uint32_t chunk_id = rank_order_[r];
+    const uint32_t chunk_id = s.rank_order[r];
     const ChunkIndexEntry& entry = index_->entry(chunk_id);
-    if (centroid_distance_[chunk_id] - entry.bounds.radius > radius) {
+    if (s.centroid_distance[chunk_id] - entry.bounds.radius > radius) {
       continue;
     }
 
-    QVT_RETURN_IF_ERROR(index_->ReadChunk(chunk_id, &chunk_));
-    for (size_t i = 0; i < chunk_.size(); ++i) {
-      const double d = vec::Distance(chunk_.Vector(i), query);
-      if (d <= radius) result.neighbors.push_back({chunk_.ids[i], d});
+    std::shared_ptr<const ChunkData> cache_ref;
+    const ChunkData* data = nullptr;
+    bool from_cache = false;
+    QVT_RETURN_IF_ERROR(
+        FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
+
+    for (size_t i = 0; i < data->size(); ++i) {
+      const double d = vec::Distance(data->Vector(i), query);
+      if (d <= radius) result.neighbors.push_back({data->ids[i], d});
     }
     ++result.chunks_read;
-    result.descriptors_processed += chunk_.size();
-    model_micros += cost_model_.ChunkTotalMicros(
-        entry.location.num_pages, entry.location.num_descriptors);
+    result.descriptors_processed += data->size();
+    // Same accounting as Search(): resident chunks cost CPU only.
+    model_micros +=
+        from_cache
+            ? cost_model_.ChunkCpuMicros(entry.location.num_descriptors)
+            : cost_model_.ChunkTotalMicros(entry.location.num_pages,
+                                           entry.location.num_descriptors);
+    if (cache_ != nullptr && !from_cache) {
+      data = nullptr;
+      cache_->Put(chunk_id, std::move(s.chunk), entry.location.num_pages);
+      s.chunk = ChunkData();
+    }
   }
   if (stop.kind == StopRule::Kind::kExact) result.exact = true;
 

@@ -2,6 +2,7 @@
 #define QVT_CORE_SEARCHER_H_
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -78,6 +79,17 @@ struct SearchResult {
   bool exact = false;
 };
 
+/// Per-call working memory of one search. A Searcher holds no mutable state
+/// of its own; callers that issue many queries from one thread pass the same
+/// scratch back in to reuse its allocations, and concurrent callers simply
+/// use one scratch per thread.
+struct SearchScratch {
+  std::vector<uint32_t> rank_order;
+  std::vector<double> centroid_distance;
+  std::vector<double> suffix_min_bound;
+  ChunkData chunk;
+};
+
 /// The approximate search algorithm of §4.3 over a ChunkIndex:
 ///  1. compute the distance from the query to every chunk centroid and rank
 ///     chunks by increasing distance;
@@ -88,6 +100,11 @@ struct SearchResult {
 /// Elapsed time is tracked twice: on the host wall clock and on the
 /// DiskCostModel (deterministic 2005-hardware timeline used by the
 /// experiment figures — see DESIGN.md substitution 2).
+///
+/// Thread-safe: all search state lives in a per-call SearchScratch, the
+/// chunk file uses positional reads, and the optional ChunkCache is
+/// internally synchronized, so one Searcher may serve queries from many
+/// threads concurrently (see BatchSearcher and DESIGN.md "Threading model").
 class Searcher {
  public:
   /// `index` is borrowed and must outlive the searcher. `cache`, when
@@ -100,9 +117,12 @@ class Searcher {
 
   /// Runs one query for the k nearest neighbors under `stop`.
   /// `observer`, when set, is invoked after every processed chunk.
+  /// `scratch`, when non-null, supplies reusable working memory; pass one
+  /// scratch per thread when calling concurrently.
   StatusOr<SearchResult> Search(std::span<const float> query, size_t k,
                                 const StopRule& stop,
-                                const SearchObserver& observer = nullptr) const;
+                                const SearchObserver& observer = nullptr,
+                                SearchScratch* scratch = nullptr) const;
 
   /// Range (epsilon-neighbor) search: every stored descriptor within
   /// `radius` of `query`, ascending by distance — the query type of the BAG
@@ -112,19 +132,27 @@ class Searcher {
   /// (subset) answers, kExact stops once no unread chunk can intersect the
   /// query ball.
   StatusOr<SearchResult> SearchRange(std::span<const float> query,
-                                     double radius,
-                                     const StopRule& stop) const;
+                                     double radius, const StopRule& stop,
+                                     SearchScratch* scratch = nullptr) const;
 
  private:
+  /// Step 1 of §4.3 into `scratch`: centroid distances, rank order, and the
+  /// suffix-minimum lower bounds. Returns the modeled index-scan charge.
+  int64_t RankChunks(std::span<const float> query,
+                     SearchScratch& scratch) const;
+
+  /// Fetches chunk `chunk_id` through the cache when present, else from the
+  /// chunk file into `scratch.chunk`. On return `*data` points at the
+  /// descriptors (kept alive by `*cache_ref` on a hit) and `*from_cache`
+  /// says which path was taken; the caller inserts scratch.chunk into the
+  /// cache after scanning it (move, no copy).
+  Status FetchChunk(uint32_t chunk_id, SearchScratch& scratch,
+                    std::shared_ptr<const ChunkData>* cache_ref,
+                    const ChunkData** data, bool* from_cache) const;
+
   const ChunkIndex* index_;
   DiskCostModel cost_model_;
   ChunkCache* cache_;
-
-  // Scratch reused across queries (a Searcher is single-threaded).
-  mutable std::vector<uint32_t> rank_order_;
-  mutable std::vector<double> centroid_distance_;
-  mutable std::vector<double> suffix_min_bound_;
-  mutable ChunkData chunk_;
 };
 
 }  // namespace qvt

@@ -94,7 +94,7 @@ StatusOr<Collection> Collection::Load(Env* env, const std::string& path,
   if (env->FileExists(path + ".img")) {
     auto img = ReadFileBytes(env, path + ".img");
     if (!img.ok()) return img.status();
-    if (img->size() == n * sizeof(ImageId)) {
+    if (!img->empty() && img->size() == n * sizeof(ImageId)) {
       std::memcpy(out.image_ids_.data(), img->data(), img->size());
     } else if (!img->empty()) {
       return Status::Corruption("image-id sidecar has wrong size");

@@ -1,52 +1,121 @@
 #include "storage/chunk_cache.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace qvt {
 
-ChunkCache::ChunkCache(uint64_t capacity_pages)
-    : capacity_pages_(capacity_pages) {
-  QVT_CHECK(capacity_pages > 0);
+namespace {
+
+// splitmix64 finalizer: chunk ids are small sequential integers, so a plain
+// modulo would map contiguous ranks to the same shard.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
-const ChunkData* ChunkCache::Get(uint64_t chunk_id) {
-  const auto it = entries_.find(chunk_id);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+}  // namespace
+
+ChunkCache::ChunkCache(uint64_t capacity_pages, size_t num_shards)
+    : capacity_pages_(capacity_pages) {
+  QVT_CHECK(capacity_pages > 0);
+  num_shards = std::clamp<size_t>(num_shards, 1,
+                                  static_cast<size_t>(std::min<uint64_t>(
+                                      capacity_pages, 1 << 10)));
+  shards_.reserve(num_shards);
+  const uint64_t base = capacity_pages / num_shards;
+  const uint64_t remainder = capacity_pages % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity_pages = base + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ChunkCache::Shard& ChunkCache::ShardFor(uint64_t chunk_id) {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[Mix(chunk_id) % shards_.size()];
+}
+
+std::shared_ptr<const ChunkData> ChunkCache::Get(uint64_t chunk_id) {
+  Shard& shard = ShardFor(chunk_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(chunk_id);
+  if (it == shard.entries.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return &it->second->chunk;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // to front
+  return it->second->chunk;
 }
 
 void ChunkCache::Put(uint64_t chunk_id, ChunkData chunk, uint32_t pages) {
-  if (pages > capacity_pages_) return;  // would evict everything for nothing
-  const auto it = entries_.find(chunk_id);
-  if (it != entries_.end()) {
-    used_pages_ -= it->second->pages;
-    lru_.erase(it->second);
-    entries_.erase(it);
+  Shard& shard = ShardFor(chunk_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (pages > shard.capacity_pages) return;  // would evict all for nothing
+  const auto it = shard.entries.find(chunk_id);
+  if (it != shard.entries.end()) {
+    shard.used_pages -= it->second->pages;
+    shard.lru.erase(it->second);
+    shard.entries.erase(it);
   }
-  EvictUntilFits(pages);
-  lru_.push_front(Entry{chunk_id, std::move(chunk), pages});
-  entries_[chunk_id] = lru_.begin();
-  used_pages_ += pages;
+  EvictUntilFits(shard, pages);
+  shard.lru.push_front(
+      Entry{chunk_id, std::make_shared<const ChunkData>(std::move(chunk)),
+            pages});
+  shard.entries[chunk_id] = shard.lru.begin();
+  shard.used_pages += pages;
 }
 
 void ChunkCache::Clear() {
-  lru_.clear();
-  entries_.clear();
-  used_pages_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->entries.clear();
+    shard->used_pages = 0;
+  }
 }
 
-void ChunkCache::EvictUntilFits(uint64_t incoming_pages) {
-  while (used_pages_ + incoming_pages > capacity_pages_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    used_pages_ -= victim.pages;
-    entries_.erase(victim.chunk_id);
-    lru_.pop_back();
-    ++stats_.evictions;
+ChunkCacheStats ChunkCache::Stats() const {
+  ChunkCacheStats stats;
+  for (const auto& shard : shards_) {
+    stats.hits += shard->hits.load(std::memory_order_relaxed);
+    stats.misses += shard->misses.load(std::memory_order_relaxed);
+    stats.evictions += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+uint64_t ChunkCache::used_pages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->used_pages;
+  }
+  return total;
+}
+
+size_t ChunkCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+void ChunkCache::EvictUntilFits(Shard& shard, uint64_t incoming_pages) {
+  while (shard.used_pages + incoming_pages > shard.capacity_pages &&
+         !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.used_pages -= victim.pages;
+    shard.entries.erase(victim.chunk_id);
+    shard.lru.pop_back();  // chunk outlives this via any outstanding Get ref
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,15 +1,20 @@
 #ifndef QVT_STORAGE_CHUNK_CACHE_H_
 #define QVT_STORAGE_CHUNK_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/chunk_file.h"
 
 namespace qvt {
 
-/// Counters of cache effectiveness.
+/// Counters of cache effectiveness. Snapshot type returned by
+/// ChunkCache::Stats(); aggregated across shards.
 struct ChunkCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -22,47 +27,71 @@ struct ChunkCacheStats {
   }
 };
 
-/// LRU cache of materialized chunks, budgeted in pages (the unit the paper's
-/// buffer manager would use; §5.4 runs queries round-robin across indexes
-/// precisely "to eliminate buffering effects" — this class lets experiments
-/// turn those effects back on deliberately).
+/// Thread-safe LRU cache of materialized chunks, budgeted in pages (the unit
+/// the paper's buffer manager would use; §5.4 runs queries round-robin across
+/// indexes precisely "to eliminate buffering effects" — this class lets
+/// experiments turn those effects back on deliberately).
 ///
-/// Single-threaded, like the rest of the search path.
+/// The cache is split into `num_shards` independent LRU shards, each with its
+/// own mutex and page budget (capacity_pages / num_shards, remainder spread
+/// over the first shards). A chunk id always maps to the same shard, so
+/// concurrent queries touching different chunks rarely contend. With
+/// num_shards == 1 (the default) the eviction behavior is exactly the
+/// classic single-list LRU, preserving serial-run reproducibility.
+///
+/// Get() hands out shared ownership: a returned chunk stays alive for as
+/// long as the caller holds the pointer, even if another thread evicts it
+/// from the cache concurrently.
 class ChunkCache {
  public:
-  /// `capacity_pages` bounds the total padded size of cached chunks.
-  explicit ChunkCache(uint64_t capacity_pages);
+  /// `capacity_pages` bounds the total padded size of cached chunks across
+  /// all shards. `num_shards` is clamped to [1, capacity_pages].
+  explicit ChunkCache(uint64_t capacity_pages, size_t num_shards = 1);
 
-  /// Returns the cached chunk for `chunk_id`, or nullptr on miss. The
-  /// pointer stays valid until the next Put() on this cache.
-  const ChunkData* Get(uint64_t chunk_id);
+  /// Returns the cached chunk for `chunk_id`, or nullptr on miss. The chunk
+  /// is kept alive by the returned shared_ptr regardless of later evictions.
+  std::shared_ptr<const ChunkData> Get(uint64_t chunk_id);
 
-  /// Inserts (or refreshes) a chunk occupying `pages` padded pages. Chunks
-  /// larger than the whole capacity are not cached.
+  /// Inserts (or refreshes) a chunk occupying `pages` padded pages. The
+  /// buffer is taken by move — no descriptor data is copied. Chunks larger
+  /// than their shard's whole budget are not cached.
   void Put(uint64_t chunk_id, ChunkData chunk, uint32_t pages);
 
   void Clear();
 
-  const ChunkCacheStats& stats() const { return stats_; }
-  uint64_t used_pages() const { return used_pages_; }
+  /// Aggregate counter snapshot across all shards.
+  ChunkCacheStats Stats() const;
+
+  uint64_t used_pages() const;
   uint64_t capacity_pages() const { return capacity_pages_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct Entry {
     uint64_t chunk_id;
-    ChunkData chunk;
+    std::shared_ptr<const ChunkData> chunk;
     uint32_t pages;
   };
 
-  void EvictUntilFits(uint64_t incoming_pages);
+  struct Shard {
+    mutable std::mutex mu;
+    uint64_t capacity_pages = 0;
+    uint64_t used_pages = 0;
+    // Most-recently-used at the front. Guarded by mu.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> entries;
+    // Lock-free so hot Get() paths never serialize on stats alone.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  Shard& ShardFor(uint64_t chunk_id);
+  static void EvictUntilFits(Shard& shard, uint64_t incoming_pages);
 
   uint64_t capacity_pages_;
-  uint64_t used_pages_ = 0;
-  // Most-recently-used at the front.
-  std::list<Entry> lru_;
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> entries_;
-  ChunkCacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace qvt

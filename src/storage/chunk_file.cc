@@ -98,14 +98,17 @@ Status ChunkFileReader::ReadChunk(const ChunkLocation& location,
   if (payload > bytes) {
     return Status::Corruption("chunk location payload exceeds extent");
   }
-  scratch_.resize(bytes);
-  QVT_RETURN_IF_ERROR(file_->Read(offset, bytes, scratch_.data()));
+  // Per-thread so concurrent readers never share the decode buffer, while
+  // serial search loops still reuse one allocation across chunks.
+  static thread_local std::vector<uint8_t> scratch;
+  scratch.resize(bytes);
+  QVT_RETURN_IF_ERROR(file_->Read(offset, bytes, scratch.data()));
 
   out->dim = dim_;
   out->ids.resize(location.num_descriptors);
   out->values.resize(static_cast<size_t>(location.num_descriptors) * dim_);
   for (uint32_t i = 0; i < location.num_descriptors; ++i) {
-    const uint8_t* record = scratch_.data() + i * record_bytes;
+    const uint8_t* record = scratch.data() + i * record_bytes;
     std::memcpy(&out->ids[i], record, sizeof(DescriptorId));
     std::memcpy(out->values.data() + static_cast<size_t>(i) * dim_,
                 record + sizeof(DescriptorId), dim_ * sizeof(float));

@@ -71,6 +71,10 @@ class ChunkFileWriter {
 };
 
 /// Reads chunks back given their locations.
+///
+/// Thread-safe: ReadChunk may be called concurrently from many threads over
+/// one reader (each thread keeps its own decode scratch; the underlying
+/// RandomAccessFile uses positional reads).
 class ChunkFileReader {
  public:
   static StatusOr<std::unique_ptr<ChunkFileReader>> Open(
@@ -89,7 +93,6 @@ class ChunkFileReader {
 
   std::unique_ptr<RandomAccessFile> file_;
   size_t dim_;
-  mutable std::vector<uint8_t> scratch_;
 };
 
 }  // namespace qvt

@@ -1,5 +1,7 @@
 #include "util/env.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -50,21 +52,27 @@ class PosixWritableFile final : public WritableFile {
 class PosixRandomAccessFile final : public RandomAccessFile {
  public:
   PosixRandomAccessFile(FILE* file, uint64_t size, std::string path)
-      : file_(file), size_(size), path_(std::move(path)) {}
+      : file_(file), fd_(fileno(file)), size_(size), path_(std::move(path)) {}
 
   ~PosixRandomAccessFile() override {
     if (file_ != nullptr) std::fclose(file_);
   }
 
+  // Positional pread so concurrent readers on one handle never interleave a
+  // seek with another thread's read (fseek+fread share the FILE* position).
   Status Read(uint64_t offset, size_t size, void* scratch) const override {
     if (offset + size > size_) {
       return Status::OutOfRange("read past EOF in " + path_);
     }
-    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IoError("fseek failed in " + path_);
-    }
-    if (std::fread(scratch, 1, size, file_) != size) {
-      return Status::IoError("short read in " + path_);
+    uint8_t* dst = static_cast<uint8_t*>(scratch);
+    size_t remaining = size;
+    off_t pos = static_cast<off_t>(offset);
+    while (remaining > 0) {
+      const ssize_t n = ::pread(fd_, dst, remaining, pos);
+      if (n <= 0) return Status::IoError("short read in " + path_);
+      dst += n;
+      pos += n;
+      remaining -= static_cast<size_t>(n);
     }
     return Status::OK();
   }
@@ -72,7 +80,8 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   uint64_t Size() const override { return size_; }
 
  private:
-  FILE* file_;
+  FILE* file_;  // owns the descriptor; reads go through fd_ via pread
+  int fd_;
   uint64_t size_;
   std::string path_;
 };

@@ -1,5 +1,7 @@
 #include "bench_util/index_suite.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include <gtest/gtest.h>
@@ -16,7 +18,10 @@ class IndexSuiteTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     config_ = new ExperimentConfig(ExperimentConfig::Tiny());
-    config_->cache_dir = "/tmp/qvt_cache_test";
+    // Per-process dir: with gtest_discover_tests every test runs in its own
+    // process, so a shared dir would let one process's setup/teardown
+    // remove_all the cache out from under another mid-build.
+    config_->cache_dir = "/tmp/qvt_cache_test_" + std::to_string(::getpid());
     std::filesystem::remove_all(config_->cache_dir);
     auto suite = IndexSuite::BuildOrLoad(*config_, Env::Posix());
     QVT_CHECK_OK(suite.status()) << "suite build failed";

@@ -1,0 +1,221 @@
+#include "core/batch_searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_util/runner.h"
+#include "cluster/round_robin.h"
+#include "cluster/srtree_chunker.h"
+#include "core/exact_scan.h"
+#include "descriptor/generator.h"
+#include "descriptor/workload.h"
+#include "storage/chunk_cache.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+struct BatchFixture {
+  MemEnv env;
+  Collection collection;
+  std::optional<ChunkIndex> index;
+  Workload workload;
+
+  explicit BatchFixture(size_t num_queries = 120, uint64_t seed = 21) {
+    GeneratorConfig config;
+    config.num_images = 40;
+    config.descriptors_per_image = 25;
+    config.num_modes = 8;
+    config.seed = seed;
+    collection = GenerateCollection(config);
+    SrTreeChunker chunker(80);
+    auto chunking = chunker.FormChunks(collection);
+    QVT_CHECK(chunking.ok());
+    auto built = ChunkIndex::Build(collection, *chunking, &env,
+                                   ChunkIndexPaths::ForBase("idx"));
+    QVT_CHECK(built.ok());
+    index.emplace(std::move(built).value());
+    Rng rng(seed + 1);
+    workload = MakeDatasetQueries(collection, num_queries, &rng);
+  }
+};
+
+void ExpectIdenticalResults(const std::vector<SearchResult>& a,
+                            const std::vector<SearchResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a[q].chunks_read, b[q].chunks_read) << "query " << q;
+    EXPECT_EQ(a[q].descriptors_processed, b[q].descriptors_processed)
+        << "query " << q;
+    EXPECT_EQ(a[q].model_elapsed_micros, b[q].model_elapsed_micros)
+        << "query " << q;
+    EXPECT_EQ(a[q].exact, b[q].exact) << "query " << q;
+    ASSERT_EQ(a[q].neighbors.size(), b[q].neighbors.size()) << "query " << q;
+    for (size_t i = 0; i < a[q].neighbors.size(); ++i) {
+      EXPECT_EQ(a[q].neighbors[i].id, b[q].neighbors[i].id)
+          << "query " << q << " rank " << i;
+      EXPECT_DOUBLE_EQ(a[q].neighbors[i].distance, b[q].neighbors[i].distance)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+// The ISSUE's headline determinism test: 8 worker threads must return
+// bit-identical neighbors, chunks_read, and modeled times to the serial
+// searcher, over >= 100 queries.
+TEST(BatchSearcherTest, EightThreadsBitIdenticalToSerial) {
+  BatchFixture fx(/*num_queries=*/120);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  // Reference: the plain serial loop over Searcher::Search.
+  std::vector<SearchResult> serial;
+  for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
+    auto result =
+        searcher.Search(fx.workload.Query(q), 10, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    serial.push_back(std::move(result).value());
+  }
+
+  BatchSearcher threaded(&searcher, 8);
+  auto batch = threaded.SearchAll(fx.workload, 10, StopRule::Exact());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_threads, 8u);
+  ExpectIdenticalResults(batch->results, serial);
+}
+
+TEST(BatchSearcherTest, SingleThreadMatchesSerialLoop) {
+  BatchFixture fx(/*num_queries=*/40);
+  Searcher searcher(&*fx.index, DiskCostModel());
+
+  std::vector<SearchResult> serial;
+  for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
+    auto result = searcher.Search(fx.workload.Query(q), 5,
+                                  StopRule::MaxChunks(3));
+    ASSERT_TRUE(result.ok());
+    serial.push_back(std::move(result).value());
+  }
+
+  BatchSearcher batch_searcher(&searcher, 1);
+  auto batch = batch_searcher.SearchAll(fx.workload, 5, StopRule::MaxChunks(3));
+  ASSERT_TRUE(batch.ok());
+  ExpectIdenticalResults(batch->results, serial);
+}
+
+TEST(BatchSearcherTest, ResultsStayInInputOrder) {
+  BatchFixture fx(/*num_queries=*/100);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  BatchSearcher threaded(&searcher, 8);
+  auto batch = threaded.SearchAll(fx.workload, 3, StopRule::Exact());
+  ASSERT_TRUE(batch.ok());
+  // Dataset queries are collection members: result slot q must hold the
+  // query q whose own descriptor sits at distance 0.
+  for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
+    ASSERT_FALSE(batch->results[q].neighbors.empty()) << "query " << q;
+    EXPECT_DOUBLE_EQ(batch->results[q].neighbors[0].distance, 0.0)
+        << "query " << q;
+  }
+}
+
+TEST(BatchSearcherTest, SharedCacheKeepsAnswersIdentical) {
+  BatchFixture fx(/*num_queries=*/100);
+  Searcher plain(&*fx.index, DiskCostModel());
+  ChunkCache cache(256, /*num_shards=*/4);  // small: eviction under load
+  Searcher cached(&*fx.index, DiskCostModel(), &cache);
+
+  BatchSearcher serial(&plain, 1);
+  auto reference = serial.SearchAll(fx.workload, 10, StopRule::Exact());
+  ASSERT_TRUE(reference.ok());
+
+  BatchSearcher threaded(&cached, 8);
+  auto batch = threaded.SearchAll(fx.workload, 10, StopRule::Exact());
+  ASSERT_TRUE(batch.ok());
+
+  // Neighbors and chunks_read must not depend on cache hits (only the
+  // modeled charge does, which a shared cache makes schedule-dependent).
+  for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
+    const SearchResult& a = batch->results[q];
+    const SearchResult& b = reference->results[q];
+    EXPECT_EQ(a.chunks_read, b.chunks_read) << "query " << q;
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << "query " << q;
+    for (size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id)
+          << "query " << q << " rank " << i;
+    }
+  }
+  const ChunkCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_LE(cache.used_pages(), 256u);
+}
+
+TEST(BatchSearcherTest, PercentilesAreOrdered) {
+  BatchFixture fx(/*num_queries=*/50);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  BatchSearcher batch_searcher(&searcher, 4);
+  auto batch = batch_searcher.SearchAll(fx.workload, 5, StopRule::Exact());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_LE(batch->wall.p50, batch->wall.p95);
+  EXPECT_LE(batch->wall.p95, batch->wall.p99);
+  EXPECT_LE(batch->wall.p99, batch->wall.max);
+  EXPECT_LE(batch->model.p50, batch->model.p95);
+  EXPECT_LE(batch->model.p95, batch->model.p99);
+  EXPECT_LE(batch->model.p99, batch->model.max);
+  EXPECT_GT(batch->model.p50, 0);
+  EXPECT_GE(batch->batch_wall_micros, 0);
+}
+
+TEST(BatchSearcherTest, PropagatesPerQueryErrors) {
+  BatchFixture fx(/*num_queries=*/10);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  BatchSearcher batch_searcher(&searcher, 4);
+  auto bad = batch_searcher.SearchAll(fx.workload, 0, StopRule::Exact());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(BatchSearcherTest, EmptyWorkloadSucceeds) {
+  BatchFixture fx(/*num_queries=*/5);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  BatchSearcher batch_searcher(&searcher, 4);
+  Workload empty;
+  empty.dim = fx.workload.dim;
+  auto batch = batch_searcher.SearchAll(empty, 5, StopRule::Exact());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->results.empty());
+}
+
+// ---------------------------------------------------------------------------
+// bench_util wiring
+// ---------------------------------------------------------------------------
+
+TEST(RunWorkloadBatchTest, ThreadCountDoesNotChangeDeterministicMetrics) {
+  BatchFixture fx(/*num_queries=*/100);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const GroundTruth truth =
+      GroundTruth::Compute(fx.collection, fx.workload, 10);
+
+  auto serial = RunWorkloadBatch(searcher, fx.workload, &truth, 10,
+                                 StopRule::Exact(), 1);
+  auto threaded = RunWorkloadBatch(searcher, fx.workload, &truth, 10,
+                                   StopRule::Exact(), 8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(serial->num_threads, 1u);
+  EXPECT_EQ(threaded->num_threads, 8u);
+  EXPECT_DOUBLE_EQ(serial->mean_chunks_read, threaded->mean_chunks_read);
+  EXPECT_DOUBLE_EQ(serial->mean_final_precision,
+                   threaded->mean_final_precision);
+  EXPECT_DOUBLE_EQ(serial->mean_final_precision, 1.0);  // exact stop rule
+  EXPECT_EQ(serial->model.p50, threaded->model.p50);
+  EXPECT_EQ(serial->model.p99, threaded->model.p99);
+}
+
+TEST(RunWorkloadBatchTest, RejectsMismatchedTruth) {
+  BatchFixture fx(/*num_queries=*/10);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const GroundTruth truth = GroundTruth::Compute(fx.collection, fx.workload, 5);
+  auto report = RunWorkloadBatch(searcher, fx.workload, &truth, 10,
+                                 StopRule::Exact(), 2);
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace qvt

@@ -33,11 +33,33 @@ TEST(KnnResultSetTest, EvictsWorst) {
   EXPECT_DOUBLE_EQ(set.KthDistance(), 3.0);
 }
 
-TEST(KnnResultSetTest, EqualDistanceIsNotAnImprovement) {
+TEST(KnnResultSetTest, EqualDistanceTiesBreakBySmallerId) {
   KnnResultSet set(1);
-  set.Insert(1, 2.0);
-  EXPECT_FALSE(set.Insert(2, 2.0));
+  set.Insert(5, 2.0);
+  // Larger id at the same distance loses; smaller id wins.
+  EXPECT_FALSE(set.Insert(9, 2.0));
+  EXPECT_EQ(set.Sorted()[0].id, 5u);
+  EXPECT_TRUE(set.Insert(1, 2.0));
   EXPECT_EQ(set.Sorted()[0].id, 1u);
+  EXPECT_DOUBLE_EQ(set.KthDistance(), 2.0);
+}
+
+TEST(KnnResultSetTest, TiedSetIndependentOfInsertionOrder) {
+  // Five candidates at the same distance, k = 3: whatever the offer order,
+  // the kept set must be the three smallest ids — the determinism the
+  // threaded and serial search paths rely on at distance ties.
+  const DescriptorId ids[] = {40, 10, 30, 50, 20};
+  std::vector<DescriptorId> order(std::begin(ids), std::end(ids));
+  std::sort(order.begin(), order.end());
+  do {
+    KnnResultSet set(3);
+    for (const DescriptorId id : order) set.Insert(id, 7.5);
+    const auto sorted = set.Sorted();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].id, 10u);
+    EXPECT_EQ(sorted[1].id, 20u);
+    EXPECT_EQ(sorted[2].id, 30u);
+  } while (std::next_permutation(order.begin(), order.end()));
 }
 
 TEST(KnnResultSetTest, SortedIsAscendingAndStable) {

@@ -1,5 +1,10 @@
 #include "storage/chunk_cache.h"
 
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "cluster/srtree_chunker.h"
@@ -7,6 +12,7 @@
 #include "core/searcher.h"
 #include "descriptor/generator.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace qvt {
 namespace {
@@ -27,11 +33,11 @@ TEST(ChunkCacheTest, MissThenHit) {
   ChunkCache cache(10);
   EXPECT_EQ(cache.Get(1), nullptr);
   cache.Put(1, MakeChunk(3, 100), 2);
-  const ChunkData* hit = cache.Get(1);
+  const auto hit = cache.Get(1);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->ids[0], 100u);
-  EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().misses, 1u);
   EXPECT_EQ(cache.used_pages(), 2u);
 }
 
@@ -44,7 +50,7 @@ TEST(ChunkCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_NE(cache.Get(1), nullptr);
   EXPECT_EQ(cache.Get(2), nullptr);
   EXPECT_NE(cache.Get(3), nullptr);
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
   EXPECT_LE(cache.used_pages(), 4u);
 }
 
@@ -59,7 +65,7 @@ TEST(ChunkCacheTest, PutRefreshesExistingEntry) {
   ChunkCache cache(10);
   cache.Put(1, MakeChunk(1, 0), 2);
   cache.Put(1, MakeChunk(2, 50), 3);
-  const ChunkData* hit = cache.Get(1);
+  const auto hit = cache.Get(1);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->size(), 2u);
   EXPECT_EQ(hit->ids[0], 50u);
@@ -82,7 +88,114 @@ TEST(ChunkCacheTest, HitRate) {
   cache.Get(1);
   cache.Get(1);
   cache.Get(2);
-  EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cache.Stats().HitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ChunkCacheTest, EvictedChunkOutlivesEvictionWhileReferenced) {
+  ChunkCache cache(2);
+  cache.Put(1, MakeChunk(3, 100), 2);
+  const auto held = cache.Get(1);
+  ASSERT_NE(held, nullptr);
+  cache.Put(2, MakeChunk(1, 200), 2);  // evicts chunk 1
+  EXPECT_EQ(cache.Get(1), nullptr);
+  // The outstanding reference still reads valid data.
+  EXPECT_EQ(held->size(), 3u);
+  EXPECT_EQ(held->ids[2], 102u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+TEST(ShardedChunkCacheTest, ShardCountClampedToCapacity) {
+  ChunkCache tiny(3, 16);
+  EXPECT_EQ(tiny.num_shards(), 3u);
+  ChunkCache one(10, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+  ChunkCache wide(1000, 8);
+  EXPECT_EQ(wide.num_shards(), 8u);
+}
+
+TEST(ShardedChunkCacheTest, BudgetHeldAcrossShards) {
+  ChunkCache cache(64, 4);
+  for (uint64_t id = 0; id < 200; ++id) {
+    cache.Put(id, MakeChunk(1, static_cast<DescriptorId>(id)), 3);
+  }
+  // Per-shard budgets sum to the total capacity, so the global page budget
+  // is an invariant no interleaving can break.
+  EXPECT_LE(cache.used_pages(), 64u);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.Stats().evictions, 0u);
+}
+
+TEST(ShardedChunkCacheTest, StatsAggregateOverShards) {
+  ChunkCache cache(100, 4);
+  for (uint64_t id = 0; id < 20; ++id) {
+    cache.Put(id, MakeChunk(1, 0), 1);
+  }
+  for (uint64_t id = 0; id < 20; ++id) {
+    EXPECT_NE(cache.Get(id), nullptr) << "chunk " << id;
+  }
+  for (uint64_t id = 100; id < 110; ++id) {
+    EXPECT_EQ(cache.Get(id), nullptr);
+  }
+  const ChunkCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 20u);
+  EXPECT_EQ(stats.misses, 10u);
+}
+
+// The ISSUE's hammer test: many threads mixing Get/Put on a small sharded
+// cache. Checks (a) no crash/race (run under TSan via QVT_SANITIZE=thread),
+// (b) page budget and stats invariants hold afterwards, (c) every hit
+// observes internally consistent chunk data even across evictions.
+TEST(ShardedChunkCacheTest, ConcurrentHammerKeepsInvariants) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 4000;
+  constexpr uint64_t kIdSpace = 64;
+  constexpr uint64_t kCapacity = 48;  // forces steady eviction churn
+
+  ChunkCache cache(kCapacity, 4);
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> bad_reads{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1234 + t);
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        const uint64_t id = rng.Uniform(kIdSpace);
+        if (rng.Uniform(3) == 0) {
+          // Chunk contents are a function of the id, so readers can verify.
+          cache.Put(id, MakeChunk(2, static_cast<DescriptorId>(id * 10)),
+                    static_cast<uint32_t>(1 + id % 3));
+        } else {
+          gets.fetch_add(1, std::memory_order_relaxed);
+          const auto chunk = cache.Get(id);
+          if (chunk != nullptr &&
+              (chunk->size() != 2 ||
+               chunk->ids[0] != static_cast<DescriptorId>(id * 10))) {
+            bad_reads.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(bad_reads.load(), 0u);
+  EXPECT_LE(cache.used_pages(), kCapacity);
+  const ChunkCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load());
+  // Re-walk the id space serially: everything still resident must verify.
+  size_t resident = 0;
+  for (uint64_t id = 0; id < kIdSpace; ++id) {
+    const auto chunk = cache.Get(id);
+    if (chunk == nullptr) continue;
+    ++resident;
+    ASSERT_EQ(chunk->size(), 2u);
+    EXPECT_EQ(chunk->ids[0], static_cast<DescriptorId>(id * 10));
+  }
+  EXPECT_EQ(resident, cache.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -118,14 +231,14 @@ TEST(CachedSearcherTest, RepeatedQueryHitsCache) {
 
   auto cold = searcher.Search(fx.collection.Vector(5), 10, StopRule::Exact());
   ASSERT_TRUE(cold.ok());
-  EXPECT_EQ(cache.stats().hits, 0u);
-  const uint64_t misses_after_cold = cache.stats().misses;
+  EXPECT_EQ(cache.Stats().hits, 0u);
+  const uint64_t misses_after_cold = cache.Stats().misses;
   EXPECT_GT(misses_after_cold, 0u);
 
   auto warm = searcher.Search(fx.collection.Vector(5), 10, StopRule::Exact());
   ASSERT_TRUE(warm.ok());
-  EXPECT_EQ(cache.stats().misses, misses_after_cold);  // all hits now
-  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.Stats().misses, misses_after_cold);  // all hits now
+  EXPECT_GT(cache.Stats().hits, 0u);
 
   // Identical answers, cheaper modeled time (no I/O charges on hits).
   ASSERT_EQ(cold->neighbors.size(), warm->neighbors.size());
@@ -150,6 +263,58 @@ TEST(CachedSearcherTest, CacheAgreesWithUncachedSearch) {
     for (size_t i = 0; i < a->neighbors.size(); ++i) {
       EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id);
       EXPECT_DOUBLE_EQ(a->neighbors[i].distance, b->neighbors[i].distance);
+    }
+  }
+}
+
+// Satellite regression: SearchRange must route chunk reads through the cache
+// and charge CPU-only on hits, exactly like Search.
+TEST(CachedSearcherTest, RangeSearchUsesCache) {
+  SearchFixture fx;
+  ChunkCache cache(100000);
+  Searcher searcher(&*fx.index, DiskCostModel(), &cache);
+  const auto query = fx.collection.Vector(17);
+  const double radius = 10.0;
+
+  auto cold = searcher.SearchRange(query, radius, StopRule::Exact());
+  ASSERT_TRUE(cold.ok());
+  const ChunkCacheStats after_cold = cache.Stats();
+  EXPECT_GT(after_cold.misses, 0u);
+
+  auto warm = searcher.SearchRange(query, radius, StopRule::Exact());
+  ASSERT_TRUE(warm.ok());
+  const ChunkCacheStats after_warm = cache.Stats();
+  EXPECT_EQ(after_warm.misses, after_cold.misses);  // all resident now
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+
+  // Same answer, but hits were charged ChunkCpuMicros instead of full I/O.
+  ASSERT_EQ(cold->neighbors.size(), warm->neighbors.size());
+  for (size_t i = 0; i < cold->neighbors.size(); ++i) {
+    EXPECT_EQ(cold->neighbors[i].id, warm->neighbors[i].id);
+  }
+  EXPECT_LT(warm->model_elapsed_micros, cold->model_elapsed_micros);
+}
+
+TEST(CachedSearcherTest, RangeSearchCacheAgreesWithUncached) {
+  SearchFixture fx;
+  ChunkCache cache(64);  // eviction churn
+  Searcher cached(&*fx.index, DiskCostModel(), &cache);
+  Searcher plain(&*fx.index, DiskCostModel());
+
+  for (size_t pos : {3u, 77u, 400u}) {
+    for (double radius : {4.0, 9.0}) {
+      auto a = cached.SearchRange(fx.collection.Vector(pos), radius,
+                                  StopRule::Exact());
+      auto b = plain.SearchRange(fx.collection.Vector(pos), radius,
+                                 StopRule::Exact());
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->chunks_read, b->chunks_read);
+      ASSERT_EQ(a->neighbors.size(), b->neighbors.size());
+      for (size_t i = 0; i < a->neighbors.size(); ++i) {
+        EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id);
+        EXPECT_DOUBLE_EQ(a->neighbors[i].distance, b->neighbors[i].distance);
+      }
     }
   }
 }

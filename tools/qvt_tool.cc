@@ -7,6 +7,9 @@
 //   qvt_tool info     --index idx
 //   qvt_tool search   --collection col.desc --index idx --query-pos 123
 //                     [--k 10] [--max-chunks 0 (=exact)]
+//   qvt_tool batch    --collection col.desc --index idx [--queries 1000]
+//                     [--k 10] [--threads 1] [--max-chunks 0] [--seed 7]
+//                     [--cache-pages 0] [--verify 0]
 //
 // The collection file uses the paper's 100-byte record format, so indexes
 // built here interoperate with every library API.
@@ -22,9 +25,13 @@
 #include "cluster/kmeans.h"
 #include "cluster/round_robin.h"
 #include "cluster/srtree_chunker.h"
+#include "core/batch_searcher.h"
 #include "core/chunk_index.h"
 #include "core/searcher.h"
 #include "descriptor/generator.h"
+#include "descriptor/workload.h"
+#include "storage/chunk_cache.h"
+#include "util/random.h"
 #include "util/stats.h"
 
 namespace qvt {
@@ -194,10 +201,112 @@ int CmdSearch(const Flags& flags) {
   return 0;
 }
 
+// Runs a sampled query workload through the concurrent batch engine.
+// --threads=1 (the default) is bit-identical to looping the serial searcher,
+// so figure-reproduction runs stay on the paper's methodology; higher thread
+// counts report throughput and tail latency. --verify 1 re-runs the batch
+// serially and cross-checks neighbors and chunks_read per query.
+int CmdBatch(const Flags& flags) {
+  if (!flags.Has("collection") || !flags.Has("index")) {
+    std::fprintf(stderr, "batch requires --collection and --index\n");
+    return 2;
+  }
+  auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
+  if (!collection.ok()) return Fail(collection.status());
+  auto index = ChunkIndex::Open(Env::Posix(),
+                                ChunkIndexPaths::ForBase(flags.Get("index", "")));
+  if (!index.ok()) return Fail(index.status());
+
+  const size_t num_queries = std::min<size_t>(
+      static_cast<size_t>(flags.GetInt("queries", 1000)), collection->size());
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  const int64_t max_chunks = flags.GetInt("max-chunks", 0);
+  const uint64_t cache_pages =
+      static_cast<uint64_t>(flags.GetInt("cache-pages", 0));
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  const Workload workload = MakeDatasetQueries(*collection, num_queries, &rng);
+  const StopRule stop = max_chunks > 0
+                            ? StopRule::MaxChunks(
+                                  static_cast<size_t>(max_chunks))
+                            : StopRule::Exact();
+
+  std::unique_ptr<ChunkCache> cache;
+  if (cache_pages > 0) {
+    cache = std::make_unique<ChunkCache>(cache_pages,
+                                         std::max<size_t>(threads, 1));
+  }
+  Searcher searcher(&*index, DiskCostModel(), cache.get());
+  BatchSearcher batch_searcher(&searcher, threads);
+  auto batch = batch_searcher.SearchAll(workload, k, stop);
+  if (!batch.ok()) return Fail(batch.status());
+
+  std::printf("batch: %zu queries, k=%zu, %zu thread(s)\n",
+              workload.num_queries(), k, batch->num_threads);
+  std::printf("wall:  %.3f s total, %.1f queries/s\n",
+              batch->batch_wall_micros * 1e-6,
+              batch->batch_wall_micros > 0
+                  ? 1e6 * static_cast<double>(workload.num_queries()) /
+                        static_cast<double>(batch->batch_wall_micros)
+                  : 0.0);
+  std::printf("per-query wall  (ms): mean %.2f  p50 %.2f  p95 %.2f  "
+              "p99 %.2f  max %.2f\n",
+              batch->wall.mean / 1000.0, batch->wall.p50 / 1000.0,
+              batch->wall.p95 / 1000.0, batch->wall.p99 / 1000.0,
+              batch->wall.max / 1000.0);
+  std::printf("per-query model (ms): mean %.2f  p50 %.2f  p95 %.2f  "
+              "p99 %.2f  max %.2f\n",
+              batch->model.mean / 1000.0, batch->model.p50 / 1000.0,
+              batch->model.p95 / 1000.0, batch->model.p99 / 1000.0,
+              batch->model.max / 1000.0);
+  if (cache != nullptr) {
+    const ChunkCacheStats stats = cache->Stats();
+    std::printf("cache: %zu shard(s), hit rate %.1f%%, %llu evictions\n",
+                cache->num_shards(), 100.0 * stats.HitRate(),
+                static_cast<unsigned long long>(stats.evictions));
+  }
+
+  if (flags.GetInt("verify", 0) != 0) {
+    // A fresh cache for the serial pass, so both runs start cold.
+    std::unique_ptr<ChunkCache> serial_cache;
+    if (cache_pages > 0) {
+      serial_cache = std::make_unique<ChunkCache>(cache_pages, 1);
+    }
+    Searcher serial_searcher(&*index, DiskCostModel(), serial_cache.get());
+    BatchSearcher serial(&serial_searcher, 1);
+    auto reference = serial.SearchAll(workload, k, stop);
+    if (!reference.ok()) return Fail(reference.status());
+    size_t mismatches = 0;
+    for (size_t q = 0; q < workload.num_queries(); ++q) {
+      const SearchResult& a = batch->results[q];
+      const SearchResult& b = reference->results[q];
+      bool same = a.chunks_read == b.chunks_read &&
+                  a.neighbors.size() == b.neighbors.size();
+      for (size_t i = 0; same && i < a.neighbors.size(); ++i) {
+        same = a.neighbors[i].id == b.neighbors[i].id;
+      }
+      if (!same) ++mismatches;
+    }
+    std::printf("verify: %zu/%zu queries identical to serial run%s\n",
+                workload.num_queries() - mismatches, workload.num_queries(),
+                mismatches == 0 ? "" : "  <-- MISMATCH");
+    const double speedup =
+        batch->batch_wall_micros > 0
+            ? static_cast<double>(reference->batch_wall_micros) /
+                  static_cast<double>(batch->batch_wall_micros)
+            : 0.0;
+    std::printf("speedup vs serial: %.2fx\n", speedup);
+    if (mismatches != 0) return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: qvt_tool <generate|build|info|search> [--flag value]...\n");
+                 "usage: qvt_tool <generate|build|info|search|batch> "
+                 "[--flag value]...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -206,6 +315,7 @@ int Main(int argc, char** argv) {
   if (command == "build") return CmdBuild(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "search") return CmdSearch(flags);
+  if (command == "batch") return CmdBatch(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

@@ -1,11 +1,17 @@
 // M1 (DESIGN.md): google-benchmark microbenchmarks of the hot kernels —
 // the 24-d Euclidean distance, a full chunk scan with result-set updates,
-// centroid ranking over a chunk index, and k-NN heap insertion.
+// centroid ranking over a chunk index, and k-NN heap insertion — plus the
+// batched scan kernels of geometry/kernels.h per backend, with and without
+// early abandon.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/result_set.h"
 #include "descriptor/generator.h"
+#include "geometry/kernels.h"
 #include "geometry/vec.h"
 #include "util/random.h"
 
@@ -89,6 +95,116 @@ void BM_CentroidRanking(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * num_chunks);
 }
 BENCHMARK(BM_CentroidRanking)->Arg(200)->Arg(2000);
+
+// ---------------------------------------------------------------------------
+// Batched scan kernels (geometry/kernels.h). Arg 0 selects the backend so a
+// single binary reports the scalar baseline next to each SIMD path; arg 1
+// (where present) toggles early abandon.
+// ---------------------------------------------------------------------------
+
+kernels::Backend BackendArg(benchmark::State& state) {
+  return static_cast<kernels::Backend>(state.range(0));
+}
+
+/// Skips backends the host cannot run and pins the requested one otherwise.
+/// Returns false when the benchmark should bail out.
+bool PinBackend(benchmark::State& state) {
+  const kernels::Backend b = BackendArg(state);
+  if (!kernels::BackendSupported(b)) {
+    state.SkipWithError("backend not supported on this host");
+    return false;
+  }
+  kernels::SetBackendForTesting(b);
+  state.SetLabel(kernels::BackendName(b));
+  return true;
+}
+
+/// The seed scalar loop the kernels replace: vec::SquaredDistance per row
+/// over a whole 24-d chunk. The acceptance baseline for the >= 2x speedup.
+void BM_ChunkBatch24d_SeedScalarLoop(benchmark::State& state) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const Collection c = BenchCollection(40);
+  Rng rng(6);
+  std::vector<float> query(kDescriptorDim);
+  for (auto& x : query) x = static_cast<float>(rng.UniformDouble(0, 100));
+  std::vector<double> out(count);
+
+  const size_t limit = std::min(count, c.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < limit; ++i) {
+      out[i] = vec::SquaredDistance(c.Vector(i), query);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * limit);
+}
+BENCHMARK(BM_ChunkBatch24d_SeedScalarLoop)->Arg(2486);
+
+/// The batched kernel over the same rows, per backend.
+void BM_ChunkBatch24d_Kernel(benchmark::State& state) {
+  if (!PinBackend(state)) return;
+  const size_t count = 2486;
+  const Collection c = BenchCollection(40);
+  Rng rng(6);
+  std::vector<float> query(kDescriptorDim);
+  for (auto& x : query) x = static_cast<float>(rng.UniformDouble(0, 100));
+  std::vector<double> out(count);
+
+  const size_t limit = std::min(count, c.size());
+  for (auto _ : state) {
+    kernels::BatchSquaredDistance(c.RawData().data(), limit, kDescriptorDim,
+                                  query, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * limit);
+  kernels::ResetBackendForTesting();
+}
+BENCHMARK(BM_ChunkBatch24d_Kernel)
+    ->Arg(static_cast<int>(kernels::Backend::kScalar))
+    ->Arg(static_cast<int>(kernels::Backend::kSse2))
+    ->Arg(static_cast<int>(kernels::Backend::kAvx2))
+    ->Arg(static_cast<int>(kernels::Backend::kNeon));
+
+/// Full chunk scan through the abandon kernel + result-set updates, the
+/// Searcher::Search inner loop. Arg 1 toggles abandon (threshold from the
+/// running k-th distance vs +inf).
+void BM_ChunkScanBatch(benchmark::State& state) {
+  if (!PinBackend(state)) return;
+  const bool abandon = state.range(1) != 0;
+  const size_t count = 2486;
+  const Collection c = BenchCollection(40);
+  Rng rng(7);
+  std::vector<float> query(kDescriptorDim);
+  for (auto& x : query) x = static_cast<float>(rng.UniformDouble(0, 100));
+  std::vector<double> out(256);
+
+  const size_t limit = std::min(count, c.size());
+  for (auto _ : state) {
+    KnnResultSet result(30);
+    for (size_t b = 0; b < limit; b += 256) {
+      const size_t bn = std::min<size_t>(256, limit - b);
+      const double threshold =
+          abandon ? kernels::AbandonThreshold(result.KthDistance())
+                  : std::numeric_limits<double>::infinity();
+      kernels::BatchSquaredDistanceAbandon(
+          c.RawData().data() + b * kDescriptorDim, bn, kDescriptorDim, query,
+          threshold, out.data());
+      for (size_t i = 0; i < bn; ++i) {
+        if (out[i] == kernels::kAbandoned) continue;
+        result.Insert(c.Id(b + i), std::sqrt(out[i]));
+      }
+    }
+    benchmark::DoNotOptimize(result.KthDistance());
+  }
+  state.SetItemsProcessed(state.iterations() * limit);
+  kernels::ResetBackendForTesting();
+}
+BENCHMARK(BM_ChunkScanBatch)
+    ->ArgsProduct({{static_cast<int>(kernels::Backend::kScalar),
+                    static_cast<int>(kernels::Backend::kSse2),
+                    static_cast<int>(kernels::Backend::kAvx2),
+                    static_cast<int>(kernels::Backend::kNeon)},
+                   {0, 1}});
 
 }  // namespace
 }  // namespace qvt

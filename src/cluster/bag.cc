@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "geometry/kernels.h"
 #include "geometry/vec.h"
 #include "util/logging.h"
 
@@ -316,17 +317,14 @@ class BagClusterer::Impl {
   /// accept-everything rule.
   double ExactRadius(const std::vector<double>& centroid,
                      const std::vector<uint32_t>& members) const {
-    const size_t dim = centroid.size();
+    // Batched gather kernel over the scattered member positions; the max of
+    // the exact squared distances commutes with the (monotone) final sqrt.
+    radius_scratch_.resize(members.size());
+    kernels::GatherSquaredDistance(collection_->RawData().data(),
+                                   centroid.size(), members, centroid,
+                                   radius_scratch_.data());
     double max_sq = 0.0;
-    for (uint32_t pos : members) {
-      const auto v = collection_->Vector(pos);
-      double sq = 0.0;
-      for (size_t d = 0; d < dim; ++d) {
-        const double x = centroid[d] - static_cast<double>(v[d]);
-        sq += x * x;
-      }
-      max_sq = std::max(max_sq, sq);
-    }
+    for (double sq : radius_scratch_) max_sq = std::max(max_sq, sq);
     return std::sqrt(max_sq);
   }
 
@@ -447,6 +445,9 @@ class BagClusterer::Impl {
   size_t proj_dims_[3] = {0, 1, 2};
   double cell_size_ = 1.0;
   std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid_;
+  /// Kernel output buffer for ExactRadius (Impl is single-threaded; mutable
+  /// only so the const radius computation can reuse the allocation).
+  mutable std::vector<double> radius_scratch_;
 };
 
 BagClusterer::BagClusterer(const Collection* collection,

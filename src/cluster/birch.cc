@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "geometry/kernels.h"
 #include "util/logging.h"
 
 namespace qvt {
@@ -99,6 +100,50 @@ struct Cf {
   }
 };
 
+/// Reusable buffers for the batched CF-centroid distance computation.
+struct CfDistanceScratch {
+  std::vector<const double*> rows;
+  std::vector<double> scales;
+  std::vector<double> query;
+  std::vector<double> dist;
+  std::vector<double> dist_b;  // second output for two-seed redistribution
+};
+
+/// Squared centroid distances from every entry to the centroid `query`
+/// (already divided by its count), via the scaled-rows kernel. Each term is
+/// entries[i].ls[d] * (1/n_i) - query[d] — the same three roundings as
+/// Cf::SquaredCentroidDistanceTo, so results are bit-identical to the
+/// per-entry loop (the sign flip relative to distance-from-query squares
+/// away exactly).
+void EntryCentroidDistances(const std::vector<Cf>& entries,
+                            std::span<const double> query,
+                            CfDistanceScratch* s, std::vector<double>* out) {
+  s->rows.resize(entries.size());
+  s->scales.resize(entries.size());
+  out->resize(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    s->rows[i] = entries[i].ls.data();
+    s->scales[i] =
+        entries[i].n > 0 ? 1.0 / static_cast<double>(entries[i].n) : 0.0;
+  }
+  kernels::ScaledRowsSquaredDistance(s->rows.data(), s->scales.data(),
+                                     entries.size(), query.size(), query,
+                                     out->data());
+}
+
+/// Overload taking a CF as the query: its centroid is materialized into the
+/// scratch with the same `ls[d] * inv` rounding the scalar loop used.
+void EntryCentroidDistances(const std::vector<Cf>& entries, const Cf& query,
+                            CfDistanceScratch* s, std::vector<double>* out) {
+  const double inv =
+      query.n > 0 ? 1.0 / static_cast<double>(query.n) : 0.0;
+  s->query.resize(query.ls.size());
+  for (size_t d = 0; d < query.ls.size(); ++d) {
+    s->query[d] = query.ls[d] * inv;
+  }
+  EntryCentroidDistances(entries, s->query, s, out);
+}
+
 /// A CF-tree node. Leaf entries are subclusters (Cf with members); internal
 /// entries summarize a child node.
 struct CfNode {
@@ -168,16 +213,10 @@ class CfTree {
   /// overflowed and must be split by the caller, nullptr otherwise.
   CfNode* InsertIntoSubtree(CfNode* node, Cf cf) {
     if (node->is_leaf) {
-      // Nearest subcluster; absorb if the threshold allows.
-      size_t best = 0;
-      double best_sq = std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < node->entries.size(); ++i) {
-        const double sq = node->entries[i].SquaredCentroidDistanceTo(cf);
-        if (sq < best_sq) {
-          best_sq = sq;
-          best = i;
-        }
-      }
+      // Nearest subcluster (batched kernel argmin; strict < keeps the
+      // lowest-index entry on ties, as before); absorb if the threshold
+      // allows.
+      const size_t best = NearestEntry(node->entries, cf);
       if (!node->entries.empty() &&
           node->entries[best].MergedRadius(cf) <= threshold_) {
         node->entries[best].Merge(cf);
@@ -189,15 +228,7 @@ class CfTree {
     }
 
     // Internal: descend into the child with the nearest centroid.
-    size_t best = 0;
-    double best_sq = std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < node->entries.size(); ++i) {
-      const double sq = node->entries[i].SquaredCentroidDistanceTo(cf);
-      if (sq < best_sq) {
-        best_sq = sq;
-        best = i;
-      }
-    }
+    const size_t best = NearestEntry(node->entries, cf);
     // Update the summary optimistically (the CF goes below regardless of
     // how the child reorganizes).
     {
@@ -218,26 +249,46 @@ class CfTree {
     return node->entries.size() > config_.branching_factor ? node : nullptr;
   }
 
+  /// Nearest entry to `cf` by squared centroid distance (batched kernel;
+  /// strict < keeps the lowest index on ties). Returns 0 when empty.
+  size_t NearestEntry(const std::vector<Cf>& entries, const Cf& cf) {
+    EntryCentroidDistances(entries, cf, &scratch_, &scratch_.dist);
+    size_t best = 0;
+    double best_sq = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (scratch_.dist[i] < best_sq) {
+        best_sq = scratch_.dist[i];
+        best = i;
+      }
+    }
+    return best;
+  }
+
   /// Splits a node by farthest-pair seeding.
   std::pair<std::unique_ptr<CfNode>, std::unique_ptr<CfNode>> SplitNode(
       std::unique_ptr<CfNode> node) {
     const size_t count = node->entries.size();
     QVT_CHECK(count >= 2);
+    // Farthest pair: one kernel sweep per anchor i over entries j > i (the
+    // sign flip relative to the old i->j loop squares away exactly).
     size_t seed_a = 0, seed_b = 1;
     double worst = -1.0;
-    for (size_t i = 0; i < count; ++i) {
+    for (size_t i = 0; i + 1 < count; ++i) {
+      EntryCentroidDistances(node->entries, node->entries[i], &scratch_,
+                             &scratch_.dist);
       for (size_t j = i + 1; j < count; ++j) {
-        const double sq =
-            node->entries[i].SquaredCentroidDistanceTo(node->entries[j]);
-        if (sq > worst) {
-          worst = sq;
+        if (scratch_.dist[j] > worst) {
+          worst = scratch_.dist[j];
           seed_a = i;
           seed_b = j;
         }
       }
     }
     // Materialize the seed centroids first: entries are moved out below,
-    // and a moved-from CF must not be used as a distance reference.
+    // and a moved-from CF must not be used as a distance reference. Both
+    // distance sweeps run up front, while every entry is still intact —
+    // identical values to the old compute-then-move-per-row loop, since a
+    // row was never moved before its distances were taken.
     auto centroid_of = [&](const Cf& cf) {
       std::vector<double> c(dim_);
       const double inv = cf.n > 0 ? 1.0 / static_cast<double>(cf.n) : 0.0;
@@ -246,25 +297,16 @@ class CfTree {
     };
     const std::vector<double> centroid_a = centroid_of(node->entries[seed_a]);
     const std::vector<double> centroid_b = centroid_of(node->entries[seed_b]);
-    auto squared_distance_to = [&](const Cf& cf,
-                                   const std::vector<double>& center) {
-      double sum = 0.0;
-      const double inv = cf.n > 0 ? 1.0 / static_cast<double>(cf.n) : 0.0;
-      for (size_t d = 0; d < dim_; ++d) {
-        const double x = cf.ls[d] * inv - center[d];
-        sum += x * x;
-      }
-      return sum;
-    };
+    std::vector<double> to_a, to_b;
+    EntryCentroidDistances(node->entries, centroid_a, &scratch_, &to_a);
+    EntryCentroidDistances(node->entries, centroid_b, &scratch_, &to_b);
 
     auto left = std::make_unique<CfNode>(node->is_leaf);
     auto right = std::make_unique<CfNode>(node->is_leaf);
     for (size_t i = 0; i < count; ++i) {
-      const double to_a = squared_distance_to(node->entries[i], centroid_a);
-      const double to_b = squared_distance_to(node->entries[i], centroid_b);
       CfNode* target =
-          (i == seed_a || (i != seed_b && to_a <= to_b)) ? left.get()
-                                                         : right.get();
+          (i == seed_a || (i != seed_b && to_a[i] <= to_b[i])) ? left.get()
+                                                               : right.get();
       target->entries.push_back(std::move(node->entries[i]));
       if (!node->is_leaf) {
         target->children.push_back(std::move(node->children[i]));
@@ -286,6 +328,7 @@ class CfTree {
   double threshold_;
   std::unique_ptr<CfNode> root_;
   size_t num_subclusters_ = 0;
+  CfDistanceScratch scratch_;
 };
 
 /// Data-driven starting threshold: mean distance between a few consecutive

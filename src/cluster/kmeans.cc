@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "geometry/kernels.h"
 #include "geometry/vec.h"
 #include "util/logging.h"
 
@@ -31,21 +32,21 @@ StatusOr<ChunkingResult> KMeansChunker::FormChunks(
     for (size_t d = 0; d < dim; ++d) centroids[c][d] = v[d];
   };
 
+  const float* raw = collection.RawData().data();
+  std::vector<double> centroid_sq(n);  // batched kernel output
+
   if (config_.plus_plus_init && k > 1) {
     // k-means++: first center uniform, subsequent centers proportional to
     // squared distance from the nearest chosen center.
     set_centroid(0, rng.Uniform(n));
     std::vector<double> dist_sq(n, std::numeric_limits<double>::infinity());
     for (size_t c = 1; c < k; ++c) {
+      kernels::BatchSquaredDistance(
+          raw, n, dim, std::span<const double>(centroids[c - 1]),
+          centroid_sq.data());
       double total = 0.0;
       for (size_t i = 0; i < n; ++i) {
-        const auto v = collection.Vector(i);
-        double sq = 0.0;
-        for (size_t d = 0; d < dim; ++d) {
-          const double x = v[d] - centroids[c - 1][d];
-          sq += x * x;
-        }
-        dist_sq[i] = std::min(dist_sq[i], sq);
+        dist_sq[i] = std::min(dist_sq[i], centroid_sq[i]);
         total += dist_sq[i];
       }
       double target = rng.NextDouble() * total;
@@ -67,30 +68,30 @@ StatusOr<ChunkingResult> KMeansChunker::FormChunks(
 
   // --- Lloyd iterations ----------------------------------------------------
   std::vector<uint32_t> assignment(n, 0);
+  std::vector<double> best_sq(n);
   std::vector<std::vector<double>> sums(k, std::vector<double>(dim));
   std::vector<size_t> counts(k);
 
   last_iterations_ = 0;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     ++last_iterations_;
-    // Assign.
-    for (size_t i = 0; i < n; ++i) {
-      const auto v = collection.Vector(i);
-      double best_sq = std::numeric_limits<double>::infinity();
-      uint32_t best = 0;
-      for (size_t c = 0; c < k; ++c) {
-        double sq = 0.0;
-        const auto& cen = centroids[c];
-        for (size_t d = 0; d < dim; ++d) {
-          const double x = v[d] - cen[d];
-          sq += x * x;
-        }
-        if (sq < best_sq) {
-          best_sq = sq;
-          best = static_cast<uint32_t>(c);
+    // Assign: one batched kernel sweep per centroid. Strict < keeps the
+    // lowest-index centroid on ties, matching the original per-point loop.
+    for (size_t c = 0; c < k; ++c) {
+      kernels::BatchSquaredDistance(raw, n, dim,
+                                    std::span<const double>(centroids[c]),
+                                    centroid_sq.data());
+      if (c == 0) {
+        best_sq = centroid_sq;
+        std::fill(assignment.begin(), assignment.end(), 0u);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (centroid_sq[i] < best_sq[i]) {
+            best_sq[i] = centroid_sq[i];
+            assignment[i] = static_cast<uint32_t>(c);
+          }
         }
       }
-      assignment[i] = best;
     }
     // Update.
     for (size_t c = 0; c < k; ++c) {

@@ -1,7 +1,9 @@
 #include "core/chunk_index.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "geometry/kernels.h"
 #include "geometry/sphere.h"
 #include "geometry/vec.h"
 #include "util/logging.h"
@@ -85,6 +87,7 @@ Status ChunkIndex::ReadChunk(size_t i, ChunkData* out) const {
 
 Status ChunkIndex::Validate() const {
   ChunkData chunk;
+  std::vector<double> distances;
   uint64_t expected_page = 0;
   for (size_t i = 0; i < entries_.size(); ++i) {
     const ChunkIndexEntry& entry = entries_[i];
@@ -100,9 +103,12 @@ Status ChunkIndex::Validate() const {
                                 " descriptor count mismatch");
     }
     constexpr double kEps = 1e-3;
+    distances.resize(chunk.size());
+    kernels::BatchSquaredDistance(chunk.values.data(), chunk.size(),
+                                  chunk.dim, entry.bounds.center,
+                                  distances.data());
     for (size_t d = 0; d < chunk.size(); ++d) {
-      const double dist = vec::Distance(entry.bounds.center, chunk.Vector(d));
-      if (dist > entry.bounds.radius + kEps) {
+      if (std::sqrt(distances[d]) > entry.bounds.radius + kEps) {
         return Status::Corruption("descriptor outside chunk sphere in chunk " +
                                   std::to_string(i));
       }

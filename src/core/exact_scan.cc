@@ -1,8 +1,9 @@
 #include "core/exact_scan.h"
 
+#include <cmath>
 #include <cstring>
 
-#include "geometry/vec.h"
+#include "geometry/kernels.h"
 #include "util/logging.h"
 
 namespace qvt {
@@ -11,8 +12,23 @@ std::vector<Neighbor> ExactScan(const Collection& collection,
                                 std::span<const float> query, size_t k) {
   QVT_CHECK(k > 0);
   KnnResultSet result(k);
-  for (size_t i = 0; i < collection.size(); ++i) {
-    result.Insert(collection.Id(i), vec::Distance(collection.Vector(i), query));
+  // Blocked kernel scan with early abandon against the running k-th
+  // distance; AbandonThreshold()'s margin keeps the output bit-identical to
+  // the naive per-descriptor loop.
+  constexpr size_t kBlock = 256;
+  const size_t dim = collection.dim();
+  const float* base = collection.RawData().data();
+  std::vector<double> distances(std::min(collection.size(), kBlock));
+  for (size_t b = 0; b < collection.size(); b += kBlock) {
+    const size_t bn = std::min(kBlock, collection.size() - b);
+    const double threshold = kernels::AbandonThreshold(result.KthDistance());
+    kernels::BatchSquaredDistanceAbandon(base + b * dim, bn, dim, query,
+                                         threshold, distances.data());
+    for (size_t i = 0; i < bn; ++i) {
+      const double sq = distances[i];
+      if (sq == kernels::kAbandoned) continue;
+      result.Insert(collection.Id(b + i), std::sqrt(sq));
+    }
   }
   return result.Sorted();
 }

@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geometry/kernels.h"
 #include "geometry/vec.h"
 #include "util/logging.h"
 
 namespace qvt {
+
+namespace {
+
+/// Chunk scans run block-by-block so the abandon threshold can tighten as
+/// the result set fills, while each kernel call still amortizes dispatch
+/// over many rows.
+constexpr size_t kScanBlock = 256;
+
+}  // namespace
 
 Searcher::Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
                    ChunkCache* cache)
@@ -120,9 +130,25 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
     QVT_RETURN_IF_ERROR(
         FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
 
-    for (size_t i = 0; i < data->size(); ++i) {
-      const double d = vec::Distance(data->Vector(i), query);
-      result_set.Insert(data->ids[i], d);
+    // Scan the chunk in blocks through the batched kernel. Rows whose
+    // partial sum provably exceeds the current k-th distance are abandoned
+    // mid-row; AbandonThreshold()'s margin guarantees no row that could
+    // enter the result set (ties included) is ever pruned, so results are
+    // bit-identical to the plain per-row scan.
+    const size_t dim = data->dim;
+    s.distances.resize(std::min(data->size(), kScanBlock));
+    for (size_t b = 0; b < data->size(); b += kScanBlock) {
+      const size_t bn = std::min(kScanBlock, data->size() - b);
+      const double threshold =
+          kernels::AbandonThreshold(result_set.KthDistance());
+      kernels::BatchSquaredDistanceAbandon(data->values.data() + b * dim, bn,
+                                           dim, query, threshold,
+                                           s.distances.data());
+      for (size_t i = 0; i < bn; ++i) {
+        const double sq = s.distances[i];
+        if (sq == kernels::kAbandoned) continue;
+        result_set.Insert(data->ids[b + i], std::sqrt(sq));
+      }
     }
 
     ++result.chunks_read;
@@ -214,9 +240,22 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     QVT_RETURN_IF_ERROR(
         FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
 
-    for (size_t i = 0; i < data->size(); ++i) {
-      const double d = vec::Distance(data->Vector(i), query);
-      if (d <= radius) result.neighbors.push_back({data->ids[i], d});
+    // Blocked kernel scan with a fixed abandon threshold: the query radius
+    // never shrinks, so every block prunes against the same bound.
+    const size_t dim = data->dim;
+    const double threshold = kernels::AbandonThreshold(radius);
+    s.distances.resize(std::min(data->size(), kScanBlock));
+    for (size_t b = 0; b < data->size(); b += kScanBlock) {
+      const size_t bn = std::min(kScanBlock, data->size() - b);
+      kernels::BatchSquaredDistanceAbandon(data->values.data() + b * dim, bn,
+                                           dim, query, threshold,
+                                           s.distances.data());
+      for (size_t i = 0; i < bn; ++i) {
+        const double sq = s.distances[i];
+        if (sq == kernels::kAbandoned) continue;
+        const double d = std::sqrt(sq);
+        if (d <= radius) result.neighbors.push_back({data->ids[b + i], d});
+      }
     }
     ++result.chunks_read;
     result.descriptors_processed += data->size();

@@ -87,6 +87,7 @@ struct SearchScratch {
   std::vector<uint32_t> rank_order;
   std::vector<double> centroid_distance;
   std::vector<double> suffix_min_bound;
+  std::vector<double> distances;  ///< per-block kernel output
   ChunkData chunk;
 };
 

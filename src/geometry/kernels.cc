@@ -1,0 +1,548 @@
+#include "geometry/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "geometry/kernels_internal.h"
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>  // SSE2
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace qvt {
+namespace kernels {
+
+namespace internal {
+
+namespace {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The reference reduction: ascending-d sequential accumulation, identical
+/// to vec::SquaredDistance.
+inline double RowSquaredDistance(const float* row, const double* query,
+                                 size_t dim) {
+  double acc = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double x = static_cast<double>(row[d]) - query[d];
+    acc += x * x;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ContigScalar(const float* base, size_t count, size_t dim,
+                  const double* query, double threshold, double* out) {
+  if (threshold == kInf) {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = RowSquaredDistance(base + i * dim, query, dim);
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const float* row = base + i * dim;
+    double acc = 0.0;
+    size_t d = 0;
+    bool abandoned = false;
+    while (d < dim) {
+      const size_t stop = std::min(dim, d + kAbandonStride);
+      for (; d < stop; ++d) {
+        const double x = static_cast<double>(row[d]) - query[d];
+        acc += x * x;
+      }
+      if (d < dim && acc > threshold) {
+        abandoned = true;
+        break;
+      }
+    }
+    out[i] = abandoned ? kAbandoned : acc;
+  }
+}
+
+void GatherScalar(const float* base, size_t dim, const uint32_t* positions,
+                  size_t count, const double* query, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = RowSquaredDistance(
+        base + static_cast<size_t>(positions[i]) * dim, query, dim);
+  }
+}
+
+void ScaledRowsScalar(const double* const* rows, const double* scales,
+                      size_t count, size_t dim, const double* query,
+                      double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const double* row = rows[i];
+    const double s = scales[i];
+    double acc = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double x = row[d] * s - query[d];
+      acc += x * x;
+    }
+    out[i] = acc;
+  }
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+namespace {
+
+/// One reduction step for a pair of rows: lanes {row0, row1} advance by the
+/// dimension whose values sit in `v`, exactly like the scalar loop.
+inline __m128d Sse2Step(__m128d acc, __m128d v, double q) {
+  const __m128d x = _mm_sub_pd(v, _mm_set1_pd(q));
+  return _mm_add_pd(acc, _mm_mul_pd(x, x));
+}
+
+/// {(double)r0[d], (double)r1[d], (double)r0[d+1], (double)r1[d+1]} as two
+/// transposed vectors; requires d + 2 <= dim.
+inline void Sse2LoadPair(const float* r0, const float* r1, size_t d,
+                         __m128d* t0, __m128d* t1) {
+  const __m128d v0 = _mm_cvtps_pd(_mm_castsi128_ps(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r0 + d))));
+  const __m128d v1 = _mm_cvtps_pd(_mm_castsi128_ps(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r1 + d))));
+  *t0 = _mm_unpacklo_pd(v0, v1);
+  *t1 = _mm_unpackhi_pd(v0, v1);
+}
+
+/// Squared distances of two contiguous rows, no abandon.
+inline __m128d Sse2Pair(const float* r0, const float* r1, size_t dim,
+                        const double* query) {
+  __m128d acc = _mm_setzero_pd();
+  size_t d = 0;
+  for (; d + 2 <= dim; d += 2) {
+    __m128d t0, t1;
+    Sse2LoadPair(r0, r1, d, &t0, &t1);
+    acc = Sse2Step(acc, t0, query[d]);
+    acc = Sse2Step(acc, t1, query[d + 1]);
+  }
+  for (; d < dim; ++d) {
+    const __m128d v = _mm_set_pd(static_cast<double>(r1[d]),
+                                 static_cast<double>(r0[d]));
+    acc = Sse2Step(acc, v, query[d]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ContigSse2(const float* base, size_t count, size_t dim,
+                const double* query, double threshold, double* out) {
+  const bool abandon = threshold != kInf;
+  const __m128d thr = _mm_set1_pd(threshold);
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    if (!abandon) {
+      _mm_storeu_pd(out + i, Sse2Pair(r0, r1, dim, query));
+      continue;
+    }
+    __m128d acc = _mm_setzero_pd();
+    size_t d = 0;
+    bool abandoned = false;
+    while (d < dim) {
+      const size_t stop = std::min(dim, d + kAbandonStride);
+      for (; d + 2 <= stop; d += 2) {
+        __m128d t0, t1;
+        Sse2LoadPair(r0, r1, d, &t0, &t1);
+        acc = Sse2Step(acc, t0, query[d]);
+        acc = Sse2Step(acc, t1, query[d + 1]);
+      }
+      for (; d < stop; ++d) {
+        const __m128d v = _mm_set_pd(static_cast<double>(r1[d]),
+                                     static_cast<double>(r0[d]));
+        acc = Sse2Step(acc, v, query[d]);
+      }
+      if (d < dim && _mm_movemask_pd(_mm_cmpgt_pd(acc, thr)) == 0x3) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (abandoned) {
+      out[i] = kAbandoned;
+      out[i + 1] = kAbandoned;
+    } else {
+      _mm_storeu_pd(out + i, acc);
+    }
+  }
+  if (i < count) {
+    ContigScalar(base + i * dim, count - i, dim, query, threshold, out + i);
+  }
+}
+
+void GatherSse2(const float* base, size_t dim, const uint32_t* positions,
+                size_t count, const double* query, double* out) {
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const float* r0 = base + static_cast<size_t>(positions[i]) * dim;
+    const float* r1 = base + static_cast<size_t>(positions[i + 1]) * dim;
+    _mm_storeu_pd(out + i, Sse2Pair(r0, r1, dim, query));
+  }
+  if (i < count) {
+    GatherScalar(base, dim, positions + i, count - i, query, out + i);
+  }
+}
+
+void ScaledRowsSse2(const double* const* rows, const double* scales,
+                    size_t count, size_t dim, const double* query,
+                    double* out) {
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const double* r0 = rows[i];
+    const double* r1 = rows[i + 1];
+    const __m128d scale = _mm_loadu_pd(scales + i);
+    __m128d acc = _mm_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m128d v = _mm_mul_pd(_mm_set_pd(r1[d], r0[d]), scale);
+      acc = Sse2Step(acc, v, query[d]);
+    }
+    _mm_storeu_pd(out + i, acc);
+  }
+  if (i < count) {
+    ScaledRowsScalar(rows + i, scales + i, count - i, dim, query, out + i);
+  }
+}
+
+#endif  // x86-64
+
+#if defined(__aarch64__)
+
+namespace {
+
+inline float64x2_t NeonStep(float64x2_t acc, float64x2_t v, double q) {
+  const float64x2_t x = vsubq_f64(v, vdupq_n_f64(q));
+  // vmulq + vaddq (not vfmaq): contraction would change the rounding.
+  return vaddq_f64(acc, vmulq_f64(x, x));
+}
+
+inline float64x2_t NeonPair(const float* r0, const float* r1, size_t dim,
+                            const double* query) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  size_t d = 0;
+  for (; d + 2 <= dim; d += 2) {
+    const float64x2_t v0 = vcvt_f64_f32(vld1_f32(r0 + d));
+    const float64x2_t v1 = vcvt_f64_f32(vld1_f32(r1 + d));
+    acc = NeonStep(acc, vzip1q_f64(v0, v1), query[d]);
+    acc = NeonStep(acc, vzip2q_f64(v0, v1), query[d + 1]);
+  }
+  for (; d < dim; ++d) {
+    float64x2_t v = vdupq_n_f64(static_cast<double>(r0[d]));
+    v = vsetq_lane_f64(static_cast<double>(r1[d]), v, 1);
+    acc = NeonStep(acc, v, query[d]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ContigNeon(const float* base, size_t count, size_t dim,
+                const double* query, double threshold, double* out) {
+  const bool abandon = threshold != kInf;
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    if (!abandon) {
+      vst1q_f64(out + i, NeonPair(r0, r1, dim, query));
+      continue;
+    }
+    float64x2_t acc = vdupq_n_f64(0.0);
+    size_t d = 0;
+    bool abandoned = false;
+    while (d < dim) {
+      const size_t stop = std::min(dim, d + kAbandonStride);
+      for (; d + 2 <= stop; d += 2) {
+        const float64x2_t v0 = vcvt_f64_f32(vld1_f32(r0 + d));
+        const float64x2_t v1 = vcvt_f64_f32(vld1_f32(r1 + d));
+        acc = NeonStep(acc, vzip1q_f64(v0, v1), query[d]);
+        acc = NeonStep(acc, vzip2q_f64(v0, v1), query[d + 1]);
+      }
+      for (; d < stop; ++d) {
+        float64x2_t v = vdupq_n_f64(static_cast<double>(r0[d]));
+        v = vsetq_lane_f64(static_cast<double>(r1[d]), v, 1);
+        acc = NeonStep(acc, v, query[d]);
+      }
+      if (d < dim) {
+        const uint64x2_t over = vcgtq_f64(acc, thr);
+        if (vgetq_lane_u64(over, 0) != 0 && vgetq_lane_u64(over, 1) != 0) {
+          abandoned = true;
+          break;
+        }
+      }
+    }
+    if (abandoned) {
+      out[i] = kAbandoned;
+      out[i + 1] = kAbandoned;
+    } else {
+      vst1q_f64(out + i, acc);
+    }
+  }
+  if (i < count) {
+    ContigScalar(base + i * dim, count - i, dim, query, threshold, out + i);
+  }
+}
+
+void GatherNeon(const float* base, size_t dim, const uint32_t* positions,
+                size_t count, const double* query, double* out) {
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const float* r0 = base + static_cast<size_t>(positions[i]) * dim;
+    const float* r1 = base + static_cast<size_t>(positions[i + 1]) * dim;
+    vst1q_f64(out + i, NeonPair(r0, r1, dim, query));
+  }
+  if (i < count) {
+    GatherScalar(base, dim, positions + i, count - i, query, out + i);
+  }
+}
+
+void ScaledRowsNeon(const double* const* rows, const double* scales,
+                    size_t count, size_t dim, const double* query,
+                    double* out) {
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const double* r0 = rows[i];
+    const double* r1 = rows[i + 1];
+    const float64x2_t scale = vld1q_f64(scales + i);
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      float64x2_t v = vdupq_n_f64(r0[d]);
+      v = vsetq_lane_f64(r1[d], v, 1);
+      acc = NeonStep(acc, vmulq_f64(v, scale), query[d]);
+    }
+    vst1q_f64(out + i, acc);
+  }
+  if (i < count) {
+    ScaledRowsScalar(rows + i, scales + i, count - i, dim, query, out + i);
+  }
+}
+
+#endif  // aarch64
+
+}  // namespace internal
+
+namespace {
+
+using internal::ContigScalar;
+using internal::GatherScalar;
+using internal::ScaledRowsScalar;
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct KernelOps {
+  void (*contig)(const float*, size_t, size_t, const double*, double,
+                 double*);
+  void (*gather)(const float*, size_t, const uint32_t*, size_t,
+                 const double*, double*);
+  void (*scaled_rows)(const double* const*, const double*, size_t, size_t,
+                      const double*, double*);
+};
+
+constexpr KernelOps kScalarOps = {&ContigScalar, &GatherScalar,
+                                  &ScaledRowsScalar};
+#if defined(__x86_64__) || defined(_M_X64)
+constexpr KernelOps kSse2Ops = {&internal::ContigSse2, &internal::GatherSse2,
+                                &internal::ScaledRowsSse2};
+constexpr KernelOps kAvx2Ops = {&internal::ContigAvx2, &internal::GatherAvx2,
+                                &internal::ScaledRowsAvx2};
+#endif
+#if defined(__aarch64__)
+constexpr KernelOps kNeonOps = {&internal::ContigNeon, &internal::GatherNeon,
+                                &internal::ScaledRowsNeon};
+#endif
+
+const KernelOps& OpsFor(Backend backend) {
+  switch (backend) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Backend::kSse2:
+      return kSse2Ops;
+    case Backend::kAvx2:
+      return kAvx2Ops;
+#endif
+#if defined(__aarch64__)
+    case Backend::kNeon:
+      return kNeonOps;
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+Backend BestSupportedBackend() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (BackendSupported(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kSse2;
+#elif defined(__aarch64__)
+  return Backend::kNeon;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+Backend BackendFromEnv() {
+  const char* raw = std::getenv("QVT_SIMD");
+  if (raw == nullptr) return BestSupportedBackend();
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(c));
+  if (value == "off" || value == "0" || value == "scalar") {
+    return Backend::kScalar;
+  }
+  if (value == "" || value == "on" || value == "auto" || value == "1") {
+    return BestSupportedBackend();
+  }
+  Backend requested = BestSupportedBackend();
+  if (value == "sse2") {
+    requested = Backend::kSse2;
+  } else if (value == "avx2") {
+    requested = Backend::kAvx2;
+  } else if (value == "neon") {
+    requested = Backend::kNeon;
+  } else {
+    QVT_LOG(Warning) << "unknown QVT_SIMD value '" << value
+                     << "'; using auto-detection";
+    return BestSupportedBackend();
+  }
+  if (!BackendSupported(requested)) {
+    QVT_LOG(Warning) << "QVT_SIMD=" << value
+                     << " unsupported on this CPU; using scalar kernels";
+    return Backend::kScalar;
+  }
+  return requested;
+}
+
+/// -1 = no test override; otherwise a Backend value.
+std::atomic<int> g_forced_backend{-1};
+
+}  // namespace
+
+Backend ActiveBackend() {
+  const int forced = g_forced_backend.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  static const Backend env_backend = BackendFromEnv();
+  return env_backend;
+}
+
+bool BackendSupported(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+void SetBackendForTesting(Backend backend) {
+  if (!BackendSupported(backend)) backend = Backend::kScalar;
+  g_forced_backend.store(static_cast<int>(backend),
+                         std::memory_order_release);
+}
+
+void ResetBackendForTesting() {
+  g_forced_backend.store(-1, std::memory_order_release);
+}
+
+namespace {
+
+/// Widens a float query to double (exact) into a per-thread buffer.
+const double* WidenQuery(std::span<const float> query) {
+  static thread_local std::vector<double> buffer;
+  buffer.resize(query.size());
+  for (size_t d = 0; d < query.size(); ++d) {
+    buffer[d] = static_cast<double>(query[d]);
+  }
+  return buffer.data();
+}
+
+}  // namespace
+
+void BatchSquaredDistance(const float* base, size_t count, size_t dim,
+                          std::span<const float> query, double* out) {
+  QVT_DCHECK(query.size() == dim);
+  OpsFor(ActiveBackend()).contig(base, count, dim, WidenQuery(query), kInf,
+                                 out);
+}
+
+void BatchSquaredDistance(const float* base, size_t count, size_t dim,
+                          std::span<const double> query, double* out) {
+  QVT_DCHECK(query.size() == dim);
+  OpsFor(ActiveBackend()).contig(base, count, dim, query.data(), kInf, out);
+}
+
+void BatchSquaredDistanceAbandon(const float* base, size_t count, size_t dim,
+                                 std::span<const float> query,
+                                 double threshold, double* out) {
+  QVT_DCHECK(query.size() == dim);
+  OpsFor(ActiveBackend())
+      .contig(base, count, dim, WidenQuery(query), threshold, out);
+}
+
+void GatherSquaredDistance(const float* base, size_t dim,
+                           std::span<const uint32_t> positions,
+                           std::span<const double> query, double* out) {
+  QVT_DCHECK(query.size() == dim);
+  OpsFor(ActiveBackend())
+      .gather(base, dim, positions.data(), positions.size(), query.data(),
+              out);
+}
+
+void ScaledRowsSquaredDistance(const double* const* rows,
+                               const double* scales, size_t count, size_t dim,
+                               std::span<const double> query, double* out) {
+  QVT_DCHECK(query.size() == dim);
+  OpsFor(ActiveBackend())
+      .scaled_rows(rows, scales, count, dim, query.data(), out);
+}
+
+double AbandonThreshold(double distance) {
+  if (!(distance < kInf)) return kInf;
+  const double sq = distance * distance;
+  // Relative inflation of 1e-12 dwarfs the few-ulp (~4e-16 relative) error
+  // introduced by squaring here and by the caller's sqrt, so a running sum
+  // above the threshold is provably above the bound in exact arithmetic.
+  return sq + sq * 1e-12;
+}
+
+}  // namespace kernels
+}  // namespace qvt

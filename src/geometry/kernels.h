@@ -1,0 +1,112 @@
+#ifndef QVT_GEOMETRY_KERNELS_H_
+#define QVT_GEOMETRY_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace qvt {
+
+/// Batched squared-distance kernels — the in-memory scan engine behind the
+/// searcher, the exact scan, and the clusterers.
+///
+/// ## Determinism contract
+///
+/// Every kernel computes, for each row i,
+///
+///     out[i] = sum_d ((double)row_i[d] - query[d])^2
+///
+/// with the terms accumulated in ascending-d order and every operation
+/// rounded exactly as the scalar reference (`vec::SquaredDistance`) rounds
+/// it. The SIMD backends vectorize **across rows** — one vector lane per
+/// row, each lane performing the same sequential reduction the scalar loop
+/// performs — so scalar, SSE2, AVX2 and NEON all produce bit-identical
+/// doubles. Search results therefore do not depend on the selected backend,
+/// and the bench suite-cache fingerprint is unaffected by SIMD on/off.
+/// (The fixed per-lane reduction tree is what makes this hold; a classic
+/// within-vector horizontal reduction would reorder the additions. The
+/// build also pins `-ffp-contract=off` globally so no scalar path is
+/// silently contracted into FMA under wider `-march` flags.)
+///
+/// ## Backend dispatch
+///
+/// The backend is chosen once at runtime: AVX2 when the CPU supports it,
+/// else SSE2 on x86-64 / NEON on aarch64, else portable scalar. The
+/// `QVT_SIMD` environment variable overrides the choice:
+///
+///     QVT_SIMD=off|scalar|0   force the scalar reference
+///     QVT_SIMD=sse2|avx2|neon force a specific SIMD backend (falls back to
+///                             scalar if unsupported on this CPU)
+///     QVT_SIMD=on|auto        default auto-detection
+namespace kernels {
+
+enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Backend every kernel call currently dispatches to.
+Backend ActiveBackend();
+
+/// True when `backend` can run on this CPU/build.
+bool BackendSupported(Backend backend);
+
+/// "scalar", "sse2", "avx2", or "neon".
+const char* BackendName(Backend backend);
+
+/// Pins dispatch to `backend` (scalar substitutes when unsupported) until
+/// ResetBackendForTesting(). For tests and microbenchmarks; call from a
+/// single thread before spawning workers.
+void SetBackendForTesting(Backend backend);
+void ResetBackendForTesting();
+
+/// Sentinel stored by BatchSquaredDistanceAbandon for rows it pruned.
+inline constexpr double kAbandoned =
+    std::numeric_limits<double>::infinity();
+
+/// Squared distances from `query` to `count` rows stored contiguously
+/// row-major in `base` (count * dim floats). The float-query overload
+/// widens the query to double first (exact, matching the scalar loop).
+void BatchSquaredDistance(const float* base, size_t count, size_t dim,
+                          std::span<const float> query, double* out);
+void BatchSquaredDistance(const float* base, size_t count, size_t dim,
+                          std::span<const double> query, double* out);
+
+/// Early-abandoning variant: a row whose running sum strictly exceeds
+/// `threshold` (squared space) may stop accumulating; its out[i] is set to
+/// kAbandoned. Rows that complete are bit-identical to the plain kernel.
+/// Which rows get abandoned is backend-specific (SIMD backends only prune
+/// when every lane of a block is over the threshold); callers must treat
+/// kAbandoned as "provably farther than threshold" and nothing more.
+/// threshold = +inf disables pruning.
+void BatchSquaredDistanceAbandon(const float* base, size_t count, size_t dim,
+                                 std::span<const float> query,
+                                 double threshold, double* out);
+
+/// Squared distances from `query` to the rows at `positions` of the flat
+/// row-major array `base` (gathered scan — BAG's exact-radius loop over a
+/// cluster's scattered members).
+void GatherSquaredDistance(const float* base, size_t dim,
+                           std::span<const uint32_t> positions,
+                           std::span<const double> query, double* out);
+
+/// Squared distances from `query` to `count` scaled double rows:
+///
+///     out[i] = sum_d (rows[i][d] * scales[i] - query[d])^2
+///
+/// BIRCH's CF-centroid form: rows are linear sums, scales are 1/N. Each
+/// product and subtraction rounds exactly like the scalar CF loops.
+void ScaledRowsSquaredDistance(const double* const* rows,
+                               const double* scales, size_t count, size_t dim,
+                               std::span<const double> query, double* out);
+
+/// Conservative squared-space abandon threshold for a bound expressed as a
+/// (post-sqrt) distance: slightly inflated so that `running > threshold`
+/// proves `sqrt(final) > distance` despite the squaring and sqrt roundings
+/// (margin ~1e-12 relative, >> the few-ulp error budget). Abandoning on it
+/// can therefore never drop a result the un-pruned scan would have kept,
+/// ties included. Returns +inf for distance = +inf.
+double AbandonThreshold(double distance);
+
+}  // namespace kernels
+}  // namespace qvt
+
+#endif  // QVT_GEOMETRY_KERNELS_H_

@@ -1,0 +1,207 @@
+// AVX2 batch squared-distance kernels. Compiled with per-function target
+// attributes (not -mavx2 for the whole TU) so no AVX2 instruction can leak
+// into code that runs before the runtime CPU check in kernels.cc.
+//
+// Layout: four rows per block, one ymm lane per row. Each lane accumulates
+// (row[d] - q[d])^2 in ascending-d order — the same fixed reduction the
+// scalar reference performs — so results are bit-identical to ContigScalar.
+// Dimension values are brought lane-wise via a 4x4 double transpose of four
+// row segments (fast path) or a scalar gather (tails / scattered rows).
+
+#include "geometry/kernels_internal.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+#define QVT_TARGET_AVX2 __attribute__((target("avx2")))
+
+namespace qvt {
+namespace kernels {
+namespace internal {
+
+namespace {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+inline constexpr double kAbandonedValue = kInf;
+
+/// Four floats of one row widened to doubles.
+QVT_TARGET_AVX2 inline __m256d CvtRow4(const float* p) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+
+/// Transposes four row segments {r[d..d+3]} into four dimension vectors
+/// {dim d across rows, ..., dim d+3 across rows}.
+QVT_TARGET_AVX2 inline void Transpose4(__m256d r0, __m256d r1, __m256d r2,
+                                       __m256d r3, __m256d* d0, __m256d* d1,
+                                       __m256d* d2, __m256d* d3) {
+  const __m256d lo01 = _mm256_unpacklo_pd(r0, r1);  // a0 b0 a2 b2
+  const __m256d hi01 = _mm256_unpackhi_pd(r0, r1);  // a1 b1 a3 b3
+  const __m256d lo23 = _mm256_unpacklo_pd(r2, r3);  // c0 d0 c2 d2
+  const __m256d hi23 = _mm256_unpackhi_pd(r2, r3);  // c1 d1 c3 d3
+  *d0 = _mm256_permute2f128_pd(lo01, lo23, 0x20);
+  *d1 = _mm256_permute2f128_pd(hi01, hi23, 0x20);
+  *d2 = _mm256_permute2f128_pd(lo01, lo23, 0x31);
+  *d3 = _mm256_permute2f128_pd(hi01, hi23, 0x31);
+}
+
+/// One reduction step: acc += (v - q)^2 per lane. Explicit mul+add — an FMA
+/// here would round differently from the scalar reference.
+QVT_TARGET_AVX2 inline __m256d Step(__m256d acc, __m256d v, double q) {
+  const __m256d x = _mm256_sub_pd(v, _mm256_set1_pd(q));
+  return _mm256_add_pd(acc, _mm256_mul_pd(x, x));
+}
+
+/// Advances four rows through dims [d, d+4); requires d + 4 <= dim.
+QVT_TARGET_AVX2 inline __m256d Group4(__m256d acc, const float* r0,
+                                      const float* r1, const float* r2,
+                                      const float* r3, size_t d,
+                                      const double* query) {
+  __m256d d0, d1, d2, d3;
+  Transpose4(CvtRow4(r0 + d), CvtRow4(r1 + d), CvtRow4(r2 + d),
+             CvtRow4(r3 + d), &d0, &d1, &d2, &d3);
+  acc = Step(acc, d0, query[d]);
+  acc = Step(acc, d1, query[d + 1]);
+  acc = Step(acc, d2, query[d + 2]);
+  acc = Step(acc, d3, query[d + 3]);
+  return acc;
+}
+
+/// One dimension via scalar gather (general-dim tails).
+QVT_TARGET_AVX2 inline __m256d GatherDim(__m256d acc, const float* r0,
+                                         const float* r1, const float* r2,
+                                         const float* r3, size_t d,
+                                         const double* query) {
+  const __m256d v = _mm256_set_pd(
+      static_cast<double>(r3[d]), static_cast<double>(r2[d]),
+      static_cast<double>(r1[d]), static_cast<double>(r0[d]));
+  return Step(acc, v, query[d]);
+}
+
+QVT_TARGET_AVX2 inline bool AllOver(__m256d acc, __m256d thr) {
+  return _mm256_movemask_pd(_mm256_cmp_pd(acc, thr, _CMP_GT_OQ)) == 0xF;
+}
+
+/// Full block for the descriptor dimensionality of the paper, unrolled.
+/// Abandon checks fall on the kAbandonStride grid (after dims 8 and 16).
+QVT_TARGET_AVX2 inline bool Block24(const float* r0, const float* r1,
+                                    const float* r2, const float* r3,
+                                    const double* query, double threshold,
+                                    bool abandon, double* out4) {
+  const __m256d thr = _mm256_set1_pd(threshold);
+  __m256d acc = _mm256_setzero_pd();
+  acc = Group4(acc, r0, r1, r2, r3, 0, query);
+  acc = Group4(acc, r0, r1, r2, r3, 4, query);
+  if (abandon && AllOver(acc, thr)) return false;
+  acc = Group4(acc, r0, r1, r2, r3, 8, query);
+  acc = Group4(acc, r0, r1, r2, r3, 12, query);
+  if (abandon && AllOver(acc, thr)) return false;
+  acc = Group4(acc, r0, r1, r2, r3, 16, query);
+  acc = Group4(acc, r0, r1, r2, r3, 20, query);
+  _mm256_storeu_pd(out4, acc);
+  return true;
+}
+
+/// General-dim block with abandon checks every kAbandonStride dims.
+QVT_TARGET_AVX2 inline bool BlockN(const float* r0, const float* r1,
+                                   const float* r2, const float* r3,
+                                   size_t dim, const double* query,
+                                   double threshold, bool abandon,
+                                   double* out4) {
+  const __m256d thr = _mm256_set1_pd(threshold);
+  __m256d acc = _mm256_setzero_pd();
+  size_t d = 0;
+  while (d < dim) {
+    const size_t stop = std::min(dim, d + kAbandonStride);
+    for (; d + 4 <= stop; d += 4) {
+      acc = Group4(acc, r0, r1, r2, r3, d, query);
+    }
+    for (; d < stop; ++d) {
+      acc = GatherDim(acc, r0, r1, r2, r3, d, query);
+    }
+    if (abandon && d < dim && AllOver(acc, thr)) return false;
+  }
+  _mm256_storeu_pd(out4, acc);
+  return true;
+}
+
+}  // namespace
+
+QVT_TARGET_AVX2 void ContigAvx2(const float* base, size_t count, size_t dim,
+                                const double* query, double threshold,
+                                double* out) {
+  const bool abandon = threshold != kInf;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    const float* r2 = r1 + dim;
+    const float* r3 = r2 + dim;
+    const bool kept =
+        dim == 24
+            ? Block24(r0, r1, r2, r3, query, threshold, abandon, out + i)
+            : BlockN(r0, r1, r2, r3, dim, query, threshold, abandon,
+                     out + i);
+    if (!kept) {
+      out[i] = kAbandonedValue;
+      out[i + 1] = kAbandonedValue;
+      out[i + 2] = kAbandonedValue;
+      out[i + 3] = kAbandonedValue;
+    }
+  }
+  if (i < count) {
+    ContigScalar(base + i * dim, count - i, dim, query, threshold, out + i);
+  }
+}
+
+QVT_TARGET_AVX2 void GatherAvx2(const float* base, size_t dim,
+                                const uint32_t* positions, size_t count,
+                                const double* query, double* out) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const float* r0 = base + static_cast<size_t>(positions[i]) * dim;
+    const float* r1 = base + static_cast<size_t>(positions[i + 1]) * dim;
+    const float* r2 = base + static_cast<size_t>(positions[i + 2]) * dim;
+    const float* r3 = base + static_cast<size_t>(positions[i + 3]) * dim;
+    if (dim == 24) {
+      Block24(r0, r1, r2, r3, query, kInf, false, out + i);
+    } else {
+      BlockN(r0, r1, r2, r3, dim, query, kInf, false, out + i);
+    }
+  }
+  if (i < count) {
+    GatherScalar(base, dim, positions + i, count - i, query, out + i);
+  }
+}
+
+QVT_TARGET_AVX2 void ScaledRowsAvx2(const double* const* rows,
+                                    const double* scales, size_t count,
+                                    size_t dim, const double* query,
+                                    double* out) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* r0 = rows[i];
+    const double* r1 = rows[i + 1];
+    const double* r2 = rows[i + 2];
+    const double* r3 = rows[i + 3];
+    const __m256d scale = _mm256_loadu_pd(scales + i);
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d v = _mm256_set_pd(r3[d], r2[d], r1[d], r0[d]);
+      acc = Step(acc, _mm256_mul_pd(v, scale), query[d]);
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  if (i < count) {
+    ScaledRowsScalar(rows + i, scales + i, count - i, dim, query, out + i);
+  }
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace qvt
+
+#endif  // x86-64

@@ -1,0 +1,64 @@
+#ifndef QVT_GEOMETRY_KERNELS_INTERNAL_H_
+#define QVT_GEOMETRY_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Per-backend entry points behind the dispatch in kernels.cc. Every
+// implementation obeys the determinism contract of kernels.h: one lane per
+// row, terms accumulated in ascending-d order, no FMA contraction.
+
+namespace qvt {
+namespace kernels {
+namespace internal {
+
+/// Rows whose running sum strictly exceeds `threshold` may be written as
+/// kAbandoned; threshold = +inf never abandons. Backends check at
+/// kAbandonStride-dimension boundaries.
+inline constexpr size_t kAbandonStride = 8;
+
+// --- Portable scalar reference (always available) -------------------------
+void ContigScalar(const float* base, size_t count, size_t dim,
+                  const double* query, double threshold, double* out);
+void GatherScalar(const float* base, size_t dim, const uint32_t* positions,
+                  size_t count, const double* query, double* out);
+void ScaledRowsScalar(const double* const* rows, const double* scales,
+                      size_t count, size_t dim, const double* query,
+                      double* out);
+
+// --- SSE2 (x86-64 baseline), defined in kernels.cc ------------------------
+#if defined(__x86_64__) || defined(_M_X64)
+void ContigSse2(const float* base, size_t count, size_t dim,
+                const double* query, double threshold, double* out);
+void GatherSse2(const float* base, size_t dim, const uint32_t* positions,
+                size_t count, const double* query, double* out);
+void ScaledRowsSse2(const double* const* rows, const double* scales,
+                    size_t count, size_t dim, const double* query,
+                    double* out);
+
+// --- AVX2 (runtime-detected), defined in kernels_avx2.cc ------------------
+void ContigAvx2(const float* base, size_t count, size_t dim,
+                const double* query, double threshold, double* out);
+void GatherAvx2(const float* base, size_t dim, const uint32_t* positions,
+                size_t count, const double* query, double* out);
+void ScaledRowsAvx2(const double* const* rows, const double* scales,
+                    size_t count, size_t dim, const double* query,
+                    double* out);
+#endif  // x86-64
+
+// --- NEON (aarch64 baseline), defined in kernels.cc -----------------------
+#if defined(__aarch64__)
+void ContigNeon(const float* base, size_t count, size_t dim,
+                const double* query, double threshold, double* out);
+void GatherNeon(const float* base, size_t dim, const uint32_t* positions,
+                size_t count, const double* query, double* out);
+void ScaledRowsNeon(const double* const* rows, const double* scales,
+                    size_t count, size_t dim, const double* query,
+                    double* out);
+#endif  // aarch64
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace qvt
+
+#endif  // QVT_GEOMETRY_KERNELS_INTERNAL_H_

@@ -8,6 +8,7 @@
 
 #include "descriptor/collection.h"
 #include "storage/page.h"
+#include "util/aligned.h"
 #include "util/env.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -25,10 +26,16 @@ struct ChunkLocation {
 };
 
 /// The descriptors of one chunk, materialized in memory after a read.
+///
+/// Alignment contract: `values` is a flat row-major matrix whose base
+/// address is kKernelAlignment (32-byte) aligned, so the batched scan
+/// kernels (geometry/kernels.h) can feed whole chunks straight from the
+/// decode buffer. When dim * sizeof(float) is a multiple of the alignment
+/// (dim 24 -> 96-byte rows) every row is aligned too.
 struct ChunkData {
   size_t dim = 0;
   std::vector<DescriptorId> ids;  ///< per-descriptor ids
-  std::vector<float> values;      ///< flat, ids.size() * dim floats
+  AlignedVector<float> values;    ///< flat, ids.size() * dim floats
 
   size_t size() const { return ids.size(); }
   std::span<const float> Vector(size_t i) const {

@@ -9,10 +9,11 @@
 
 namespace qvt {
 
-void SampleStats::Add(double value) {
-  samples_.push_back(value);
-  sorted_ = false;
-}
+namespace {
+double QuietNan() { return std::numeric_limits<double>::quiet_NaN(); }
+}  // namespace
+
+void SampleStats::Add(double value) { samples_.push_back(value); }
 
 double SampleStats::Sum() const {
   double sum = 0.0;
@@ -26,12 +27,12 @@ double SampleStats::Mean() const {
 }
 
 double SampleStats::Min() const {
-  QVT_CHECK(!samples_.empty());
+  if (samples_.empty()) return QuietNan();
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::Max() const {
-  QVT_CHECK(!samples_.empty());
+  if (samples_.empty()) return QuietNan();
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -43,22 +44,18 @@ double SampleStats::StdDev() const {
   return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
 }
 
-void SampleStats::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-}
-
 double SampleStats::Percentile(double p) const {
-  QVT_CHECK(!samples_.empty());
   QVT_CHECK(p >= 0.0 && p <= 100.0);
-  EnsureSorted();
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  if (samples_.empty()) return QuietNan();
+  // Sort a local copy: the old in-place lazy sort cached through `mutable`
+  // state, racing concurrent const readers.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 CountHistogram::CountHistogram(std::vector<uint64_t> upper_bounds)

@@ -9,6 +9,14 @@ namespace qvt {
 
 /// Accumulates samples and answers simple summary queries. Used by the
 /// experiment runner to average metrics over 1,000-query workloads.
+///
+/// Thread-safety: Add() is not synchronized, but every const accessor is
+/// genuinely read-only (no lazy caches behind `mutable`), so any number of
+/// threads may query one SampleStats concurrently once accumulation is done.
+///
+/// Empty-set queries (Min/Max/Percentile with count() == 0) return NaN
+/// rather than aborting, so aggregate reporting over a zero-query batch
+/// degrades gracefully.
 class SampleStats {
  public:
   void Add(double value);
@@ -16,18 +24,17 @@ class SampleStats {
   size_t count() const { return samples_.size(); }
   double Sum() const;
   double Mean() const;
-  double Min() const;
-  double Max() const;
+  double Min() const;  ///< NaN when empty
+  double Max() const;  ///< NaN when empty
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double StdDev() const;
-  /// Linear-interpolated percentile; p in [0, 100]. Requires count() > 0.
+  /// Linear-interpolated percentile; p in [0, 100]. NaN when empty.
+  /// Sorts a local copy of the samples: O(n log n) per call, but safe to
+  /// call concurrently with other const accessors.
   double Percentile(double p) const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-
-  void EnsureSorted() const;
+  std::vector<double> samples_;
 };
 
 /// Fixed-bucket histogram over non-negative integers (e.g. chunk populations).

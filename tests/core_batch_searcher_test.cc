@@ -180,6 +180,15 @@ TEST(BatchSearcherTest, EmptyWorkloadSucceeds) {
   auto batch = batch_searcher.SearchAll(empty, 5, StopRule::Exact());
   ASSERT_TRUE(batch.ok());
   EXPECT_TRUE(batch->results.empty());
+  // Regression: aggregating a zero-query batch must not abort in the
+  // percentile path (SampleStats used to QVT_CHECK on empty input); the
+  // latency summary degrades to all-zero defaults instead.
+  EXPECT_EQ(batch->wall.p50, 0);
+  EXPECT_EQ(batch->wall.p99, 0);
+  EXPECT_EQ(batch->wall.max, 0);
+  EXPECT_EQ(batch->wall.mean, 0.0);
+  EXPECT_EQ(batch->model.p50, 0);
+  EXPECT_EQ(batch->model.max, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include "core/exact_scan.h"
 #include "descriptor/generator.h"
 #include "descriptor/workload.h"
+#include "geometry/kernels.h"
 #include "geometry/vec.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -238,6 +239,49 @@ TEST(SearcherTest, ApproximateRangeIsSubset) {
       }
     }
     EXPECT_TRUE(found);
+  }
+}
+
+// The kernel layer's determinism contract at the API that matters: the same
+// queries through the forced-scalar path and through the best SIMD backend
+// must return bit-identical SearchResults (ids, distances, chunks read,
+// modeled time), so QVT_SIMD=off is purely a speed knob.
+TEST(SearcherTest, SimdAndScalarBackendsReturnIdenticalResults) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const kernels::Backend best = kernels::ActiveBackend();
+
+  Rng rng(321);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<float> query(kDescriptorDim);
+    for (auto& x : query) x = static_cast<float>(rng.UniformDouble(20, 80));
+    const double radius = rng.UniformDouble(2.0, 12.0);
+
+    kernels::SetBackendForTesting(kernels::Backend::kScalar);
+    auto knn_scalar = searcher.Search(query, 10, StopRule::Exact());
+    auto range_scalar = searcher.SearchRange(query, radius, StopRule::Exact());
+    kernels::SetBackendForTesting(best);
+    auto knn_simd = searcher.Search(query, 10, StopRule::Exact());
+    auto range_simd = searcher.SearchRange(query, radius, StopRule::Exact());
+    kernels::ResetBackendForTesting();
+
+    ASSERT_TRUE(knn_scalar.ok() && knn_simd.ok());
+    ASSERT_TRUE(range_scalar.ok() && range_simd.ok());
+    for (auto [a, b] : {std::pair{&*knn_scalar, &*knn_simd},
+                        std::pair{&*range_scalar, &*range_simd}}) {
+      EXPECT_EQ(a->chunks_read, b->chunks_read);
+      EXPECT_EQ(a->descriptors_processed, b->descriptors_processed);
+      EXPECT_EQ(a->model_elapsed_micros, b->model_elapsed_micros);
+      EXPECT_EQ(a->exact, b->exact);
+      ASSERT_EQ(a->neighbors.size(), b->neighbors.size());
+      for (size_t i = 0; i < a->neighbors.size(); ++i) {
+        EXPECT_EQ(a->neighbors[i].id, b->neighbors[i].id) << "rank " << i;
+        // Bitwise equality, not almost-equal: the kernels promise it.
+        EXPECT_EQ(a->neighbors[i].distance, b->neighbors[i].distance)
+            << "rank " << i;
+      }
+    }
   }
 }
 

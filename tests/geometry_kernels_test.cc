@@ -1,0 +1,278 @@
+#include "geometry/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/vec.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+using kernels::Backend;
+
+std::vector<Backend> SupportedBackends() {
+  std::vector<Backend> backends;
+  for (Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2,
+                    Backend::kNeon}) {
+    if (kernels::BackendSupported(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+/// Restores auto-dispatch when a test scope ends.
+struct BackendGuard {
+  explicit BackendGuard(Backend b) { kernels::SetBackendForTesting(b); }
+  ~BackendGuard() { kernels::ResetBackendForTesting(); }
+};
+
+std::vector<float> RandomFloats(Rng& rng, size_t n, double lo = -50.0,
+                                double hi = 100.0) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.UniformDouble(lo, hi));
+  return v;
+}
+
+/// The documented reference: vec::SquaredDistance per row.
+std::vector<double> Reference(const float* base, size_t count, size_t dim,
+                              std::span<const float> query) {
+  std::vector<double> out(count);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = vec::SquaredDistance({base + i * dim, dim}, query);
+  }
+  return out;
+}
+
+TEST(KernelsTest, BackendPlumbing) {
+  EXPECT_TRUE(kernels::BackendSupported(Backend::kScalar));
+  EXPECT_STREQ(kernels::BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(kernels::BackendName(Backend::kAvx2), "avx2");
+  EXPECT_TRUE(kernels::BackendSupported(kernels::ActiveBackend()));
+  {
+    BackendGuard guard(Backend::kScalar);
+    EXPECT_EQ(kernels::ActiveBackend(), Backend::kScalar);
+  }
+  EXPECT_TRUE(kernels::BackendSupported(kernels::ActiveBackend()));
+}
+
+TEST(KernelsTest, MatchesScalarReferenceBitwiseAcrossDims) {
+  Rng rng(42);
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    for (size_t dim = 1; dim <= 64; ++dim) {
+      for (size_t count : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                           size_t{7}, size_t{17}}) {
+        const std::vector<float> base = RandomFloats(rng, count * dim);
+        const std::vector<float> query = RandomFloats(rng, dim);
+        const std::vector<double> expected =
+            Reference(base.data(), count, dim, query);
+        std::vector<double> got(count, -1.0);
+        kernels::BatchSquaredDistance(base.data(), count, dim, query,
+                                      got.data());
+        for (size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(got[i], expected[i])
+              << "backend=" << kernels::BackendName(backend)
+              << " dim=" << dim << " count=" << count << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Dim24FastPathMatchesReference) {
+  Rng rng(7);
+  const size_t dim = 24;
+  const size_t count = 1000;  // odd-tail block coverage via count % 4 != 0
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    for (size_t c : {count, count + 1, count + 2, count + 3}) {
+      const std::vector<float> base = RandomFloats(rng, c * dim);
+      const std::vector<float> query = RandomFloats(rng, dim);
+      const std::vector<double> expected =
+          Reference(base.data(), c, dim, query);
+      std::vector<double> got(c);
+      kernels::BatchSquaredDistance(base.data(), c, dim, query, got.data());
+      for (size_t i = 0; i < c; ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << kernels::BackendName(backend) << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, DoubleQueryOverloadMatchesWidenedFloatQuery) {
+  Rng rng(11);
+  const size_t dim = 24, count = 33;
+  const std::vector<float> base = RandomFloats(rng, count * dim);
+  const std::vector<float> query = RandomFloats(rng, dim);
+  std::vector<double> query_d(query.begin(), query.end());
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    std::vector<double> from_f(count), from_d(count);
+    kernels::BatchSquaredDistance(base.data(), count, dim, query,
+                                  from_f.data());
+    kernels::BatchSquaredDistance(base.data(), count, dim,
+                                  std::span<const double>(query_d),
+                                  from_d.data());
+    EXPECT_EQ(from_f, from_d) << kernels::BackendName(backend);
+  }
+}
+
+TEST(KernelsTest, UnalignedBaseAndRows) {
+  Rng rng(13);
+  // Odd dim at an offset-by-one base: every row is 4-byte aligned at best.
+  const size_t dim = 23, count = 9;
+  const std::vector<float> storage = RandomFloats(rng, count * dim + 1);
+  const float* base = storage.data() + 1;
+  const std::vector<float> query = RandomFloats(rng, dim);
+  const std::vector<double> expected = Reference(base, count, dim, query);
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    std::vector<double> got(count);
+    kernels::BatchSquaredDistance(base, count, dim, query, got.data());
+    EXPECT_EQ(got, expected) << kernels::BackendName(backend);
+  }
+}
+
+TEST(KernelsTest, EmptyInputs) {
+  const std::vector<float> query(24, 1.0f);
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    // count == 0: no writes, no crashes.
+    kernels::BatchSquaredDistance(nullptr, 0, 24, query, nullptr);
+    kernels::GatherSquaredDistance(nullptr, 24, {}, std::vector<double>(24),
+                                   nullptr);
+    // dim == 0: all-zero distances.
+    const float base[4] = {1, 2, 3, 4};
+    double out[4] = {-1, -1, -1, -1};
+    kernels::BatchSquaredDistance(base, 4, 0, std::span<const float>(),
+                                  out);
+    for (double v : out) EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(KernelsTest, AbandonKeepsExactValuesAndPrunesOnlyProvablyFar) {
+  Rng rng(17);
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    for (size_t dim : {size_t{8}, size_t{24}, size_t{37}}) {
+      const size_t count = 257;
+      // Near rows (first half) sit with the query in [0, 1]^dim; far rows
+      // are offset so their partial sums cross the threshold within the
+      // first few dimensions.
+      std::vector<float> base = RandomFloats(rng, count * dim, 0.0, 1.0);
+      for (size_t i = count / 2 * dim; i < count * dim; ++i) {
+        base[i] += 100.0f;
+      }
+      const std::vector<float> query = RandomFloats(rng, dim, 0.0, 1.0);
+      const std::vector<double> exact =
+          Reference(base.data(), count, dim, query);
+      const double threshold =
+          *std::max_element(exact.begin(), exact.begin() + count / 2);
+      std::vector<double> got(count);
+      kernels::BatchSquaredDistanceAbandon(base.data(), count, dim, query,
+                                           threshold, got.data());
+      size_t abandoned = 0;
+      for (size_t i = 0; i < count; ++i) {
+        if (got[i] == kernels::kAbandoned) {
+          // Abandoning is only legal when the true value exceeds the
+          // threshold.
+          EXPECT_GT(exact[i], threshold) << i;
+          ++abandoned;
+        } else {
+          EXPECT_EQ(got[i], exact[i])
+              << kernels::BackendName(backend) << " dim=" << dim << " " << i;
+        }
+      }
+      // Abandon checks happen at stride boundaries before the last
+      // dimension, so any dim beyond one stride must prune the far rows.
+      if (dim > 8) {
+        EXPECT_GT(abandoned, 0u)
+            << kernels::BackendName(backend) << " dim=" << dim;
+      }
+      // +inf threshold never abandons and is bit-identical throughout.
+      kernels::BatchSquaredDistanceAbandon(
+          base.data(), count, dim, query,
+          std::numeric_limits<double>::infinity(), got.data());
+      EXPECT_EQ(got, exact);
+    }
+  }
+}
+
+TEST(KernelsTest, GatherMatchesScalarReference) {
+  Rng rng(19);
+  const size_t dim = 24, rows = 100;
+  const std::vector<float> base = RandomFloats(rng, rows * dim);
+  const std::vector<float> query_f = RandomFloats(rng, dim);
+  const std::vector<double> query(query_f.begin(), query_f.end());
+  std::vector<uint32_t> positions;
+  for (size_t i = 0; i < 31; ++i) {
+    positions.push_back(rng.Uniform(static_cast<uint32_t>(rows)));
+  }
+  std::vector<double> expected(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    expected[i] = vec::SquaredDistance(
+        {base.data() + positions[i] * dim, dim}, query_f);
+  }
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    std::vector<double> got(positions.size());
+    kernels::GatherSquaredDistance(base.data(), dim, positions, query,
+                                   got.data());
+    EXPECT_EQ(got, expected) << kernels::BackendName(backend);
+  }
+}
+
+TEST(KernelsTest, ScaledRowsMatchesScalarLoop) {
+  Rng rng(23);
+  const size_t dim = 24, count = 13;
+  std::vector<std::vector<double>> storage(count,
+                                           std::vector<double>(dim));
+  std::vector<const double*> rows(count);
+  std::vector<double> scales(count);
+  for (size_t i = 0; i < count; ++i) {
+    for (auto& x : storage[i]) x = rng.UniformDouble(-10.0, 10.0);
+    rows[i] = storage[i].data();
+    scales[i] = 1.0 / static_cast<double>(1 + rng.Uniform(40));
+  }
+  std::vector<double> query(dim);
+  for (auto& x : query) x = rng.UniformDouble(-10.0, 10.0);
+
+  // Reference: the pre-kernel BIRCH CF loop.
+  std::vector<double> expected(count);
+  for (size_t i = 0; i < count; ++i) {
+    double acc = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double x = storage[i][d] * scales[i] - query[d];
+      acc += x * x;
+    }
+    expected[i] = acc;
+  }
+  for (Backend backend : SupportedBackends()) {
+    BackendGuard guard(backend);
+    std::vector<double> got(count);
+    kernels::ScaledRowsSquaredDistance(rows.data(), scales.data(), count,
+                                       dim, query, got.data());
+    EXPECT_EQ(got, expected) << kernels::BackendName(backend);
+  }
+}
+
+TEST(KernelsTest, AbandonThresholdIsConservative) {
+  EXPECT_EQ(kernels::AbandonThreshold(
+                std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(kernels::AbandonThreshold(0.0), 0.0);
+  // The threshold must sit strictly above the rounded square so an exact
+  // tie in distance space can never be pruned.
+  for (double d : {1.0, 3.25, 1e-3, 123456.75}) {
+    const double t = kernels::AbandonThreshold(d);
+    EXPECT_GT(t, d * d);
+    // ...but within a sliver of it, so pruning power is not lost.
+    EXPECT_LT(t, d * d * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace qvt

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
 namespace qvt {
 namespace {
 
@@ -44,6 +49,46 @@ TEST(SampleStatsTest, PercentileAfterMoreAdds) {
   EXPECT_DOUBLE_EQ(stats.Percentile(50), 3.0);
   stats.Add(1.0);  // invalidates the sort
   EXPECT_DOUBLE_EQ(stats.Percentile(0), 1.0);
+}
+
+TEST(SampleStatsTest, EmptyOrderStatisticsAreNaN) {
+  const SampleStats stats;
+  EXPECT_TRUE(std::isnan(stats.Min()));
+  EXPECT_TRUE(std::isnan(stats.Max()));
+  EXPECT_TRUE(std::isnan(stats.Percentile(50)));
+}
+
+// Regression test for a data race: Percentile() used to sort the sample
+// buffer in place through `mutable` members, so concurrent const readers of
+// one shared SampleStats raced (caught by TSan). Every const accessor must
+// now be a pure read. Raw threads gated on one atomic flag, not a pool: a
+// task queue's mutex would insert happens-before edges between the readers
+// and hide the old race from TSan on machines that serialize the threads.
+TEST(SampleStatsTest, ConcurrentConstReadersAreRaceFree) {
+  SampleStats stats;
+  // Descending inserts so the old lazy sort would have had real work to do.
+  for (int i = 1024; i > 0; --i) stats.Add(static_cast<double>(i));
+  const SampleStats& shared = stats;
+
+  constexpr size_t kThreads = 8;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&shared, &start, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int round = 0; round < 50; ++round) {
+        const double p = static_cast<double>((t * 13 + round) % 101);
+        EXPECT_GE(shared.Percentile(p), 1.0);
+        EXPECT_EQ(shared.Min(), 1.0);
+        EXPECT_EQ(shared.Max(), 1024.0);
+        EXPECT_DOUBLE_EQ(shared.Mean(), 512.5);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
 }
 
 TEST(CountHistogramTest, BucketsValues) {

@@ -1,6 +1,7 @@
 #ifndef QVT_BENCH_BENCH_COMMON_H_
 #define QVT_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +31,23 @@ inline ExperimentConfig ParseConfig(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
   }
-  return tiny ? ExperimentConfig::Tiny() : ExperimentConfig::Default();
+  ExperimentConfig config =
+      tiny ? ExperimentConfig::Tiny() : ExperimentConfig::Default();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--prefetch-depth") == 0) {
+      config.prefetch_depth =
+          static_cast<size_t>(std::max(0L, std::strtol(argv[i + 1], nullptr,
+                                                       10)));
+    }
+  }
+  return config;
+}
+
+/// Prefetcher options implementing the config's read-ahead depth.
+inline PrefetcherOptions PrefetchFor(const ExperimentConfig& config) {
+  PrefetcherOptions options;
+  options.depth = config.prefetch_depth;
+  return options;
 }
 
 /// Loads (building if necessary) the experiment suite, aborting on failure.
@@ -58,7 +75,8 @@ inline std::vector<LabeledCurves> RunAllVariants(const IndexSuite& suite,
   for (Strategy strategy : kAllStrategies) {
     for (SizeClass size_class : kAllSizeClasses) {
       const IndexVariant& v = suite.variant(strategy, size_class);
-      Searcher searcher(&v.index, cost_model);
+      Searcher searcher(&v.index, cost_model, nullptr,
+                        PrefetchFor(suite.config()));
       auto curves =
           RunWorkload(searcher, suite.workload(workload == "DQ"),
                       suite.truth(size_class, workload), suite.config().k);
@@ -112,7 +130,8 @@ inline void RunChunkSizeSweep(const IndexSuite& suite,
   for (size_t leaf : leaf_sizes) {
     auto index = suite.SrIndexWithLeafSize(leaf);
     QVT_CHECK_OK(index.status()) << "sweep index " << leaf;
-    Searcher searcher(&*index, cost_model);
+    Searcher searcher(&*index, cost_model, nullptr,
+                      PrefetchFor(suite.config()));
     auto curves = RunWorkload(searcher, suite.workload(workload == "DQ"),
                               suite.truth(SizeClass::kSmall, workload),
                               suite.config().k);

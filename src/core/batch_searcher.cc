@@ -84,6 +84,7 @@ StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
   batch.wall = Percentiles(batch.results, &SearchResult::wall_elapsed_micros);
   batch.model =
       Percentiles(batch.results, &SearchResult::model_elapsed_micros);
+  for (const SearchResult& r : batch.results) batch.prefetch += r.prefetch;
   return batch;
 }
 

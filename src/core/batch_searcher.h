@@ -35,6 +35,9 @@ struct BatchSearchResult {
   /// Distribution of per-query modeled (cost-model) latencies. Independent
   /// of the thread count: the model charges each query as if it ran alone.
   LatencyPercentiles model;
+  /// Sum of the per-query prefetch counters (all zero when the searcher
+  /// runs without a read-ahead pipeline).
+  PrefetchStats prefetch;
   size_t num_threads = 1;
 };
 

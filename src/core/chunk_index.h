@@ -1,7 +1,9 @@
 #ifndef QVT_CORE_CHUNK_INDEX_H_
 #define QVT_CORE_CHUNK_INDEX_H_
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "descriptor/collection.h"
 #include "storage/chunk_file.h"
 #include "storage/index_file.h"
+#include "util/aligned.h"
 #include "util/env.h"
 #include "util/statusor.h"
 
@@ -48,6 +51,14 @@ class ChunkIndex {
   const ChunkIndexEntry& entry(size_t i) const { return entries_[i]; }
   size_t dim() const { return dim_; }
 
+  /// All chunk centroids as one contiguous row-major num_chunks() x dim()
+  /// matrix (row i == entry(i).bounds.center), kKernelAlignment-aligned so
+  /// the batched distance kernels can rank every chunk in one call
+  /// (Searcher::RankChunks). Built once when the index is opened.
+  std::span<const float> centroid_matrix() const {
+    return {centroid_matrix_.data(), centroid_matrix_.size()};
+  }
+
   /// Total descriptors stored across all chunks.
   uint64_t total_descriptors() const;
 
@@ -64,11 +75,19 @@ class ChunkIndex {
  private:
   ChunkIndex(std::vector<ChunkIndexEntry> entries,
              std::unique_ptr<ChunkFileReader> reader, size_t dim)
-      : entries_(std::move(entries)), reader_(std::move(reader)), dim_(dim) {}
+      : entries_(std::move(entries)), reader_(std::move(reader)), dim_(dim) {
+    centroid_matrix_.resize(entries_.size() * dim_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& center = entries_[i].bounds.center;
+      std::copy(center.begin(), center.end(),
+                centroid_matrix_.data() + i * dim_);
+    }
+  }
 
   std::vector<ChunkIndexEntry> entries_;
   std::unique_ptr<ChunkFileReader> reader_;
   size_t dim_;
+  AlignedVector<float> centroid_matrix_;
 };
 
 }  // namespace qvt

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "geometry/kernels.h"
-#include "geometry/vec.h"
 #include "util/logging.h"
 
 namespace qvt {
@@ -19,9 +18,19 @@ constexpr size_t kScanBlock = 256;
 }  // namespace
 
 Searcher::Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
-                   ChunkCache* cache)
+                   ChunkCache* cache, PrefetcherOptions prefetch)
     : index_(index), cost_model_(cost_model), cache_(cache) {
   QVT_CHECK(index != nullptr);
+  if (prefetch.depth >= 1) {
+    prefetcher_ = std::make_unique<ChunkPrefetcher>(
+        [index](uint32_t chunk_id, ChunkData* out) {
+          return index->ReadChunk(chunk_id, out);
+        },
+        [index](uint32_t chunk_id) {
+          return index->entry(chunk_id).location.num_pages;
+        },
+        cache, prefetch);
+  }
 }
 
 int64_t Searcher::RankChunks(std::span<const float> query,
@@ -29,10 +38,16 @@ int64_t Searcher::RankChunks(std::span<const float> query,
   const size_t num_chunks = index_->num_chunks();
   scratch.rank_order.resize(num_chunks);
   scratch.centroid_distance.resize(num_chunks);
+  // One batched kernel call over the contiguous centroid matrix replaces
+  // the old per-centroid vec::Distance loop. sqrt of the kernel's squared
+  // distance is bit-identical to vec::Distance (same ascending-d reduction,
+  // same single sqrt), so the ranking — ties broken by chunk id — is too.
+  kernels::BatchSquaredDistance(index_->centroid_matrix().data(), num_chunks,
+                                index_->dim(), query,
+                                scratch.centroid_distance.data());
   for (size_t i = 0; i < num_chunks; ++i) {
     scratch.rank_order[i] = static_cast<uint32_t>(i);
-    scratch.centroid_distance[i] =
-        vec::Distance(index_->entry(i).bounds.center, query);
+    scratch.centroid_distance[i] = std::sqrt(scratch.centroid_distance[i]);
   }
   std::sort(scratch.rank_order.begin(), scratch.rank_order.end(),
             [&](uint32_t a, uint32_t b) {
@@ -70,12 +85,17 @@ Status Searcher::FetchChunk(uint32_t chunk_id, SearchScratch& scratch,
                             const ChunkData** data, bool* from_cache) const {
   *from_cache = false;
   if (cache_ != nullptr) {
-    *cache_ref = cache_->Get(chunk_id);
-    if (*cache_ref != nullptr) {
-      *data = cache_ref->get();
-      *from_cache = true;
-      return Status::OK();
-    }
+    // Single-flight read-through: concurrent misses on one chunk coalesce
+    // into one disk read (no thundering herd), and the scan reads straight
+    // out of the returned handle — no post-scan Put, no copy.
+    bool was_hit = false;
+    QVT_RETURN_IF_ERROR(cache_->GetOrLoad(
+        chunk_id, index_->entry(chunk_id).location.num_pages,
+        [&](ChunkData* out) { return index_->ReadChunk(chunk_id, out); },
+        cache_ref, &was_hit));
+    *data = cache_ref->get();
+    *from_cache = was_hit;
+    return Status::OK();
   }
   QVT_RETURN_IF_ERROR(index_->ReadChunk(chunk_id, &scratch.chunk));
   *data = &scratch.chunk;
@@ -101,8 +121,20 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
   int64_t model_micros = RankChunks(query, s);
 
   // --- Steps 2 & 3: scan chunks in rank order under the stop rule. --------
+  // The read schedule is fully known now, so the pipelined path opens a
+  // read-ahead stream over it; delivery stays strictly in rank order and the
+  // stream's consume-time cache verdicts match the synchronous FetchChunk
+  // exactly, so everything below is identical either way but wall time.
+  std::unique_ptr<PrefetchStream> stream;
+  if (prefetcher_ != nullptr) {
+    stream = prefetcher_->NewStream({s.rank_order.data(), num_chunks});
+  }
+  OverlappedScanTimeline timeline(
+      prefetcher_ != nullptr ? prefetcher_->depth() : 0, model_micros);
+
   KnnResultSet result_set(k);
   SearchResult result;
+  s.distances.resize(kScanBlock);  // scan scratch, reserved once per query
 
   for (size_t r = 0; r < num_chunks; ++r) {
     // Stop checks happen before reading the next chunk.
@@ -128,7 +160,9 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
     const ChunkData* data = nullptr;
     bool from_cache = false;
     QVT_RETURN_IF_ERROR(
-        FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
+        stream != nullptr
+            ? stream->Next(&cache_ref, &data, &from_cache)
+            : FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
 
     // Scan the chunk in blocks through the batched kernel. Rows whose
     // partial sum provably exceeds the current k-th distance are abandoned
@@ -136,7 +170,6 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
     // enter the result set (ties included) is ever pruned, so results are
     // bit-identical to the plain per-row scan.
     const size_t dim = data->dim;
-    s.distances.resize(std::min(data->size(), kScanBlock));
     for (size_t b = 0; b < data->size(); b += kScanBlock) {
       const size_t bn = std::min(kScanBlock, data->size() - b);
       const double threshold =
@@ -159,13 +192,9 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
             ? cost_model_.ChunkCpuMicros(entry.location.num_descriptors)
             : cost_model_.ChunkTotalMicros(entry.location.num_pages,
                                            entry.location.num_descriptors);
-    if (cache_ != nullptr && !from_cache) {
-      // The chunk was scanned above, so the buffer can be moved into the
-      // cache instead of copied; scratch.chunk is left empty-but-valid.
-      data = nullptr;
-      cache_->Put(chunk_id, std::move(s.chunk), entry.location.num_pages);
-      s.chunk = ChunkData();
-    }
+    timeline.AddChunk(
+        from_cache ? 0 : cost_model_.ChunkIoMicros(entry.location.num_pages),
+        cost_model_.ChunkCpuMicros(entry.location.num_descriptors));
 
     if (observer) {
       SearchProgress progress;
@@ -185,8 +214,12 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
     result.exact = true;
   }
 
+  // A stop rule firing mid-order leaves reads in flight: cancel them now
+  // (workers skip preads not yet started) and harvest the counters.
+  if (stream != nullptr) result.prefetch = stream->Finish();
   result.neighbors = result_set.Sorted();
   result.model_elapsed_micros = model_micros;
+  result.model_overlapped_micros = timeline.ElapsedMicros();
   result.wall_elapsed_micros = stopwatch.ElapsedMicros();
   return result;
 }
@@ -211,7 +244,27 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
   // Rank chunks by centroid distance, as in Search().
   int64_t model_micros = RankChunks(query, s);
 
+  // The intersect filter below depends only on ranking data, so the
+  // pipelined read schedule — exactly the chunks the loop will fetch, in
+  // rank order — is known up front; skipped chunks are never prefetched.
+  std::unique_ptr<PrefetchStream> stream;
+  if (prefetcher_ != nullptr) {
+    s.fetch_order.clear();
+    for (size_t r = 0; r < num_chunks; ++r) {
+      const uint32_t chunk_id = s.rank_order[r];
+      if (s.centroid_distance[chunk_id] -
+              index_->entry(chunk_id).bounds.radius <=
+          radius) {
+        s.fetch_order.push_back(chunk_id);
+      }
+    }
+    stream = prefetcher_->NewStream(s.fetch_order);
+  }
+  OverlappedScanTimeline timeline(
+      prefetcher_ != nullptr ? prefetcher_->depth() : 0, model_micros);
+
   SearchResult result;
+  s.distances.resize(kScanBlock);  // scan scratch, reserved once per query
   for (size_t r = 0; r < num_chunks; ++r) {
     if (stop.kind == StopRule::Kind::kMaxChunks &&
         result.chunks_read >= stop.max_chunks) {
@@ -238,13 +291,14 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     const ChunkData* data = nullptr;
     bool from_cache = false;
     QVT_RETURN_IF_ERROR(
-        FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
+        stream != nullptr
+            ? stream->Next(&cache_ref, &data, &from_cache)
+            : FetchChunk(chunk_id, s, &cache_ref, &data, &from_cache));
 
     // Blocked kernel scan with a fixed abandon threshold: the query radius
     // never shrinks, so every block prunes against the same bound.
     const size_t dim = data->dim;
     const double threshold = kernels::AbandonThreshold(radius);
-    s.distances.resize(std::min(data->size(), kScanBlock));
     for (size_t b = 0; b < data->size(); b += kScanBlock) {
       const size_t bn = std::min(kScanBlock, data->size() - b);
       kernels::BatchSquaredDistanceAbandon(data->values.data() + b * dim, bn,
@@ -265,13 +319,12 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
             ? cost_model_.ChunkCpuMicros(entry.location.num_descriptors)
             : cost_model_.ChunkTotalMicros(entry.location.num_pages,
                                            entry.location.num_descriptors);
-    if (cache_ != nullptr && !from_cache) {
-      data = nullptr;
-      cache_->Put(chunk_id, std::move(s.chunk), entry.location.num_pages);
-      s.chunk = ChunkData();
-    }
+    timeline.AddChunk(
+        from_cache ? 0 : cost_model_.ChunkIoMicros(entry.location.num_pages),
+        cost_model_.ChunkCpuMicros(entry.location.num_descriptors));
   }
   if (stop.kind == StopRule::Kind::kExact) result.exact = true;
+  if (stream != nullptr) result.prefetch = stream->Finish();
 
   std::sort(result.neighbors.begin(), result.neighbors.end(),
             [](const Neighbor& a, const Neighbor& b) {
@@ -279,6 +332,7 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
               return a.id < b.id;
             });
   result.model_elapsed_micros = model_micros;
+  result.model_overlapped_micros = timeline.ElapsedMicros();
   result.wall_elapsed_micros = stopwatch.ElapsedMicros();
   return result;
 }

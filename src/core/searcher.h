@@ -10,6 +10,7 @@
 #include "core/result_set.h"
 #include "storage/chunk_cache.h"
 #include "storage/disk_cost_model.h"
+#include "storage/prefetcher.h"
 #include "util/clock.h"
 #include "util/statusor.h"
 
@@ -75,6 +76,16 @@ struct SearchResult {
   uint64_t descriptors_processed = 0;
   int64_t model_elapsed_micros = 0;
   int64_t wall_elapsed_micros = 0;
+  /// Modeled wall time with the prefetch pipeline overlapping chunk I/O and
+  /// CPU across the rank order (OverlappedScanTimeline, at the searcher's
+  /// actual prefetch depth; 0 when the pipeline is disabled — then each
+  /// chunk charges io + cpu serially). Reported alongside — never instead
+  /// of — the paper's serial accounting in model_elapsed_micros, which also
+  /// remains the kTimeBudget stop authority.
+  int64_t model_overlapped_micros = 0;
+  /// Read-ahead counters of this query's prefetch stream; all zero on the
+  /// synchronous (depth 0) path.
+  PrefetchStats prefetch;
   /// True when the exact stop rule proved no better neighbor exists.
   bool exact = false;
 };
@@ -87,7 +98,8 @@ struct SearchScratch {
   std::vector<uint32_t> rank_order;
   std::vector<double> centroid_distance;
   std::vector<double> suffix_min_bound;
-  std::vector<double> distances;  ///< per-block kernel output
+  std::vector<double> distances;    ///< per-block kernel output
+  std::vector<uint32_t> fetch_order;  ///< range search's pipelined schedule
   ChunkData chunk;
 };
 
@@ -113,8 +125,15 @@ class Searcher {
   /// are charged CPU only by the cost model (the paper eliminated such
   /// buffering effects by round-robining queries, §5.4; passing a cache
   /// deliberately turns them back on).
+  ///
+  /// `prefetch` configures the asynchronous read-ahead pipeline
+  /// (storage/prefetcher.h): with depth >= 1 (the default; honors
+  /// QVT_PREFETCH_DEPTH) every query walks its ranked chunk order through a
+  /// PrefetchStream that overlaps disk I/O with the SIMD scan. Results are
+  /// bit-identical to depth 0 — prefetching changes only *when* bytes
+  /// arrive, never what is scanned or how it is charged.
   Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
-           ChunkCache* cache = nullptr);
+           ChunkCache* cache = nullptr, PrefetcherOptions prefetch = {});
 
   /// Runs one query for the k nearest neighbors under `stop`.
   /// `observer`, when set, is invoked after every processed chunk.
@@ -136,17 +155,25 @@ class Searcher {
                                      double radius, const StopRule& stop,
                                      SearchScratch* scratch = nullptr) const;
 
- private:
   /// Step 1 of §4.3 into `scratch`: centroid distances, rank order, and the
-  /// suffix-minimum lower bounds. Returns the modeled index-scan charge.
+  /// suffix-minimum lower bounds, via one batched kernel call over the
+  /// index's contiguous centroid matrix. Returns the modeled index-scan
+  /// charge. Public so tests can pin the ranking bit-identical to the
+  /// scalar per-centroid reference.
   int64_t RankChunks(std::span<const float> query,
                      SearchScratch& scratch) const;
 
-  /// Fetches chunk `chunk_id` through the cache when present, else from the
-  /// chunk file into `scratch.chunk`. On return `*data` points at the
-  /// descriptors (kept alive by `*cache_ref` on a hit) and `*from_cache`
-  /// says which path was taken; the caller inserts scratch.chunk into the
-  /// cache after scanning it (move, no copy).
+  /// The prefetch pipeline backing this searcher, or null at depth 0.
+  const ChunkPrefetcher* prefetcher() const { return prefetcher_.get(); }
+
+ private:
+  /// Synchronous fetch of chunk `chunk_id` — the depth-0 path and the
+  /// reference the pipelined PrefetchStream::Next is bit-identical to.
+  /// Through the cache when present (single-flight GetOrLoad: concurrent
+  /// misses on one chunk share one disk read, and the scan reads straight
+  /// out of the returned handle), else from the chunk file into
+  /// `scratch.chunk`. `*from_cache` reports the cache verdict that decides
+  /// the cost-model charge.
   Status FetchChunk(uint32_t chunk_id, SearchScratch& scratch,
                     std::shared_ptr<const ChunkData>* cache_ref,
                     const ChunkData** data, bool* from_cache) const;
@@ -154,6 +181,9 @@ class Searcher {
   const ChunkIndex* index_;
   DiskCostModel cost_model_;
   ChunkCache* cache_;
+  /// Null when prefetching is disabled (depth 0). Shared by all queries and
+  /// threads of this searcher; streams are per query.
+  std::unique_ptr<ChunkPrefetcher> prefetcher_;
 };
 
 }  // namespace qvt

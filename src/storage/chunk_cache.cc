@@ -35,7 +35,7 @@ ChunkCache::ChunkCache(uint64_t capacity_pages, size_t num_shards)
   }
 }
 
-ChunkCache::Shard& ChunkCache::ShardFor(uint64_t chunk_id) {
+ChunkCache::Shard& ChunkCache::ShardFor(uint64_t chunk_id) const {
   if (shards_.size() == 1) return *shards_[0];
   return *shards_[Mix(chunk_id) % shards_.size()];
 }
@@ -53,10 +53,28 @@ std::shared_ptr<const ChunkData> ChunkCache::Get(uint64_t chunk_id) {
   return it->second->chunk;
 }
 
-void ChunkCache::Put(uint64_t chunk_id, ChunkData chunk, uint32_t pages) {
+bool ChunkCache::Contains(uint64_t chunk_id) const {
   Shard& shard = ShardFor(chunk_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (pages > shard.capacity_pages) return;  // would evict all for nothing
+  return shard.entries.find(chunk_id) != shard.entries.end();
+}
+
+std::shared_ptr<const ChunkData> ChunkCache::Put(uint64_t chunk_id,
+                                                 ChunkData chunk,
+                                                 uint32_t pages) {
+  Shard& shard = ShardFor(chunk_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return PutLocked(shard, chunk_id, std::move(chunk), pages);
+}
+
+std::shared_ptr<const ChunkData> ChunkCache::PutLocked(Shard& shard,
+                                                       uint64_t chunk_id,
+                                                       ChunkData chunk,
+                                                       uint32_t pages) {
+  auto handle = std::make_shared<const ChunkData>(std::move(chunk));
+  if (pages > shard.capacity_pages) {
+    return handle;  // would evict all for nothing; hand the buffer back
+  }
   const auto it = shard.entries.find(chunk_id);
   if (it != shard.entries.end()) {
     shard.used_pages -= it->second->pages;
@@ -64,11 +82,73 @@ void ChunkCache::Put(uint64_t chunk_id, ChunkData chunk, uint32_t pages) {
     shard.entries.erase(it);
   }
   EvictUntilFits(shard, pages);
-  shard.lru.push_front(
-      Entry{chunk_id, std::make_shared<const ChunkData>(std::move(chunk)),
-            pages});
+  shard.lru.push_front(Entry{chunk_id, handle, pages});
   shard.entries[chunk_id] = shard.lru.begin();
   shard.used_pages += pages;
+  return handle;
+}
+
+Status ChunkCache::GetOrLoad(uint64_t chunk_id, uint32_t pages,
+                             const ChunkLoader& loader,
+                             std::shared_ptr<const ChunkData>* out,
+                             bool* was_hit) {
+  Shard& shard = ShardFor(chunk_id);
+  std::shared_ptr<InFlightLoad> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(chunk_id);
+    if (it != shard.entries.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->chunk;
+      *was_hit = true;
+      return Status::OK();
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    *was_hit = false;
+    auto [fit, inserted] = shard.loading.try_emplace(chunk_id);
+    if (inserted) {
+      fit->second = std::make_shared<InFlightLoad>();
+      leader = true;
+    }
+    flight = fit->second;
+  }
+
+  if (leader) {
+    // Load without holding any lock, then publish to the cache and to the
+    // waiters. On failure nothing is cached — only the error is published.
+    ChunkData chunk;
+    const Status load_status = loader(&chunk);
+    std::shared_ptr<const ChunkData> published;
+    if (load_status.ok()) {
+      published = Put(chunk_id, std::move(chunk), pages);
+    }
+    {
+      // Retire the in-flight entry after the Put so late misses either join
+      // this flight or see the cached chunk — never a gap that re-reads.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.loading.erase(chunk_id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->status = load_status;
+      flight->result = published;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    QVT_RETURN_IF_ERROR(load_status);
+    *out = std::move(published);
+    return Status::OK();
+  }
+
+  // Another thread is already loading this chunk: share its one read.
+  shard.single_flight_waits.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(flight->mu);
+  flight->cv.wait(lock, [&] { return flight->done; });
+  QVT_RETURN_IF_ERROR(flight->status);
+  *out = flight->result;
+  return Status::OK();
 }
 
 void ChunkCache::Clear() {
@@ -86,6 +166,8 @@ ChunkCacheStats ChunkCache::Stats() const {
     stats.hits += shard->hits.load(std::memory_order_relaxed);
     stats.misses += shard->misses.load(std::memory_order_relaxed);
     stats.evictions += shard->evictions.load(std::memory_order_relaxed);
+    stats.single_flight_waits +=
+        shard->single_flight_waits.load(std::memory_order_relaxed);
   }
   return stats;
 }

@@ -1,7 +1,10 @@
 #ifndef QVT_STORAGE_DISK_COST_MODEL_H_
 #define QVT_STORAGE_DISK_COST_MODEL_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 
 #include "storage/page.h"
 
@@ -87,6 +90,70 @@ class DiskCostModel {
 
  private:
   DiskCostModelConfig config_;
+};
+
+/// Deterministic timeline of a *pipelined* scan: what the wall clock of a
+/// query would read on the paper's 2005 hardware if the I/O of up to `depth`
+/// upcoming chunks overlapped the CPU scan of the current one — the modeled
+/// counterpart of the chunk prefetcher (storage/prefetcher.h).
+///
+/// The paper's per-query accounting (DiskCostModel::ChunkTotalMicros summed
+/// chunk by chunk) is deliberately untouched: that serial sum stays the
+/// figures' time axis. This timeline is reported alongside it, as
+/// SearchResult::model_overlapped_micros.
+///
+/// Model: one disk (reads are serial), one CPU (scans are serial, in rank
+/// order). The read of chunk r may be issued once the disk is free and the
+/// pipeline window has space — i.e. once chunk r-depth has been handed to
+/// the scan (PrefetchStream pops a slot and refills *before* scanning it, so
+/// depth 1 already overlaps the next read with the current scan). The scan
+/// of a chunk starts when the previous scan finished and the chunk's bytes
+/// have arrived. Cache hits occupy no disk time. With depth == 0 nothing
+/// overlaps: each chunk charges io + cpu strictly in sequence.
+class OverlappedScanTimeline {
+ public:
+  /// `start_micros` seeds both the disk and CPU clocks (the index-scan
+  /// charge, which precedes every chunk read).
+  explicit OverlappedScanTimeline(size_t depth, int64_t start_micros = 0)
+      : depth_(depth), start_(start_micros), disk_free_(start_micros),
+        scan_done_(start_micros) {}
+
+  /// Appends the next chunk of the rank order. `io_micros` == 0 means a
+  /// cache hit (no disk occupancy).
+  void AddChunk(int64_t io_micros, int64_t cpu_micros) {
+    // Earliest moment this chunk's read may be issued: unconstrained while
+    // fewer than `depth` chunks separate it from the scan cursor, else the
+    // moment the scan `depth` positions back *started* (= when its slot was
+    // popped and the window refilled).
+    int64_t window_open = scan_done_;  // depth 0: issue after previous scan
+    if (depth_ > 0) {
+      window_open = scan_starts_.size() < depth_ ? start_
+                                                 : scan_starts_.front();
+      if (scan_starts_.size() >= depth_) scan_starts_.pop_front();
+    }
+    int64_t arrival = window_open;
+    if (io_micros > 0) {
+      const int64_t io_start = std::max(disk_free_, window_open);
+      arrival = io_start + io_micros;
+      disk_free_ = arrival;
+    }
+    const int64_t scan_start = std::max(scan_done_, arrival);
+    scan_done_ = scan_start + cpu_micros;
+    if (depth_ > 0) scan_starts_.push_back(scan_start);
+  }
+
+  /// Modeled wall time once every appended chunk has been scanned.
+  int64_t ElapsedMicros() const { return scan_done_; }
+
+  size_t depth() const { return depth_; }
+
+ private:
+  size_t depth_;
+  int64_t start_;
+  int64_t disk_free_;
+  int64_t scan_done_;
+  /// Scan-start times of the last `depth` chunks (window constraint).
+  std::deque<int64_t> scan_starts_;
 };
 
 }  // namespace qvt

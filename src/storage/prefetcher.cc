@@ -1,0 +1,326 @@
+#include "storage/prefetcher.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace qvt {
+
+size_t PrefetcherOptions::DepthFromEnvOr(size_t fallback) {
+  const char* env = std::getenv("QVT_PREFETCH_DEPTH");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0) return fallback;
+  return static_cast<size_t>(std::min<long>(value, 64));
+}
+
+ChunkPrefetcher::ChunkPrefetcher(ChunkReadFn read_fn, ChunkPagesFn pages_fn,
+                                 ChunkCache* cache, PrefetcherOptions options)
+    : read_fn_(std::move(read_fn)),
+      pages_fn_(std::move(pages_fn)),
+      cache_(cache),
+      options_(options) {
+  QVT_CHECK(read_fn_ != nullptr);
+  QVT_CHECK(pages_fn_ != nullptr);
+  QVT_CHECK(options_.depth >= 1);
+  workers_ =
+      std::make_unique<ThreadPool>(std::max<size_t>(1, options_.io_threads));
+}
+
+ChunkPrefetcher::~ChunkPrefetcher() = default;
+
+std::unique_ptr<PrefetchStream> ChunkPrefetcher::NewStream(
+    std::span<const uint32_t> order) {
+  return std::unique_ptr<PrefetchStream>(new PrefetchStream(this, order));
+}
+
+std::shared_ptr<ChunkPrefetcher::ReadJob> ChunkPrefetcher::AcquireJob(
+    uint32_t chunk_id) {
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  const auto it = reads_.find(chunk_id);
+  if (it != reads_.end()) {
+    if (std::shared_ptr<ReadJob> job = it->second.lock()) {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      // Attach while the read is pending, or when it completed successfully
+      // with the data still unclaimed; anything else gets a fresh read.
+      if (!job->done || (job->status.ok() && !job->taken)) {
+        ++job->interested;
+        return job;
+      }
+    }
+  }
+  auto job = std::make_shared<ReadJob>();
+  job->interested = 1;
+  reads_[chunk_id] = job;
+  workers_->Submit([this, chunk_id, job] { RunRead(chunk_id, job); });
+  return job;
+}
+
+void ChunkPrefetcher::RunRead(uint32_t chunk_id, std::shared_ptr<ReadJob> job) {
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->interested == 0) {
+      // Every stream cancelled before the read started: skip the pread.
+      job->done = true;
+      job->taken = true;
+      job->status = Status::Internal("prefetch cancelled before read");
+    }
+  }
+  if (job->done) {  // safe unlocked: only this worker transitions it
+    job->cv.notify_all();
+    EraseJob(chunk_id, job);
+    return;
+  }
+
+  ChunkData buffer = AcquireBuffer();
+  const Status status = read_fn_(chunk_id, &buffer);
+
+  ChunkData recycle;
+  bool do_recycle = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->status = status;
+    if (status.ok() && job->interested > 0) {
+      job->data = std::move(buffer);
+    } else {
+      // Failed, or everyone left while the read ran: a partial or orphaned
+      // buffer is recycled, never published.
+      job->taken = true;
+      recycle = std::move(buffer);
+      do_recycle = true;
+    }
+    job->done = true;
+  }
+  job->cv.notify_all();
+  if (do_recycle) ReleaseBuffer(std::move(recycle));
+  EraseJob(chunk_id, job);
+}
+
+void ChunkPrefetcher::EraseJob(uint32_t chunk_id,
+                               const std::shared_ptr<ReadJob>& job) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = reads_.find(chunk_id);
+  if (it != reads_.end() && it->second.lock() == job) reads_.erase(it);
+}
+
+ChunkData ChunkPrefetcher::AcquireBuffer() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (free_buffers_.empty()) return ChunkData();
+  ChunkData buffer = std::move(free_buffers_.back());
+  free_buffers_.pop_back();
+  return buffer;
+}
+
+void ChunkPrefetcher::ReleaseBuffer(ChunkData&& buffer) {
+  buffer.ids.clear();
+  buffer.values.clear();  // keeps capacity: the next read reuses the pages
+  const size_t cap = options_.pool_buffers != 0
+                         ? options_.pool_buffers
+                         : options_.depth + options_.io_threads;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (free_buffers_.size() < cap) free_buffers_.push_back(std::move(buffer));
+}
+
+PrefetchStream::PrefetchStream(ChunkPrefetcher* owner,
+                               std::span<const uint32_t> order)
+    : owner_(owner), order_(order) {
+  Pump();
+}
+
+PrefetchStream::~PrefetchStream() { Finish(); }
+
+void PrefetchStream::Pump() {
+  if (finished_) return;
+  const size_t depth = owner_->options_.depth;
+  while (window_.size() < depth && next_issue_ < order_.size()) {
+    const uint32_t chunk_id = order_[next_issue_++];
+    Slot slot;
+    slot.chunk_id = chunk_id;
+    // Peek only — the consume-time Get() stays the single authority on
+    // hit/miss. A resident chunk needs no read; a missing one gets a job
+    // (possibly shared with a sibling stream prefetching the same chunk).
+    if (owner_->cache_ == nullptr || !owner_->cache_->Contains(chunk_id)) {
+      slot.job = owner_->AcquireJob(chunk_id);
+      ++stats_.issued;
+    }
+    window_.push_back(std::move(slot));
+  }
+}
+
+Status PrefetchStream::Next(std::shared_ptr<const ChunkData>* cache_ref,
+                            const ChunkData** data, bool* from_cache) {
+  QVT_CHECK(!finished_);
+  QVT_CHECK(!window_.empty());  // caller consumed past the order
+  ReleaseCurrent();
+  Slot slot = std::move(window_.front());
+  window_.pop_front();
+  Pump();  // keep the pipeline full while we (maybe) block below
+
+  cache_ref->reset();
+  *data = nullptr;
+  *from_cache = false;
+  ChunkCache* cache = owner_->cache_;
+
+  if (slot.job == nullptr) {
+    // The issue-time peek found it cached; ask for real now.
+    *cache_ref = cache->Get(slot.chunk_id);
+    if (*cache_ref != nullptr) {
+      *data = cache_ref->get();
+      *from_cache = true;
+      return Status::OK();
+    }
+    // Evicted between peek and consume: read it now, like the sync path.
+    return FetchSync(slot.chunk_id, cache_ref, data);
+  }
+
+  // Wait for the background read to settle.
+  ChunkPrefetcher::ReadJob& job = *slot.job;
+  Status read_status;
+  {
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.cv.wait(lock, [&] { return job.done; });
+    read_status = job.status;
+  }
+
+  if (cache != nullptr) {
+    // Authoritative Get first: a chunk that became resident since the peek
+    // makes this a hit exactly as the synchronous path would see it (and
+    // shields the query from a failed prefetch read).
+    *cache_ref = cache->Get(slot.chunk_id);
+    if (*cache_ref != nullptr) {
+      AbandonJob(job);
+      ++stats_.wasted;  // the read completed but the cache won the race
+      *data = cache_ref->get();
+      *from_cache = true;
+      return Status::OK();
+    }
+    if (!read_status.ok()) {
+      AbandonJob(job);
+      ++stats_.cancelled;
+      return read_status;
+    }
+    // Miss (counted): publish the prefetched buffer, as Put would after a
+    // synchronous read.
+    bool took = false;
+    ChunkData buffer;
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      --job.interested;
+      if (!job.taken) {
+        job.taken = true;
+        buffer = std::move(job.data);
+        took = true;
+      }
+    }
+    if (took) {
+      *cache_ref = cache->Put(slot.chunk_id, std::move(buffer),
+                              owner_->pages_fn_(slot.chunk_id));
+      *data = cache_ref->get();
+      ++stats_.used;
+      return Status::OK();
+    }
+    // A sibling stream claimed the shared buffer; it has published (or is
+    // about to publish) it. Re-check the cache, else read synchronously.
+    ++stats_.used;
+    *cache_ref = cache->Get(slot.chunk_id);
+    if (*cache_ref != nullptr) {
+      *data = cache_ref->get();
+      return Status::OK();
+    }
+    return FetchSync(slot.chunk_id, cache_ref, data);
+  }
+
+  // Cache-less pipeline: scan straight out of the read buffer.
+  if (!read_status.ok()) {
+    AbandonJob(job);
+    ++stats_.cancelled;
+    return read_status;
+  }
+  bool took = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    --job.interested;
+    if (!job.taken) {
+      job.taken = true;
+      current_ = std::move(job.data);
+      took = true;
+    }
+  }
+  if (took) {
+    holds_current_ = true;
+    *data = &current_;
+    ++stats_.used;
+    return Status::OK();
+  }
+  ++stats_.used;
+  return FetchSync(slot.chunk_id, cache_ref, data);
+}
+
+Status PrefetchStream::FetchSync(uint32_t chunk_id,
+                                 std::shared_ptr<const ChunkData>* cache_ref,
+                                 const ChunkData** data) {
+  ChunkData buffer = owner_->AcquireBuffer();
+  const Status status = owner_->read_fn_(chunk_id, &buffer);
+  if (!status.ok()) {
+    owner_->ReleaseBuffer(std::move(buffer));
+    return status;
+  }
+  if (owner_->cache_ != nullptr) {
+    *cache_ref = owner_->cache_->Put(chunk_id, std::move(buffer),
+                                     owner_->pages_fn_(chunk_id));
+    *data = cache_ref->get();
+  } else {
+    current_ = std::move(buffer);
+    holds_current_ = true;
+    *data = &current_;
+  }
+  return Status::OK();
+}
+
+bool PrefetchStream::AbandonJob(ChunkPrefetcher::ReadJob& job) {
+  ChunkData recycle;
+  bool do_recycle = false;
+  bool was_done = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    --job.interested;
+    was_done = job.done;
+    if (job.done && job.status.ok() && !job.taken && job.interested == 0) {
+      job.taken = true;
+      recycle = std::move(job.data);
+      do_recycle = true;
+    }
+  }
+  if (do_recycle) owner_->ReleaseBuffer(std::move(recycle));
+  return was_done;
+}
+
+void PrefetchStream::ReleaseCurrent() {
+  if (!holds_current_) return;
+  holds_current_ = false;
+  owner_->ReleaseBuffer(std::move(current_));
+  current_ = ChunkData();
+}
+
+PrefetchStats PrefetchStream::Finish() {
+  if (finished_) return stats_;
+  finished_ = true;
+  ReleaseCurrent();
+  // Outstanding reads: drop interest so workers skip preads not yet started;
+  // completed-but-stranded buffers go back to the pool, never to the cache.
+  for (Slot& slot : window_) {
+    if (slot.job == nullptr) continue;
+    if (AbandonJob(*slot.job)) {
+      ++stats_.wasted;
+    } else {
+      ++stats_.cancelled;
+    }
+  }
+  window_.clear();
+  return stats_;
+}
+
+}  // namespace qvt

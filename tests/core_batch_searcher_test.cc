@@ -147,6 +147,58 @@ TEST(BatchSearcherTest, SharedCacheKeepsAnswersIdentical) {
   EXPECT_LE(cache.used_pages(), 256u);
 }
 
+// Pipelined fetches under a concurrent batch: every worker thread runs its
+// queries through PrefetchStreams against one shared prefetcher and cache.
+// Neighbors and chunks_read must match the synchronous depth-0 serial
+// reference exactly (modeled time is excluded: with a *shared* cache it
+// depends on which thread warmed a chunk first, prefetch or not).
+TEST(BatchSearcherTest, PrefetchingThreadsMatchSynchronousSerial) {
+  BatchFixture fx(/*num_queries=*/100);
+  PrefetcherOptions no_prefetch;
+  no_prefetch.depth = 0;
+  Searcher sync(&*fx.index, DiskCostModel(), nullptr, no_prefetch);
+  ASSERT_EQ(sync.prefetcher(), nullptr);
+
+  PrefetcherOptions deep;
+  deep.depth = 4;
+  deep.io_threads = 4;
+  ChunkCache cache(256, /*num_shards=*/4);
+  Searcher pipelined(&*fx.index, DiskCostModel(), &cache, deep);
+  ASSERT_NE(pipelined.prefetcher(), nullptr);
+
+  PrefetchStats total;
+  for (const StopRule& rule : {StopRule::Exact(), StopRule::MaxChunks(3)}) {
+    BatchSearcher serial(&sync, 1);
+    auto reference = serial.SearchAll(fx.workload, 10, rule);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(reference->prefetch.issued, 0u);  // fully synchronous
+
+    BatchSearcher threaded(&pipelined, 8);
+    auto batch = threaded.SearchAll(fx.workload, 10, rule);
+    ASSERT_TRUE(batch.ok());
+
+    for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
+      const SearchResult& a = batch->results[q];
+      const SearchResult& b = reference->results[q];
+      EXPECT_EQ(a.chunks_read, b.chunks_read) << "query " << q;
+      EXPECT_EQ(a.exact, b.exact) << "query " << q;
+      ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << "query " << q;
+      for (size_t i = 0; i < a.neighbors.size(); ++i) {
+        EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id)
+            << "query " << q << " rank " << i;
+        EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance)
+            << "query " << q << " rank " << i;
+      }
+    }
+    // The batch aggregates every stream's counters, and the ledger balances.
+    const PrefetchStats& p = batch->prefetch;
+    EXPECT_EQ(p.issued, p.used + p.wasted + p.cancelled);
+    total += p;
+  }
+  // The cold first pass must have pushed real reads through the pipeline.
+  EXPECT_GT(total.issued, 0u);
+}
+
 TEST(BatchSearcherTest, PercentilesAreOrdered) {
   BatchFixture fx(/*num_queries=*/50);
   Searcher searcher(&*fx.index, DiskCostModel());

@@ -371,6 +371,205 @@ TEST(SearcherTest, ZeroEpsilonEqualsExact) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Prefetch pipeline bit-identity
+// ---------------------------------------------------------------------------
+
+PrefetcherOptions Depth(size_t depth) {
+  PrefetcherOptions options;
+  options.depth = depth;
+  return options;
+}
+
+// Everything the cost model and quality evaluation consume must be equal —
+// and distances bitwise so, since prefetching never touches the math.
+void ExpectBitIdentical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.chunks_read, b.chunks_read);
+  EXPECT_EQ(a.descriptors_processed, b.descriptors_processed);
+  EXPECT_EQ(a.model_elapsed_micros, b.model_elapsed_micros);
+  EXPECT_EQ(a.exact, b.exact);
+  ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+  for (size_t i = 0; i < a.neighbors.size(); ++i) {
+    EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << "rank " << i;
+    EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance)
+        << "rank " << i;
+  }
+}
+
+// Satellite regression: the vectorized RankChunks (one batched kernel call
+// over the contiguous centroid matrix) must reproduce the old per-centroid
+// vec::Distance loop bit-for-bit, ties broken by chunk id.
+TEST(SearcherTest, RankChunksMatchesScalarCentroidReference) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher searcher(&*fx.index, DiskCostModel());
+  const size_t num_chunks = fx.index->num_chunks();
+
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> query(kDescriptorDim);
+    for (auto& x : query) x = static_cast<float>(rng.UniformDouble(20, 80));
+
+    SearchScratch scratch;
+    searcher.RankChunks(query, scratch);
+
+    std::vector<double> reference(num_chunks);
+    std::vector<uint32_t> order(num_chunks);
+    for (size_t i = 0; i < num_chunks; ++i) {
+      order[i] = static_cast<uint32_t>(i);
+      reference[i] = vec::Distance(query, fx.index->entry(i).bounds.center);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (reference[a] != reference[b]) return reference[a] < reference[b];
+      return a < b;
+    });
+
+    ASSERT_EQ(scratch.rank_order.size(), num_chunks);
+    for (size_t i = 0; i < num_chunks; ++i) {
+      EXPECT_EQ(scratch.centroid_distance[i], reference[i]) << "chunk " << i;
+      EXPECT_EQ(scratch.rank_order[i], order[i]) << "rank " << i;
+    }
+  }
+}
+
+// The tentpole's core promise: at every depth, under every stop rule, the
+// pipelined search returns the same bits as the synchronous one — prefetch
+// moves *when* bytes arrive, never what is scanned or what is charged.
+TEST(PrefetchSearcherTest, PipelinedSearchIsBitIdenticalToSynchronous) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher sync(&*fx.index, DiskCostModel(), nullptr, Depth(0));
+  ASSERT_EQ(sync.prefetcher(), nullptr);
+
+  const StopRule rules[] = {
+      StopRule::Exact(), StopRule::EpsilonApproximate(0.5),
+      StopRule::MaxChunks(3), StopRule::TimeBudget(60LL * 1000),
+      StopRule::TimeBudget(500LL * 1000)};
+
+  for (size_t depth : {1u, 2u, 4u, 8u}) {
+    Searcher pipelined(&*fx.index, DiskCostModel(), nullptr, Depth(depth));
+    ASSERT_NE(pipelined.prefetcher(), nullptr);
+    Rng rng(depth);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<float> query(kDescriptorDim);
+      for (auto& x : query) x = static_cast<float>(rng.UniformDouble(20, 80));
+      for (const StopRule& rule : rules) {
+        auto a = sync.Search(query, 10, rule);
+        auto b = pipelined.Search(query, 10, rule);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        ExpectBitIdentical(*a, *b);
+        // The pipeline's own ledger must balance, and the synchronous
+        // searcher must not have touched it at all.
+        const PrefetchStats& p = b->prefetch;
+        EXPECT_EQ(p.issued, p.used + p.wasted + p.cancelled);
+        EXPECT_EQ(p.used, b->chunks_read);  // no cache: every chunk is read
+        EXPECT_EQ(a->prefetch.issued, 0u);
+        // The overlapped wall-time model can only improve on the depth-0
+        // timeline (the strict io+cpu serial schedule the sync path reports;
+        // model_elapsed_micros is no upper bound — the paper's per-chunk
+        // max(io, cpu) charge already overlaps a chunk's I/O with its *own*
+        // scan, which a real pipeline cannot do for the first read).
+        EXPECT_LE(b->model_overlapped_micros, a->model_overlapped_micros);
+      }
+    }
+  }
+}
+
+TEST(PrefetchSearcherTest, PipelinedCachedSearchMatchesSynchronousCached) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  // Two identical caches, sized for eviction churn, fed the exact same
+  // query sequence: results, hit/miss streams, and final contents must not
+  // be distinguishable between the two paths.
+  ChunkCache sync_cache(64);
+  ChunkCache pipe_cache(64);
+  Searcher sync(&*fx.index, DiskCostModel(), &sync_cache, Depth(0));
+  Searcher pipelined(&*fx.index, DiskCostModel(), &pipe_cache, Depth(4));
+
+  const StopRule rules[] = {StopRule::Exact(), StopRule::MaxChunks(5),
+                            StopRule::TimeBudget(200LL * 1000)};
+  for (size_t pos : {0u, 11u, 222u, 333u, 11u, 0u}) {  // repeats: warm hits
+    for (const StopRule& rule : rules) {
+      auto a = sync.Search(fx.collection.Vector(pos), 10, rule);
+      auto b = pipelined.Search(fx.collection.Vector(pos), 10, rule);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectBitIdentical(*a, *b);
+    }
+  }
+  // Same hit/miss/eviction history: the stream's peek-then-authoritative-Get
+  // discipline leaves the cache exactly as the synchronous path does.
+  const ChunkCacheStats sa = sync_cache.Stats();
+  const ChunkCacheStats sb = pipe_cache.Stats();
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.misses, sb.misses);
+  EXPECT_EQ(sa.evictions, sb.evictions);
+  EXPECT_EQ(sync_cache.used_pages(), pipe_cache.used_pages());
+  EXPECT_EQ(sync_cache.size(), pipe_cache.size());
+}
+
+// A stop rule firing mid-order must cancel the stranded read-ahead without
+// perturbing the answer — the crash-safety half is covered in
+// storage_prefetcher_test (a cancelled read never publishes).
+TEST(PrefetchSearcherTest, MidScanExactStopCancelsStrandedReads) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  Searcher sync(&*fx.index, DiskCostModel(), nullptr, Depth(0));
+  Searcher pipelined(&*fx.index, DiskCostModel(), nullptr, Depth(8));
+
+  // A dataset query prunes after a few chunks (the exact stop fires with
+  // most of the order unread), so the 8-deep window is left stranded.
+  const auto query = fx.collection.Vector(100);
+  auto a = sync.Search(query, 5, StopRule::Exact());
+  auto b = pipelined.Search(query, 5, StopRule::Exact());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitIdentical(*a, *b);
+  ASSERT_LT(b->chunks_read, fx.index->num_chunks());
+
+  const PrefetchStats& p = b->prefetch;
+  EXPECT_EQ(p.used, b->chunks_read);
+  EXPECT_GT(p.issued, p.used);  // the window had run ahead of the stop
+  EXPECT_EQ(p.issued, p.used + p.wasted + p.cancelled);
+  EXPECT_GT(p.wasted + p.cancelled, 0u);
+}
+
+TEST(PrefetchSearcherTest, PipelinedRangeSearchIsBitIdenticalToSynchronous) {
+  SrTreeChunker chunker(60);
+  IndexFixture fx(&chunker);
+  ChunkCache sync_cache(100000);
+  ChunkCache pipe_cache(100000);
+  Searcher sync_plain(&*fx.index, DiskCostModel(), nullptr, Depth(0));
+  Searcher pipe_plain(&*fx.index, DiskCostModel(), nullptr, Depth(4));
+  Searcher sync_cached(&*fx.index, DiskCostModel(), &sync_cache, Depth(0));
+  Searcher pipe_cached(&*fx.index, DiskCostModel(), &pipe_cache, Depth(4));
+
+  const StopRule rules[] = {StopRule::Exact(), StopRule::MaxChunks(2)};
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t pos = rng.Uniform(fx.collection.size());
+    const double radius = rng.UniformDouble(2.0, 12.0);
+    for (const StopRule& rule : rules) {
+      auto a = sync_plain.SearchRange(fx.collection.Vector(pos), radius, rule);
+      auto b = pipe_plain.SearchRange(fx.collection.Vector(pos), radius, rule);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ExpectBitIdentical(*a, *b);
+
+      auto c =
+          sync_cached.SearchRange(fx.collection.Vector(pos), radius, rule);
+      auto d =
+          pipe_cached.SearchRange(fx.collection.Vector(pos), radius, rule);
+      ASSERT_TRUE(c.ok());
+      ASSERT_TRUE(d.ok());
+      ExpectBitIdentical(*c, *d);
+    }
+  }
+  EXPECT_EQ(sync_cache.Stats().hits, pipe_cache.Stats().hits);
+  EXPECT_EQ(sync_cache.Stats().misses, pipe_cache.Stats().misses);
+}
+
 TEST(SearcherTest, ApproximateIsSubsetQualityOfExact) {
   SrTreeChunker chunker(60);
   IndexFixture fx(&chunker);

@@ -1,6 +1,7 @@
 #include "storage/chunk_cache.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -101,6 +102,200 @@ TEST(ChunkCacheTest, EvictedChunkOutlivesEvictionWhileReferenced) {
   // The outstanding reference still reads valid data.
   EXPECT_EQ(held->size(), 3u);
   EXPECT_EQ(held->ids[2], 102u);
+}
+
+TEST(ChunkCacheTest, ContainsProbesWithoutTouchingStatsOrLru) {
+  ChunkCache cache(4);
+  cache.Put(1, MakeChunk(1, 0), 2);
+  cache.Put(2, MakeChunk(1, 10), 2);
+  // Probe chunk 1 (the LRU victim candidate) many times: a Get would both
+  // count hits and promote it to MRU; Contains must do neither.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_FALSE(cache.Contains(99));
+  }
+  EXPECT_EQ(cache.Stats().hits, 0u);
+  EXPECT_EQ(cache.Stats().misses, 0u);
+  cache.Put(3, MakeChunk(1, 20), 2);  // still evicts 1, not 2
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+// ---------------------------------------------------------------------------
+// GetOrLoad single-flight
+// ---------------------------------------------------------------------------
+
+TEST(ChunkCacheTest, GetOrLoadHitSkipsLoader) {
+  ChunkCache cache(10);
+  cache.Put(1, MakeChunk(3, 100), 2);
+  std::shared_ptr<const ChunkData> out;
+  bool was_hit = false;
+  auto status = cache.GetOrLoad(
+      1, 2,
+      [](ChunkData*) {
+        ADD_FAILURE() << "loader must not run on a hit";
+        return Status::OK();
+      },
+      &out, &was_hit);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(was_hit);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->ids[0], 100u);
+}
+
+TEST(ChunkCacheTest, GetOrLoadMissRunsLoaderAndPublishes) {
+  ChunkCache cache(10);
+  std::shared_ptr<const ChunkData> out;
+  bool was_hit = true;
+  auto status = cache.GetOrLoad(
+      7, 2,
+      [](ChunkData* chunk) {
+        *chunk = MakeChunk(2, 70);
+        return Status::OK();
+      },
+      &out, &was_hit);
+  ASSERT_TRUE(status.ok());
+  EXPECT_FALSE(was_hit);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->ids[0], 70u);
+  EXPECT_NE(cache.Get(7), nullptr);  // published for the next caller
+  EXPECT_EQ(cache.used_pages(), 2u);
+}
+
+// The ISSUE's thundering-herd regression: N threads missing on the same
+// chunk must coalesce onto one loader run, while each still counts a miss
+// (per-query accounting reads as if it ran alone — only the physical read
+// is deduplicated).
+TEST(ChunkCacheTest, GetOrLoadCoalescesConcurrentMisses) {
+  constexpr size_t kThreads = 8;
+  ChunkCache cache(10);
+  std::atomic<uint32_t> loads{0};
+  std::atomic<size_t> arrived{0};
+
+  std::vector<std::thread> threads;
+  std::atomic<uint32_t> bad{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::shared_ptr<const ChunkData> out;
+      bool was_hit = true;
+      arrived.fetch_add(1);
+      auto status = cache.GetOrLoad(
+          5, 2,
+          [&](ChunkData* chunk) {
+            loads.fetch_add(1);
+            // Hold the load until every thread has reached GetOrLoad, so
+            // all of them join this one flight instead of hitting later.
+            while (arrived.load() < kThreads) std::this_thread::yield();
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            *chunk = MakeChunk(2, 50);
+            return Status::OK();
+          },
+          &out, &was_hit);
+      if (!status.ok() || was_hit || out == nullptr || out->ids[0] != 50u) {
+        bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(loads.load(), 1u);  // one disk read for the whole herd
+  EXPECT_EQ(bad.load(), 0u);
+  const ChunkCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, kThreads);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.single_flight_waits, kThreads - 1);
+}
+
+TEST(ChunkCacheTest, GetOrLoadErrorPublishesNothingAndRetries) {
+  ChunkCache cache(10);
+  std::shared_ptr<const ChunkData> out;
+  bool was_hit = true;
+  auto failed = cache.GetOrLoad(
+      3, 2,
+      [](ChunkData* chunk) {
+        chunk->ids.push_back(999);  // torn read: partially-filled buffer
+        return Status::IoError("injected");
+      },
+      &out, &was_hit);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(was_hit);
+  EXPECT_EQ(cache.Get(3), nullptr);  // the torn buffer was never cached
+  EXPECT_EQ(cache.used_pages(), 0u);
+
+  // The failed flight is retired: the next miss retries from scratch.
+  auto retried = cache.GetOrLoad(
+      3, 2,
+      [](ChunkData* chunk) {
+        *chunk = MakeChunk(1, 30);
+        return Status::OK();
+      },
+      &out, &was_hit);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(out->ids[0], 30u);
+}
+
+TEST(ChunkCacheTest, GetOrLoadErrorReachesCoalescedWaiters) {
+  ChunkCache cache(10);
+  std::atomic<bool> leader_in_loader{false};
+  std::atomic<bool> release{false};
+
+  std::shared_ptr<const ChunkData> leader_out;
+  bool leader_hit = true;
+  Status leader_status;
+  std::thread leader([&] {
+    leader_status = cache.GetOrLoad(
+        9, 2,
+        [&](ChunkData*) {
+          leader_in_loader.store(true);
+          while (!release.load()) std::this_thread::yield();
+          return Status::IoError("leader failed");
+        },
+        &leader_out, &leader_hit);
+  });
+  while (!leader_in_loader.load()) std::this_thread::yield();
+
+  std::shared_ptr<const ChunkData> waiter_out;
+  bool waiter_hit = true;
+  Status waiter_status;
+  std::thread waiter([&] {
+    waiter_status = cache.GetOrLoad(
+        9, 2, [](ChunkData*) { return Status::OK(); }, &waiter_out,
+        &waiter_hit);
+  });
+  // Give the waiter time to attach to the in-flight load, then fail it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);
+  leader.join();
+  waiter.join();
+
+  EXPECT_FALSE(leader_status.ok());
+  EXPECT_EQ(cache.Get(9), nullptr);
+  // The waiter either shared the failed flight (error, no loader run) or
+  // arrived after its retirement and ran its own loader successfully.
+  if (!waiter_status.ok()) {
+    EXPECT_EQ(waiter_out, nullptr);
+  } else {
+    EXPECT_FALSE(waiter_hit);
+  }
+}
+
+TEST(ChunkCacheTest, GetOrLoadOversizedChunkReturnsDataUncached) {
+  ChunkCache cache(4);
+  std::shared_ptr<const ChunkData> out;
+  bool was_hit = true;
+  auto status = cache.GetOrLoad(
+      2, 9,  // larger than the whole budget
+      [](ChunkData* chunk) {
+        *chunk = MakeChunk(2, 20);
+        return Status::OK();
+      },
+      &out, &was_hit);
+  ASSERT_TRUE(status.ok());
+  EXPECT_FALSE(was_hit);
+  ASSERT_NE(out, nullptr);  // caller can still scan the loaded buffer
+  EXPECT_EQ(out->ids[0], 20u);
+  EXPECT_EQ(cache.Get(2), nullptr);  // but it was too large to cache
+  EXPECT_EQ(cache.used_pages(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -84,5 +84,74 @@ TEST(DiskCostModelTest, PagesForBytesRoundsUp) {
   EXPECT_EQ(PagesForBytes(kPageSize + 1), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// OverlappedScanTimeline (the prefetch pipeline's modeled wall clock)
+// ---------------------------------------------------------------------------
+
+TEST(OverlappedScanTimelineTest, DepthZeroIsTheSerialSum) {
+  OverlappedScanTimeline timeline(0, /*start_micros=*/100);
+  timeline.AddChunk(10, 5);
+  timeline.AddChunk(20, 7);
+  timeline.AddChunk(0, 3);  // cache hit
+  EXPECT_EQ(timeline.ElapsedMicros(), 100 + (10 + 5) + (20 + 7) + (0 + 3));
+}
+
+TEST(OverlappedScanTimelineTest, DepthOnePipelinesBalancedChunks) {
+  // io == cpu == 10: a one-deep window is already a perfect pipeline —
+  // after the first read, every scan hides exactly one read.
+  OverlappedScanTimeline timeline(1);
+  for (int i = 0; i < 3; ++i) timeline.AddChunk(10, 10);
+  EXPECT_EQ(timeline.ElapsedMicros(), 10 + 3 * 10);
+  OverlappedScanTimeline serial(0);
+  for (int i = 0; i < 3; ++i) serial.AddChunk(10, 10);
+  EXPECT_EQ(serial.ElapsedMicros(), 3 * 20);
+}
+
+TEST(OverlappedScanTimelineTest, IoBoundPipelineIsDiskLimited) {
+  // io 10, cpu 2: the disk is the bottleneck, so elapsed approaches
+  // sum(io) + the last scan.
+  OverlappedScanTimeline timeline(1);
+  for (int i = 0; i < 3; ++i) timeline.AddChunk(10, 2);
+  EXPECT_EQ(timeline.ElapsedMicros(), 3 * 10 + 2);
+}
+
+TEST(OverlappedScanTimelineTest, CpuBoundPipelineIsScanLimited) {
+  // io 2, cpu 10 at depth 2: after the first arrival the scan never waits.
+  OverlappedScanTimeline timeline(2);
+  for (int i = 0; i < 3; ++i) timeline.AddChunk(2, 10);
+  EXPECT_EQ(timeline.ElapsedMicros(), 2 + 3 * 10);
+}
+
+TEST(OverlappedScanTimelineTest, CacheHitsOccupyNoDiskTime) {
+  OverlappedScanTimeline timeline(2);
+  timeline.AddChunk(0, 5);   // hit: scan starts immediately
+  timeline.AddChunk(10, 5);  // its read overlapped the first scan
+  timeline.AddChunk(0, 5);   // hit: ready the moment the scan frees up
+  EXPECT_EQ(timeline.ElapsedMicros(), 20);
+}
+
+TEST(OverlappedScanTimelineTest, DeeperWindowsNeverSlowTheScanDown) {
+  const int64_t io[] = {9, 3, 14, 6, 2, 11, 5, 8};
+  const int64_t cpu[] = {4, 12, 2, 9, 7, 3, 10, 6};
+  int64_t previous = 0;
+  for (size_t depth = 0; depth <= 5; ++depth) {
+    OverlappedScanTimeline timeline(depth, 50);
+    for (size_t i = 0; i < 8; ++i) timeline.AddChunk(io[i], cpu[i]);
+    if (depth > 0) {
+      EXPECT_LE(timeline.ElapsedMicros(), previous) << "depth " << depth;
+    }
+    previous = timeline.ElapsedMicros();
+  }
+  // And no depth can beat the disk or the CPU running flat out.
+  int64_t io_sum = 0, cpu_sum = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    io_sum += io[i];
+    cpu_sum += cpu[i];
+  }
+  OverlappedScanTimeline deep(64, 50);
+  for (size_t i = 0; i < 8; ++i) deep.AddChunk(io[i], cpu[i]);
+  EXPECT_GE(deep.ElapsedMicros(), 50 + std::max(io_sum, cpu_sum));
+}
+
 }  // namespace
 }  // namespace qvt

@@ -6,10 +6,14 @@
 //                     [--chunker sr|rr|kmeans|birch|bag] [--chunk-size 1000]
 //   qvt_tool info     --index idx
 //   qvt_tool search   --collection col.desc --index idx --query-pos 123
-//                     [--k 10] [--max-chunks 0 (=exact)]
+//                     [--k 10] [--max-chunks 0 (=exact)] [--prefetch-depth 4]
 //   qvt_tool batch    --collection col.desc --index idx [--queries 1000]
 //                     [--k 10] [--threads 1] [--max-chunks 0] [--seed 7]
-//                     [--cache-pages 0] [--verify 0]
+//                     [--cache-pages 0] [--verify 0] [--prefetch-depth 4]
+//
+// --prefetch-depth sets the chunk read-ahead window (0 disables the
+// pipeline); its default also honors the QVT_PREFETCH_DEPTH environment
+// variable. Results are bit-identical at every depth.
 //
 // The collection file uses the paper's 100-byte record format, so indexes
 // built here interoperate with every library API.
@@ -36,6 +40,14 @@
 
 namespace qvt {
 namespace {
+
+/// Shared --prefetch-depth handling: flag wins, else QVT_PREFETCH_DEPTH,
+/// else the library default of 4.
+PrefetcherOptions PrefetchFromFlag(int64_t depth_flag) {
+  PrefetcherOptions prefetch;
+  if (depth_flag >= 0) prefetch.depth = static_cast<size_t>(depth_flag);
+  return prefetch;
+}
 
 class Flags {
  public:
@@ -183,7 +195,8 @@ int CmdSearch(const Flags& flags) {
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   const int64_t max_chunks = flags.GetInt("max-chunks", 0);
 
-  Searcher searcher(&*index, DiskCostModel());
+  Searcher searcher(&*index, DiskCostModel(), nullptr,
+                    PrefetchFromFlag(flags.GetInt("prefetch-depth", -1)));
   const StopRule stop = max_chunks > 0
                             ? StopRule::MaxChunks(
                                   static_cast<size_t>(max_chunks))
@@ -191,10 +204,21 @@ int CmdSearch(const Flags& flags) {
   auto result = searcher.Search(collection->Vector(pos), k, stop);
   if (!result.ok()) return Fail(result.status());
 
-  std::printf("%s search: %zu chunks read, %.1f ms modeled, %.1f ms wall\n",
+  std::printf("%s search: %zu chunks read, %.1f ms modeled "
+              "(%.1f ms overlapped), %.1f ms wall\n",
               result->exact ? "exact" : "approximate", result->chunks_read,
               result->model_elapsed_micros / 1000.0,
+              result->model_overlapped_micros / 1000.0,
               result->wall_elapsed_micros / 1000.0);
+  if (searcher.prefetcher() != nullptr) {
+    std::printf("prefetch: depth %zu, %llu issued, %llu used, %llu wasted, "
+                "%llu cancelled\n",
+                searcher.prefetcher()->depth(),
+                static_cast<unsigned long long>(result->prefetch.issued),
+                static_cast<unsigned long long>(result->prefetch.used),
+                static_cast<unsigned long long>(result->prefetch.wasted),
+                static_cast<unsigned long long>(result->prefetch.cancelled));
+  }
   for (const Neighbor& n : result->neighbors) {
     std::printf("  id %-10u dist %.4f\n", n.id, n.distance);
   }
@@ -237,7 +261,11 @@ int CmdBatch(const Flags& flags) {
     cache = std::make_unique<ChunkCache>(cache_pages,
                                          std::max<size_t>(threads, 1));
   }
-  Searcher searcher(&*index, DiskCostModel(), cache.get());
+  PrefetcherOptions prefetch =
+      PrefetchFromFlag(flags.GetInt("prefetch-depth", -1));
+  // Enough read workers that one stalled query never starves the others.
+  prefetch.io_threads = std::max<size_t>(2, threads);
+  Searcher searcher(&*index, DiskCostModel(), cache.get(), prefetch);
   BatchSearcher batch_searcher(&searcher, threads);
   auto batch = batch_searcher.SearchAll(workload, k, stop);
   if (!batch.ok()) return Fail(batch.status());
@@ -260,20 +288,36 @@ int CmdBatch(const Flags& flags) {
               batch->model.mean / 1000.0, batch->model.p50 / 1000.0,
               batch->model.p95 / 1000.0, batch->model.p99 / 1000.0,
               batch->model.max / 1000.0);
+  if (searcher.prefetcher() != nullptr) {
+    std::printf("prefetch: depth %zu, %llu issued, %llu used, %llu wasted, "
+                "%llu cancelled\n",
+                searcher.prefetcher()->depth(),
+                static_cast<unsigned long long>(batch->prefetch.issued),
+                static_cast<unsigned long long>(batch->prefetch.used),
+                static_cast<unsigned long long>(batch->prefetch.wasted),
+                static_cast<unsigned long long>(batch->prefetch.cancelled));
+  }
   if (cache != nullptr) {
     const ChunkCacheStats stats = cache->Stats();
-    std::printf("cache: %zu shard(s), hit rate %.1f%%, %llu evictions\n",
+    std::printf("cache: %zu shard(s), hit rate %.1f%%, %llu evictions, "
+                "%llu coalesced reads\n",
                 cache->num_shards(), 100.0 * stats.HitRate(),
-                static_cast<unsigned long long>(stats.evictions));
+                static_cast<unsigned long long>(stats.evictions),
+                static_cast<unsigned long long>(stats.single_flight_waits));
   }
 
   if (flags.GetInt("verify", 0) != 0) {
-    // A fresh cache for the serial pass, so both runs start cold.
+    // A fresh cache for the serial pass, so both runs start cold — and the
+    // prefetch pipeline off, so the reference is the plain synchronous
+    // searcher (this cross-check covers concurrency AND prefetching).
     std::unique_ptr<ChunkCache> serial_cache;
     if (cache_pages > 0) {
       serial_cache = std::make_unique<ChunkCache>(cache_pages, 1);
     }
-    Searcher serial_searcher(&*index, DiskCostModel(), serial_cache.get());
+    PrefetcherOptions no_prefetch;
+    no_prefetch.depth = 0;
+    Searcher serial_searcher(&*index, DiskCostModel(), serial_cache.get(),
+                             no_prefetch);
     BatchSearcher serial(&serial_searcher, 1);
     auto reference = serial.SearchAll(workload, k, stop);
     if (!reference.ok()) return Fail(reference.status());

@@ -16,6 +16,7 @@
 #include "bench_util/runner.h"
 #include "core/searcher.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 #include "util/table.h"
 
 namespace qvt {
@@ -38,6 +39,12 @@ inline ExperimentConfig ParseConfig(int argc, char** argv) {
       config.prefetch_depth =
           static_cast<size_t>(std::max(0L, std::strtol(argv[i + 1], nullptr,
                                                        10)));
+    }
+    if (std::strcmp(argv[i], "--build-threads") == 0) {
+      // Artifacts are bit-identical at every thread count (see
+      // util/parallel_for.h), so this only changes build wall time.
+      SetBuildThreads(static_cast<size_t>(
+          std::max(0L, std::strtol(argv[i + 1], nullptr, 10))));
     }
   }
   return config;

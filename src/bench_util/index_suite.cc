@@ -12,8 +12,11 @@
 #include "cluster/srtree_chunker.h"
 #include "descriptor/generator.h"
 #include "descriptor/range_analysis.h"
+#include "util/build_stats.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
 
 namespace qvt {
 
@@ -200,6 +203,29 @@ Status IndexSuite::BuildEverything() {
     bag = std::make_unique<BagClusterer>(collection_.get(), config_.bag);
   }
 
+  // Per-class facts produced by the (possibly overlapped) tail builds;
+  // applied to the manifest only after every tail has joined.
+  struct ClassBuild {
+    Status status;
+    size_t retained_count = 0;
+    size_t discarded_count = 0;
+    double bag_seconds = 0.0;
+    double sr_seconds = 0.0;
+  };
+  ClassBuild class_builds[3];
+  double cumulative_bag_seconds = 0.0;
+  // The per-class tail (retained subset + save, BAG chunk index, SR-tree
+  // chunking + index) depends only on that class's BAG snapshot, so it can
+  // overlap the next class's BAG run on the calling thread. One worker is
+  // deliberate: tails of different classes serialize with each other, which
+  // keeps all Env writes on a single thread at a time (MemEnv is not
+  // thread-safe) while the main thread does pure computation. The artifacts
+  // are unchanged — every tail input is an immutable snapshot.
+  std::unique_ptr<ThreadPool> tail_pool;
+  if (!indexes_cached && BuildThreads() > 1) {
+    tail_pool = std::make_unique<ThreadPool>(1);
+  }
+
   for (SizeClass size_class : kAllSizeClasses) {
     const size_t class_idx = Idx(size_class);
     const std::string class_name = SizeClassName(size_class);
@@ -257,76 +283,110 @@ Status IndexSuite::BuildEverything() {
     if (size_class == SizeClass::kSmall) {
       small_stop_clusters_ = bag->NumClusters();
     }
-    const double bag_seconds_delta = bag_watch.ElapsedSeconds();
-    const double prev_bag_seconds =
-        size_class == SizeClass::kSmall
-            ? 0.0
-            : variants_[VariantIdx(Strategy::kBag,
-                                   static_cast<SizeClass>(class_idx - 1))]
-                  ->build_seconds;
-    const double bag_seconds = prev_bag_seconds + bag_seconds_delta;
+    cumulative_bag_seconds += bag_watch.ElapsedSeconds();
+    const double bag_seconds = cumulative_bag_seconds;
 
-    const ChunkingResult bag_chunks = bag->Snapshot();
+    auto bag_chunks = std::make_shared<const ChunkingResult>(bag->Snapshot());
     QVT_LOG(Info) << "BAG/" << class_name << ": "
-                  << bag_chunks.chunks.size() << " chunks, avg "
-                  << bag_chunks.AverageChunkSize() << " descriptors, "
-                  << bag_chunks.outliers.size() << " outliers";
+                  << bag_chunks->chunks.size() << " chunks, avg "
+                  << bag_chunks->AverageChunkSize() << " descriptors, "
+                  << bag_chunks->outliers.size() << " outliers";
 
-    // Retained collection for this class (order: by chunk).
-    std::vector<size_t> retained_positions;
-    retained_positions.reserve(bag_chunks.TotalChunkedDescriptors());
-    for (const auto& chunk : bag_chunks.chunks) {
-      retained_positions.insert(retained_positions.end(), chunk.begin(),
-                                chunk.end());
+    ClassBuild* out = &class_builds[class_idx];
+    auto tail = [this, size_class, class_idx, class_name, retained_path,
+                 bag_base, sr_base, bag_chunks, bag_seconds, &wall, out] {
+      BuildPhaseTimer tail_timer("suite.index_build");
+      // Retained collection for this class (order: by chunk).
+      std::vector<size_t> retained_positions;
+      retained_positions.reserve(bag_chunks->TotalChunkedDescriptors());
+      for (const auto& chunk : bag_chunks->chunks) {
+        retained_positions.insert(retained_positions.end(), chunk.begin(),
+                                  chunk.end());
+      }
+      retained_[class_idx] = std::make_unique<Collection>(
+          collection_->Subset(retained_positions));
+      out->status = retained_[class_idx]->Save(env_, retained_path);
+      if (!out->status.ok()) return;
+
+      // BAG chunk index over the full collection (outliers skipped by
+      // Build).
+      auto bag_index = ChunkIndex::Build(*collection_, *bag_chunks, env_,
+                                         ChunkIndexPaths::ForBase(bag_base));
+      if (!bag_index.ok()) {
+        out->status = bag_index.status();
+        return;
+      }
+
+      // Size-matched SR-tree index over the retained (outlier-free) set.
+      const size_t sr_leaf = std::max<size_t>(
+          2,
+          static_cast<size_t>(std::llround(bag_chunks->AverageChunkSize())));
+      Stopwatch sr_watch(&wall);
+      SrTreeChunker sr_chunker(sr_leaf);
+      auto sr_chunks = sr_chunker.FormChunks(*retained_[class_idx]);
+      if (!sr_chunks.ok()) {
+        out->status = sr_chunks.status();
+        return;
+      }
+      auto sr_index =
+          ChunkIndex::Build(*retained_[class_idx], *sr_chunks, env_,
+                            ChunkIndexPaths::ForBase(sr_base));
+      if (!sr_index.ok()) {
+        out->status = sr_index.status();
+        return;
+      }
+      const double sr_seconds = sr_watch.ElapsedSeconds();
+      QVT_LOG(Info) << "SR/" << class_name << ": "
+                    << sr_chunks->chunks.size() << " chunks (leaf " << sr_leaf
+                    << ")";
+
+      out->retained_count = retained_positions.size();
+      out->discarded_count = collection_->size() - retained_positions.size();
+      out->bag_seconds = bag_seconds;
+      out->sr_seconds = sr_seconds;
+      variants_[VariantIdx(Strategy::kBag, size_class)] =
+          std::make_unique<IndexVariant>(IndexVariant{
+              Strategy::kBag, size_class, std::move(bag_index).value(),
+              out->retained_count, out->discarded_count, bag_seconds});
+      variants_[VariantIdx(Strategy::kSrTree, size_class)] =
+          std::make_unique<IndexVariant>(IndexVariant{
+              Strategy::kSrTree, size_class, std::move(sr_index).value(),
+              out->retained_count, out->discarded_count, sr_seconds});
+    };
+    if (tail_pool != nullptr) {
+      tail_pool->Submit(tail);
+    } else {
+      tail();
     }
-    retained_[class_idx] = std::make_unique<Collection>(
-        collection_->Subset(retained_positions));
-    QVT_RETURN_IF_ERROR(retained_[class_idx]->Save(env_, retained_path));
-
-    // BAG chunk index over the full collection (outliers skipped by Build).
-    auto bag_index = ChunkIndex::Build(*collection_, bag_chunks, env_,
-                                       ChunkIndexPaths::ForBase(bag_base));
-    if (!bag_index.ok()) return bag_index.status();
-
-    // Size-matched SR-tree index over the retained (outlier-free) set.
-    const size_t sr_leaf = std::max<size_t>(
-        2, static_cast<size_t>(std::llround(bag_chunks.AverageChunkSize())));
-    Stopwatch sr_watch(&wall);
-    SrTreeChunker sr_chunker(sr_leaf);
-    auto sr_chunks = sr_chunker.FormChunks(*retained_[class_idx]);
-    if (!sr_chunks.ok()) return sr_chunks.status();
-    auto sr_index =
-        ChunkIndex::Build(*retained_[class_idx], *sr_chunks, env_,
-                          ChunkIndexPaths::ForBase(sr_base));
-    if (!sr_index.ok()) return sr_index.status();
-    const double sr_seconds = sr_watch.ElapsedSeconds();
-    QVT_LOG(Info) << "SR/" << class_name << ": "
-                  << sr_chunks->chunks.size() << " chunks (leaf " << sr_leaf
-                  << ")";
-
-    const size_t retained_count = retained_positions.size();
-    const size_t discarded_count = collection_->size() - retained_count;
-    manifest.Set("retained_" + class_name,
-                 static_cast<double>(retained_count));
-    manifest.Set("discarded_" + class_name,
-                 static_cast<double>(discarded_count));
-    manifest.Set("BAG_build_seconds_" + class_name, bag_seconds);
-    manifest.Set("SR_build_seconds_" + class_name, sr_seconds);
-
-    variants_[VariantIdx(Strategy::kBag, size_class)] =
-        std::make_unique<IndexVariant>(
-            IndexVariant{Strategy::kBag, size_class,
-                         std::move(bag_index).value(), retained_count,
-                         discarded_count, bag_seconds});
-    variants_[VariantIdx(Strategy::kSrTree, size_class)] =
-        std::make_unique<IndexVariant>(
-            IndexVariant{Strategy::kSrTree, size_class,
-                         std::move(sr_index).value(), retained_count,
-                         discarded_count, sr_seconds});
   }
+  if (tail_pool != nullptr) tail_pool->Wait();
+  tail_pool.reset();
   bag.reset();
+  if (!indexes_cached) {
+    for (SizeClass size_class : kAllSizeClasses) {
+      ClassBuild& built = class_builds[Idx(size_class)];
+      QVT_RETURN_IF_ERROR(built.status);
+      const std::string class_name = SizeClassName(size_class);
+      manifest.Set("retained_" + class_name,
+                   static_cast<double>(built.retained_count));
+      manifest.Set("discarded_" + class_name,
+                   static_cast<double>(built.discarded_count));
+      manifest.Set("BAG_build_seconds_" + class_name, built.bag_seconds);
+      manifest.Set("SR_build_seconds_" + class_name, built.sr_seconds);
+    }
+  }
 
   // --- Ground truth ---------------------------------------------------------
+  // Cache probes and loads stay serial (Env access); the six exact scans are
+  // pure functions of (retained set, workload, k), so cache misses compute
+  // concurrently and only the saves run serially afterwards.
+  struct TruthJob {
+    SizeClass size_class;
+    const Workload* workload;
+    std::string key, path;
+    std::optional<GroundTruth> truth;
+  };
+  std::vector<TruthJob> jobs;
   for (SizeClass size_class : kAllSizeClasses) {
     for (const Workload* workload : {&dq_, &sq_}) {
       const std::string key =
@@ -344,11 +404,21 @@ Status IndexSuite::BuildEverything() {
         }
       }
       QVT_LOG(Info) << "computing ground truth " << key << "...";
-      GroundTruth truth = GroundTruth::Compute(retained(size_class),
-                                               *workload, config_.k);
-      QVT_RETURN_IF_ERROR(truth.Save(env_, path));
-      truths_.emplace(key, std::move(truth));
+      jobs.push_back({size_class, workload, key, path, std::nullopt});
     }
+  }
+  {
+    BuildPhaseTimer truth_timer("suite.truth");
+    ParallelFor(jobs.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        jobs[j].truth.emplace(GroundTruth::Compute(
+            retained(jobs[j].size_class), *jobs[j].workload, config_.k));
+      }
+    });
+  }
+  for (TruthJob& job : jobs) {
+    QVT_RETURN_IF_ERROR(job.truth->Save(env_, job.path));
+    truths_.emplace(job.key, std::move(*job.truth));
   }
 
   manifest.Set("complete", 1.0);

@@ -7,11 +7,20 @@
 
 #include "geometry/kernels.h"
 #include "geometry/vec.h"
+#include "util/build_stats.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace qvt {
 
 namespace {
+
+/// Fixed shard width for descriptor scans (ExactRadius, projection stats).
+/// A constant of the algorithm, never a function of the thread count: shard
+/// boundaries and the order per-shard partials merge in are part of the
+/// algorithm's definition, so results are bit-identical at every thread
+/// count.
+constexpr size_t kMemberGrain = 8192;
 
 /// Key of a 3-d grid cell.
 struct CellKey {
@@ -51,6 +60,7 @@ class BagClusterer::Impl {
   }
 
   Status RunUntil(size_t target_clusters) {
+    BuildPhaseTimer timer("bag.cluster");
     size_t pass_budget = config_.max_passes;
     while (alive_count_ > target_clusters) {
       if (pass_budget-- == 0) {
@@ -115,14 +125,35 @@ class BagClusterer::Impl {
   void ChooseProjectionDims() {
     const size_t dim = collection_->dim();
     const size_t n = collection_->size();
-    std::vector<double> sum(dim, 0.0), sum_sq(dim, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const auto v = collection_->Vector(i);
-      for (size_t d = 0; d < dim; ++d) {
-        sum[d] += v[d];
-        sum_sq[d] += static_cast<double>(v[d]) * v[d];
-      }
-    }
+    // Per-shard moment partials merged in shard-index order (deterministic
+    // fixed-order reduction; see util/parallel_for.h).
+    struct Moments {
+      std::vector<double> sum, sum_sq;
+    };
+    Moments total = ParallelReduce(
+        n, kMemberGrain,
+        Moments{std::vector<double>(dim, 0.0), std::vector<double>(dim, 0.0)},
+        [&](size_t begin, size_t end) {
+          Moments m{std::vector<double>(dim, 0.0),
+                    std::vector<double>(dim, 0.0)};
+          for (size_t i = begin; i < end; ++i) {
+            const auto v = collection_->Vector(i);
+            for (size_t d = 0; d < dim; ++d) {
+              m.sum[d] += v[d];
+              m.sum_sq[d] += static_cast<double>(v[d]) * v[d];
+            }
+          }
+          return m;
+        },
+        [](Moments acc, const Moments& m) {
+          for (size_t d = 0; d < acc.sum.size(); ++d) {
+            acc.sum[d] += m.sum[d];
+            acc.sum_sq[d] += m.sum_sq[d];
+          }
+          return acc;
+        });
+    const std::vector<double>& sum = total.sum;
+    const std::vector<double>& sum_sq = total.sum_sq;
     std::vector<std::pair<double, size_t>> variances(dim);
     for (size_t d = 0; d < dim; ++d) {
       const double mean = sum[d] / static_cast<double>(n);
@@ -319,12 +350,32 @@ class BagClusterer::Impl {
                      const std::vector<uint32_t>& members) const {
     // Batched gather kernel over the scattered member positions; the max of
     // the exact squared distances commutes with the (monotone) final sqrt.
-    radius_scratch_.resize(members.size());
-    kernels::GatherSquaredDistance(collection_->RawData().data(),
-                                   centroid.size(), members, centroid,
-                                   radius_scratch_.data());
-    double max_sq = 0.0;
-    for (double sq : radius_scratch_) max_sq = std::max(max_sq, sq);
+    if (members.size() <= kMemberGrain) {
+      radius_scratch_.resize(members.size());
+      kernels::GatherSquaredDistance(collection_->RawData().data(),
+                                     centroid.size(), members, centroid,
+                                     radius_scratch_.data());
+      double max_sq = 0.0;
+      for (double sq : radius_scratch_) max_sq = std::max(max_sq, sq);
+      return std::sqrt(max_sq);
+    }
+    // Large clusters: fan the gather scan out over member shards. max is
+    // order-independent, so the sharded reduction is bit-identical to the
+    // serial loop.
+    const std::span<const uint32_t> positions(members);
+    const double max_sq = ParallelReduce(
+        members.size(), kMemberGrain, 0.0,
+        [&](size_t begin, size_t end) {
+          std::vector<double> sq(end - begin);
+          kernels::GatherSquaredDistance(collection_->RawData().data(),
+                                         centroid.size(),
+                                         positions.subspan(begin, end - begin),
+                                         centroid, sq.data());
+          double shard_max = 0.0;
+          for (double s : sq) shard_max = std::max(shard_max, s);
+          return shard_max;
+        },
+        [](double acc, double partial) { return std::max(acc, partial); });
     return std::sqrt(max_sq);
   }
 

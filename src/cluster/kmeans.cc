@@ -5,9 +5,18 @@
 
 #include "geometry/kernels.h"
 #include "geometry/vec.h"
+#include "util/build_stats.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace qvt {
+
+namespace {
+/// Fixed shard width of the descriptor-parallel passes. Part of the
+/// algorithm definition: shard boundaries (and therefore the order in which
+/// per-shard partial sums merge) must never depend on the thread count.
+constexpr size_t kRowGrain = 4096;
+}  // namespace
 
 KMeansChunker::KMeansChunker(const KMeansConfig& config) : config_(config) {
   QVT_CHECK(config.num_clusters >= 1);
@@ -38,17 +47,24 @@ StatusOr<ChunkingResult> KMeansChunker::FormChunks(
   if (config_.plus_plus_init && k > 1) {
     // k-means++: first center uniform, subsequent centers proportional to
     // squared distance from the nearest chosen center.
+    BuildPhaseTimer seed_timer("kmeans.seed");
     set_centroid(0, rng.Uniform(n));
     std::vector<double> dist_sq(n, std::numeric_limits<double>::infinity());
     for (size_t c = 1; c < k; ++c) {
-      kernels::BatchSquaredDistance(
-          raw, n, dim, std::span<const double>(centroids[c - 1]),
-          centroid_sq.data());
+      // The kernel sweep and the elementwise min are sharded over rows
+      // (each row's value is independent of the sharding); the weighted
+      // pick below stays serial so it consumes dist_sq in index order.
+      ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+        kernels::BatchSquaredDistance(
+            raw + begin * dim, end - begin, dim,
+            std::span<const double>(centroids[c - 1]),
+            centroid_sq.data() + begin);
+        for (size_t i = begin; i < end; ++i) {
+          dist_sq[i] = std::min(dist_sq[i], centroid_sq[i]);
+        }
+      });
       double total = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        dist_sq[i] = std::min(dist_sq[i], centroid_sq[i]);
-        total += dist_sq[i];
-      }
+      for (size_t i = 0; i < n; ++i) total += dist_sq[i];
       double target = rng.NextDouble() * total;
       size_t pick = n - 1;
       for (size_t i = 0; i < n; ++i) {
@@ -75,34 +91,68 @@ StatusOr<ChunkingResult> KMeansChunker::FormChunks(
   last_iterations_ = 0;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     ++last_iterations_;
-    // Assign: one batched kernel sweep per centroid. Strict < keeps the
-    // lowest-index centroid on ties, matching the original per-point loop.
-    for (size_t c = 0; c < k; ++c) {
-      kernels::BatchSquaredDistance(raw, n, dim,
-                                    std::span<const double>(centroids[c]),
-                                    centroid_sq.data());
-      if (c == 0) {
-        best_sq = centroid_sq;
-        std::fill(assignment.begin(), assignment.end(), 0u);
-      } else {
-        for (size_t i = 0; i < n; ++i) {
-          if (centroid_sq[i] < best_sq[i]) {
-            best_sq[i] = centroid_sq[i];
-            assignment[i] = static_cast<uint32_t>(c);
+    // Assign: each row shard runs its own kernel sweep over all centroids.
+    // Every row's best centroid is a pure function of that row, so the
+    // sharding cannot change the result. Strict < keeps the lowest-index
+    // centroid on ties, matching the original per-point loop.
+    {
+      BuildPhaseTimer assign_timer("kmeans.assign");
+      ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+        const size_t rows = end - begin;
+        for (size_t c = 0; c < k; ++c) {
+          kernels::BatchSquaredDistance(raw + begin * dim, rows, dim,
+                                        std::span<const double>(centroids[c]),
+                                        centroid_sq.data() + begin);
+          if (c == 0) {
+            std::copy(centroid_sq.begin() + begin, centroid_sq.begin() + end,
+                      best_sq.begin() + begin);
+            std::fill(assignment.begin() + begin, assignment.begin() + end,
+                      0u);
+          } else {
+            for (size_t i = begin; i < end; ++i) {
+              if (centroid_sq[i] < best_sq[i]) {
+                best_sq[i] = centroid_sq[i];
+                assignment[i] = static_cast<uint32_t>(c);
+              }
+            }
           }
         }
+      });
+    }
+    // Update: per-shard partial sums merged in shard-index order, so the
+    // floating-point accumulation order is fixed regardless of thread count.
+    {
+      BuildPhaseTimer update_timer("kmeans.update");
+      struct Partial {
+        std::vector<double> sums;  // k * dim, flat
+        std::vector<size_t> counts;
+      };
+      Partial total = ParallelReduce(
+          n, kRowGrain, Partial{std::vector<double>(k * dim, 0.0),
+                                std::vector<size_t>(k, 0)},
+          [&](size_t begin, size_t end) {
+            Partial p{std::vector<double>(k * dim, 0.0),
+                      std::vector<size_t>(k, 0)};
+            for (size_t i = begin; i < end; ++i) {
+              const auto v = collection.Vector(i);
+              double* sum = p.sums.data() + assignment[i] * dim;
+              for (size_t d = 0; d < dim; ++d) sum[d] += v[d];
+              ++p.counts[assignment[i]];
+            }
+            return p;
+          },
+          [](Partial acc, const Partial& p) {
+            for (size_t j = 0; j < acc.sums.size(); ++j) acc.sums[j] += p.sums[j];
+            for (size_t c = 0; c < acc.counts.size(); ++c) {
+              acc.counts[c] += p.counts[c];
+            }
+            return acc;
+          });
+      for (size_t c = 0; c < k; ++c) {
+        std::copy(total.sums.begin() + c * dim,
+                  total.sums.begin() + (c + 1) * dim, sums[c].begin());
+        counts[c] = total.counts[c];
       }
-    }
-    // Update.
-    for (size_t c = 0; c < k; ++c) {
-      std::fill(sums[c].begin(), sums[c].end(), 0.0);
-      counts[c] = 0;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      const auto v = collection.Vector(i);
-      auto& sum = sums[assignment[i]];
-      for (size_t d = 0; d < dim; ++d) sum[d] += v[d];
-      ++counts[assignment[i]];
     }
     double movement = 0.0;
     for (size_t c = 0; c < k; ++c) {

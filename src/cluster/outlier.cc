@@ -5,18 +5,34 @@
 
 #include "geometry/vec.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace qvt {
 
 namespace {
 
+/// Fixed shard width (a constant of the algorithm, independent of the
+/// thread count; see util/parallel_for.h for the determinism contract).
+constexpr size_t kRowGrain = 8192;
+
 std::vector<float> CollectionCentroid(const Collection& collection) {
   const size_t dim = collection.dim();
-  std::vector<double> acc(dim, 0.0);
-  for (size_t i = 0; i < collection.size(); ++i) {
-    const auto v = collection.Vector(i);
-    for (size_t d = 0; d < dim; ++d) acc[d] += v[d];
-  }
+  // Per-shard partial sums merged in shard-index order — deterministic at
+  // every thread count.
+  std::vector<double> acc = ParallelReduce(
+      collection.size(), kRowGrain, std::vector<double>(dim, 0.0),
+      [&](size_t begin, size_t end) {
+        std::vector<double> partial(dim, 0.0);
+        for (size_t i = begin; i < end; ++i) {
+          const auto v = collection.Vector(i);
+          for (size_t d = 0; d < dim; ++d) partial[d] += v[d];
+        }
+        return partial;
+      },
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (size_t d = 0; d < a.size(); ++d) a[d] += b[d];
+        return a;
+      });
   std::vector<float> centroid(dim);
   const double inv = collection.empty()
                          ? 0.0
@@ -44,9 +60,12 @@ OutlierSplit SplitByScore(const Collection& collection,
 std::vector<double> CentroidDistances(const Collection& collection) {
   const std::vector<float> centroid = CollectionCentroid(collection);
   std::vector<double> scores(collection.size());
-  for (size_t i = 0; i < collection.size(); ++i) {
-    scores[i] = vec::Distance(centroid, collection.Vector(i));
-  }
+  // Elementwise over rows: trivially sharding-invariant.
+  ParallelFor(collection.size(), kRowGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      scores[i] = vec::Distance(centroid, collection.Vector(i));
+    }
+  });
   return scores;
 }
 
@@ -76,9 +95,11 @@ OutlierSplit SplitByCentroidDistanceFraction(const Collection& collection,
 
 OutlierSplit SplitByNorm(const Collection& collection, double threshold) {
   std::vector<double> scores(collection.size());
-  for (size_t i = 0; i < collection.size(); ++i) {
-    scores[i] = vec::Norm(collection.Vector(i));
-  }
+  ParallelFor(collection.size(), kRowGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      scores[i] = vec::Norm(collection.Vector(i));
+    }
+  });
   return SplitByScore(collection, scores, threshold);
 }
 

@@ -2,16 +2,29 @@
 
 #include <cmath>
 
+#include "util/build_stats.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace qvt {
 
 namespace {
 
+/// RNG stream ids (see Rng::Stream). Mode centers get a dedicated stream;
+/// every image gets its own, so an image's randomness never depends on how
+/// many values other images consumed — the property that lets images
+/// generate on any thread while the collection stays byte-identical.
+constexpr uint64_t kModeCenterStream = 0xab1e5eedULL;
+constexpr uint64_t kImageStreamBase = 1;
+
+/// Fixed shard width for image generation (a constant of the algorithm,
+/// independent of the thread count).
+constexpr size_t kImageGrain = 64;
+
 /// Mode centers are derived from a dedicated RNG stream so that
 /// GeneratorModeCenters() and GenerateCollection() agree exactly.
 std::vector<std::vector<float>> MakeModeCenters(const GeneratorConfig& config) {
-  Rng rng(config.seed ^ 0xab1e5eedULL);
+  Rng rng = Rng::Stream(config.seed, kModeCenterStream);
   const double mid = config.value_range / 2.0;
   std::vector<std::vector<float>> centers(config.num_modes);
   for (auto& center : centers) {
@@ -47,64 +60,94 @@ Collection GenerateCollection(const GeneratorConfig& config) {
   const std::vector<double> mode_weights =
       MakeZipfWeights(config.num_modes, config.mode_zipf_exponent);
 
-  Rng rng(config.seed);
-  Collection collection(config.dim);
-  collection.Reserve(config.num_images * config.descriptors_per_image);
+  BuildPhaseTimer timer("generate");
 
-  std::vector<float> value(config.dim);
-  DescriptorId next_id = 0;
+  // Each image draws from its own RNG stream, so image shards generate
+  // independently on any thread and the resulting bytes depend only on the
+  // seed — never on the thread count or on what other images generated.
+  struct ImageBatch {
+    std::vector<float> values;    // row-major descriptors
+    std::vector<ImageId> images;  // owning image per row
+  };
+  std::vector<ImageBatch> batches(
+      internal::NumShards(config.num_images, kImageGrain));
 
-  for (size_t img = 0; img < config.num_images; ++img) {
-    // Pick the visual elements ("slots") this image contains. Most images
-    // draw per-image offsets of shared mixture modes — "the same visual
-    // element photographed under this image's conditions". With probability
-    // outlier_fraction an image instead shows a rare element unique to it:
-    // all its descriptors bundle tightly around one heavy-tail-placed
-    // center, far from the modes. Rare *bundles* (not isolated points) are
-    // what BAG later reports as outliers — a rare patch still yields ~a
-    // hundred similar descriptors from its own image.
-    const bool rare_image = rng.Bernoulli(config.outlier_fraction);
-    const size_t k =
-        rare_image ? 1 : std::min(config.modes_per_image, config.num_modes);
-    std::vector<bool> slot_is_rare(k, rare_image);
-    std::vector<std::vector<float>> image_centers(k);
-    for (size_t m = 0; m < k; ++m) {
-      image_centers[m].resize(config.dim);
-      if (rare_image) {
-        const double mid = config.value_range / 2.0;
-        for (size_t d = 0; d < config.dim; ++d) {
-          image_centers[m][d] = static_cast<float>(
-              mid + rng.HeavyTail(config.outlier_scale, 2));
+  ParallelFor(config.num_images, kImageGrain, [&](size_t begin, size_t end) {
+    ImageBatch& batch = batches[begin / kImageGrain];
+    std::vector<float> value(config.dim);
+    for (size_t img = begin; img < end; ++img) {
+      Rng rng = Rng::Stream(config.seed, kImageStreamBase + img);
+      // Pick the visual elements ("slots") this image contains. Most images
+      // draw per-image offsets of shared mixture modes — "the same visual
+      // element photographed under this image's conditions". With
+      // probability outlier_fraction an image instead shows a rare element
+      // unique to it: all its descriptors bundle tightly around one
+      // heavy-tail-placed center, far from the modes. Rare *bundles* (not
+      // isolated points) are what BAG later reports as outliers — a rare
+      // patch still yields ~a hundred similar descriptors from its own
+      // image.
+      const bool rare_image = rng.Bernoulli(config.outlier_fraction);
+      const size_t k =
+          rare_image ? 1 : std::min(config.modes_per_image, config.num_modes);
+      std::vector<bool> slot_is_rare(k, rare_image);
+      std::vector<std::vector<float>> image_centers(k);
+      for (size_t m = 0; m < k; ++m) {
+        image_centers[m].resize(config.dim);
+        if (rare_image) {
+          const double mid = config.value_range / 2.0;
+          for (size_t d = 0; d < config.dim; ++d) {
+            image_centers[m][d] = static_cast<float>(
+                mid + rng.HeavyTail(config.outlier_scale, 2));
+          }
+        } else {
+          const auto& mode = modes[rng.Categorical(mode_weights)];
+          for (size_t d = 0; d < config.dim; ++d) {
+            image_centers[m][d] = static_cast<float>(
+                mode[d] + rng.Gaussian(0.0, config.image_offset_stddev));
+          }
         }
-      } else {
-        const auto& mode = modes[rng.Categorical(mode_weights)];
+      }
+
+      // Number of descriptors in this image: geometric-ish spread around
+      // the mean, at least 1 (real images yield "a few hundred" each,
+      // varying).
+      const double spread =
+          0.35 * static_cast<double>(config.descriptors_per_image);
+      int64_t count = static_cast<int64_t>(std::llround(
+          rng.Gaussian(static_cast<double>(config.descriptors_per_image),
+                       spread)));
+      if (count < 1) count = 1;
+
+      for (int64_t i = 0; i < count; ++i) {
+        // Tight cloud around one of this image's local centers; regular
+        // slots also get a coarser mode-level component.
+        const size_t m = rng.Uniform(k);
+        const auto& local = image_centers[m];
+        const double coarse =
+            slot_is_rare[m] ? 0.0 : 0.15 * config.mode_stddev;
         for (size_t d = 0; d < config.dim; ++d) {
-          image_centers[m][d] = static_cast<float>(
-              mode[d] + rng.Gaussian(0.0, config.image_offset_stddev));
+          value[d] = static_cast<float>(
+              local[d] + rng.Gaussian(0.0, config.descriptor_stddev) +
+              (coarse > 0.0 ? rng.Gaussian(0.0, coarse) : 0.0));
         }
+        batch.values.insert(batch.values.end(), value.begin(), value.end());
+        batch.images.push_back(static_cast<ImageId>(img));
       }
     }
+  });
 
-    // Number of descriptors in this image: geometric-ish spread around the
-    // mean, at least 1 (real images yield "a few hundred" each, varying).
-    const double spread = 0.35 * static_cast<double>(config.descriptors_per_image);
-    int64_t count = static_cast<int64_t>(std::llround(
-        rng.Gaussian(static_cast<double>(config.descriptors_per_image),
-                     spread)));
-    if (count < 1) count = 1;
-
-    for (int64_t i = 0; i < count; ++i) {
-      // Tight cloud around one of this image's local centers; regular slots
-      // also get a coarser mode-level component.
-      const size_t m = rng.Uniform(k);
-      const auto& local = image_centers[m];
-      const double coarse = slot_is_rare[m] ? 0.0 : 0.15 * config.mode_stddev;
-      for (size_t d = 0; d < config.dim; ++d) {
-        value[d] = static_cast<float>(
-            local[d] + rng.Gaussian(0.0, config.descriptor_stddev) +
-            (coarse > 0.0 ? rng.Gaussian(0.0, coarse) : 0.0));
-      }
-      collection.Append(next_id++, value, static_cast<ImageId>(img));
+  // Serial concatenation in shard order: descriptor ids stay sequential in
+  // image order exactly as the serial generator assigned them.
+  Collection collection(config.dim);
+  collection.Reserve(config.num_images * config.descriptors_per_image);
+  DescriptorId next_id = 0;
+  for (const ImageBatch& batch : batches) {
+    for (size_t row = 0; row < batch.images.size(); ++row) {
+      collection.Append(
+          next_id++,
+          std::span<const float>(batch.values.data() + row * config.dim,
+                                 config.dim),
+          batch.images[row]);
     }
   }
   return collection;

@@ -5,7 +5,9 @@
 #include <queue>
 
 #include "geometry/vec.h"
+#include "util/build_stats.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace qvt {
 
@@ -78,28 +80,85 @@ uint32_t SrTree::NewNode(bool is_leaf) {
 // ---------------------------------------------------------------------------
 // Static bulk build
 // ---------------------------------------------------------------------------
+//
+// The build is a three-phase deterministic parallel pipeline. Every phase
+// either operates on disjoint position ranges (phase 1), is serial and
+// data-free (phase 2), or fills disjoint nodes whose inputs are final
+// (phase 3), so the finished tree — node ids, entry order, every float — is
+// bit-identical at any thread count, and identical to a run on one thread.
 
 namespace {
 
+/// Fixed shard width for the per-range variance scans (a constant of the
+/// algorithm; see util/parallel_for.h for the determinism contract).
+constexpr size_t kVarianceGrain = 8192;
+
+/// How a node divides its leaves among child groups: `num_leaves` leaves
+/// spread over `num_groups` groups, the first num_leaves % num_groups
+/// groups getting one extra. Shared by the partitioning and skeleton phases
+/// so their slicing arithmetic cannot diverge.
+struct GroupPlan {
+  size_t num_leaves = 0;
+  size_t num_groups = 0;
+
+  /// Total leaves of groups [lo, hi).
+  size_t LeavesIn(size_t lo, size_t hi) const {
+    const size_t base = num_leaves / num_groups;
+    const size_t rem = num_leaves % num_groups;
+    return (hi - lo) * base + (std::min(hi, rem) - std::min(lo, rem));
+  }
+};
+
+/// Remainder-aware proportional allocation: base points per leaf plus one
+/// extra for the leftmost `slice_count % leaves_total` leaves. The
+/// invariant is preserved recursively, so every leaf in the tree ends up
+/// with either floor(n/leaves) or ceil(n/leaves) points — the paper's
+/// "guaranteed uniform leaf size".
+size_t LeftSliceCount(size_t slice_count, size_t leaves_left,
+                      size_t leaves_total) {
+  const size_t base = slice_count / leaves_total;
+  const size_t remainder = slice_count % leaves_total;
+  return leaves_left * base + std::min(remainder, leaves_left);
+}
+
 /// Dimension of maximum variance of the points at `positions[begin, end)`.
+/// Sharded moment scan with a fixed-order merge, deterministic at any
+/// thread count.
 size_t MaxVarianceDim(const Collection& collection,
                       const std::vector<size_t>& positions, size_t begin,
                       size_t end) {
   const size_t dim = collection.dim();
-  std::vector<double> sum(dim, 0.0);
-  std::vector<double> sum_sq(dim, 0.0);
-  for (size_t i = begin; i < end; ++i) {
-    const auto v = collection.Vector(positions[i]);
-    for (size_t d = 0; d < dim; ++d) {
-      sum[d] += v[d];
-      sum_sq[d] += static_cast<double>(v[d]) * v[d];
-    }
-  }
+  struct Moments {
+    std::vector<double> sum, sum_sq;
+  };
+  Moments total = ParallelReduce(
+      end - begin, kVarianceGrain,
+      Moments{std::vector<double>(dim, 0.0), std::vector<double>(dim, 0.0)},
+      [&](size_t shard_begin, size_t shard_end) {
+        Moments m{std::vector<double>(dim, 0.0),
+                  std::vector<double>(dim, 0.0)};
+        for (size_t i = begin + shard_begin; i < begin + shard_end; ++i) {
+          const auto v = collection.Vector(positions[i]);
+          for (size_t d = 0; d < dim; ++d) {
+            m.sum[d] += v[d];
+            m.sum_sq[d] += static_cast<double>(v[d]) * v[d];
+          }
+        }
+        return m;
+      },
+      [](Moments acc, const Moments& m) {
+        for (size_t d = 0; d < acc.sum.size(); ++d) {
+          acc.sum[d] += m.sum[d];
+          acc.sum_sq[d] += m.sum_sq[d];
+        }
+        return acc;
+      });
   const double n = static_cast<double>(end - begin);
   size_t best_dim = 0;
   double best_var = -1.0;
   for (size_t d = 0; d < dim; ++d) {
-    const double var = sum_sq[d] / n - (sum[d] / n) * (sum[d] / n);
+    const double var =
+        total.sum_sq[d] / n - (total.sum[d] / n) * (total.sum[d] / n);
     if (var > best_var) {
       best_var = var;
       best_dim = d;
@@ -123,42 +182,117 @@ void SrTree::BuildStatic(std::span<const size_t> positions) {
   if (positions.empty()) return;
 
   std::vector<size_t> work(positions.begin(), positions.end());
-  root_ = BuildStaticRecursive(work, 0, work.size());
+  {
+    BuildPhaseTimer timer("srtree.partition");
+    PartitionPositions(work);
+  }
+  std::vector<std::pair<size_t, size_t>> leaf_ranges;
+  std::vector<size_t> node_depths;
+  root_ = BuildSkeleton(0, work.size(), 0, &leaf_ranges, &node_depths);
   nodes_[root_].parent = kNoNode;
+  {
+    BuildPhaseTimer timer("srtree.entries");
+    FillEntries(work, leaf_ranges, node_depths);
+  }
 }
 
-uint32_t SrTree::BuildStaticRecursive(std::vector<size_t>& positions,
-                                      size_t begin, size_t end) {
+/// Phase 1: reorder `positions` exactly as the recursive build would.
+/// The slicing work of a level consists of independent nth_element +
+/// variance scans on **disjoint** ranges, so slices fan out across threads;
+/// the frontier advances level-synchronously. Which thread runs a slice
+/// cannot affect the outcome: each split's inputs (range, group plan) and
+/// its comparator are functions of the data alone.
+void SrTree::PartitionPositions(std::vector<size_t>& positions) const {
+  struct Slice {
+    size_t begin, end;          // position range
+    size_t group_lo, group_hi;  // group index range within `plan`
+    GroupPlan plan;             // owning node's leaf/group layout
+  };
+
+  const size_t count = positions.size();
+  const size_t num_leaves =
+      (count + config_.leaf_capacity - 1) / config_.leaf_capacity;
+  if (num_leaves <= 1) return;
+
+  GroupPlan root_plan{num_leaves,
+                      std::min(config_.internal_fanout, num_leaves)};
+  std::vector<Slice> frontier{{0, count, 0, root_plan.num_groups, root_plan}};
+
+  while (!frontier.empty()) {
+    std::vector<std::vector<Slice>> next(frontier.size());
+    ParallelFor(frontier.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t si = lo; si < hi; ++si) {
+        const Slice& s = frontier[si];
+        std::vector<Slice>& out = next[si];
+        if (s.group_hi - s.group_lo == 1) {
+          // A finished group range is a child node; seed its own slicing.
+          const size_t child_count = s.end - s.begin;
+          const size_t child_leaves =
+              (child_count + config_.leaf_capacity - 1) /
+              config_.leaf_capacity;
+          if (child_leaves <= 1) continue;
+          GroupPlan child_plan{
+              child_leaves, std::min(config_.internal_fanout, child_leaves)};
+          out.push_back({s.begin, s.end, 0, child_plan.num_groups,
+                         child_plan});
+          continue;
+        }
+        const size_t group_mid = (s.group_lo + s.group_hi) / 2;
+        const size_t leaves_left = s.plan.LeavesIn(s.group_lo, group_mid);
+        const size_t leaves_total = s.plan.LeavesIn(s.group_lo, s.group_hi);
+        const size_t left_count =
+            LeftSliceCount(s.end - s.begin, leaves_left, leaves_total);
+        const size_t split_dim =
+            MaxVarianceDim(*collection_, positions, s.begin, s.end);
+        std::nth_element(positions.begin() + s.begin,
+                         positions.begin() + s.begin + left_count,
+                         positions.begin() + s.end, [&](size_t a, size_t b) {
+                           return collection_->Vector(a)[split_dim] <
+                                  collection_->Vector(b)[split_dim];
+                         });
+        out.push_back({s.begin, s.begin + left_count, s.group_lo, group_mid,
+                       s.plan});
+        out.push_back({s.begin + left_count, s.end, group_mid, s.group_hi,
+                       s.plan});
+      }
+    });
+    std::vector<Slice> merged;
+    for (std::vector<Slice>& out : next) {
+      merged.insert(merged.end(), out.begin(), out.end());
+    }
+    frontier = std::move(merged);
+  }
+}
+
+/// Phase 2: serial, data-free replay of the recursion that allocates nodes
+/// in the exact order BuildStaticRecursive did (internal node after its
+/// slicing, before its children; children in group order), wires parent
+/// pointers, and records — per node id — the leaf's position range and the
+/// node's depth. Internal nodes get placeholder entries holding only the
+/// child id, in group order; phase 3 overwrites them with full summaries.
+uint32_t SrTree::BuildSkeleton(
+    size_t begin, size_t end, size_t depth,
+    std::vector<std::pair<size_t, size_t>>* leaf_ranges,
+    std::vector<size_t>* node_depths) {
   const size_t count = end - begin;
   const size_t num_leaves =
       (count + config_.leaf_capacity - 1) / config_.leaf_capacity;
 
   if (num_leaves <= 1) {
     const uint32_t leaf_id = NewNode(/*is_leaf=*/true);
-    Node& leaf = nodes_[leaf_id];
-    leaf.entries.reserve(count);
-    for (size_t i = begin; i < end; ++i) {
-      leaf.entries.push_back(MakeLeafEntry(positions[i]));
-    }
+    leaf_ranges->push_back({begin, end});
+    node_depths->push_back(depth);
     return leaf_id;
   }
 
-  // Divide the leaves into up to `internal_fanout` groups, then carve the
-  // position range into contiguous slices proportional to group leaf counts
-  // using recursive max-variance median splits. Point counts are distributed
-  // proportionally so all leaf populations are uniform up to rounding —
-  // exactly the paper's "static build ... guaranteed uniform leaf size".
-  const size_t num_groups = std::min(config_.internal_fanout, num_leaves);
-  std::vector<size_t> group_leaves(num_groups, num_leaves / num_groups);
-  for (size_t g = 0; g < num_leaves % num_groups; ++g) ++group_leaves[g];
-
-  // Recursive binary slicing of [begin, end) into the groups.
+  // Recompute the group ranges with the same arithmetic as phase 1 (the
+  // splits are already in `positions`; only the boundaries are needed).
+  GroupPlan plan{num_leaves, std::min(config_.internal_fanout, num_leaves)};
   struct Slice {
-    size_t begin, end;        // position range
-    size_t group_lo, group_hi;  // group index range
+    size_t begin, end, group_lo, group_hi;
   };
-  std::vector<std::pair<size_t, size_t>> group_ranges(num_groups);
-  std::vector<Slice> stack{{begin, end, 0, num_groups}};
+  std::vector<std::pair<size_t, size_t>> group_ranges(plan.num_groups);
+  std::vector<Slice> stack{{begin, end, 0, plan.num_groups}};
   while (!stack.empty()) {
     const Slice s = stack.back();
     stack.pop_back();
@@ -167,44 +301,71 @@ uint32_t SrTree::BuildStaticRecursive(std::vector<size_t>& positions,
       continue;
     }
     const size_t group_mid = (s.group_lo + s.group_hi) / 2;
-    size_t leaves_left = 0, leaves_total = 0;
-    for (size_t g = s.group_lo; g < s.group_hi; ++g) {
-      if (g < group_mid) leaves_left += group_leaves[g];
-      leaves_total += group_leaves[g];
-    }
-    const size_t slice_count = s.end - s.begin;
-    // Remainder-aware proportional allocation: base points per leaf plus
-    // one extra for the leftmost `slice_count % leaves_total` leaves. This
-    // invariant is preserved recursively, so every leaf in the tree ends up
-    // with either floor(n/leaves) or ceil(n/leaves) points — the paper's
-    // "guaranteed uniform leaf size".
-    const size_t base = slice_count / leaves_total;
-    const size_t remainder = slice_count % leaves_total;
     const size_t left_count =
-        leaves_left * base + std::min(remainder, leaves_left);
-
-    const size_t split_dim =
-        MaxVarianceDim(*collection_, positions, s.begin, s.end);
-    std::nth_element(
-        positions.begin() + s.begin, positions.begin() + s.begin + left_count,
-        positions.begin() + s.end, [&](size_t a, size_t b) {
-          return collection_->Vector(a)[split_dim] <
-                 collection_->Vector(b)[split_dim];
-        });
+        LeftSliceCount(s.end - s.begin, plan.LeavesIn(s.group_lo, group_mid),
+                       plan.LeavesIn(s.group_lo, s.group_hi));
     stack.push_back({s.begin, s.begin + left_count, s.group_lo, group_mid});
     stack.push_back({s.begin + left_count, s.end, group_mid, s.group_hi});
   }
 
   const uint32_t node_id = NewNode(/*is_leaf=*/false);
-  for (size_t g = 0; g < num_groups; ++g) {
+  leaf_ranges->push_back({0, 0});
+  node_depths->push_back(depth);
+  for (size_t g = 0; g < plan.num_groups; ++g) {
     const auto [gb, ge] = group_ranges[g];
     QVT_CHECK(ge > gb);
-    const uint32_t child_id = BuildStaticRecursive(positions, gb, ge);
+    const uint32_t child_id =
+        BuildSkeleton(gb, ge, depth + 1, leaf_ranges, node_depths);
     nodes_[child_id].parent = node_id;
-    // SummarizeNode must run after the child subtree is final.
-    nodes_[node_id].entries.push_back(SummarizeNode(child_id));
+    Entry placeholder;
+    placeholder.child = child_id;
+    nodes_[node_id].entries.push_back(std::move(placeholder));
   }
   return node_id;
+}
+
+/// Phase 3: fill the entries. All leaves are independent; internal nodes of
+/// the same depth are independent once every deeper node is final, so the
+/// sweep goes level by level from the deepest internal level up to the root.
+void SrTree::FillEntries(
+    const std::vector<size_t>& positions,
+    const std::vector<std::pair<size_t, size_t>>& leaf_ranges,
+    const std::vector<size_t>& node_depths) {
+  std::vector<uint32_t> leaves;
+  size_t max_depth = 0;
+  for (size_t depth : node_depths) max_depth = std::max(max_depth, depth);
+  std::vector<std::vector<uint32_t>> internal_by_depth(max_depth + 1);
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].is_leaf) {
+      leaves.push_back(id);
+    } else {
+      internal_by_depth[node_depths[id]].push_back(id);
+    }
+  }
+
+  ParallelFor(leaves.size(), 4, [&](size_t lo, size_t hi) {
+    for (size_t li = lo; li < hi; ++li) {
+      Node& leaf = nodes_[leaves[li]];
+      const auto [range_begin, range_end] = leaf_ranges[leaves[li]];
+      leaf.entries.reserve(range_end - range_begin);
+      for (size_t i = range_begin; i < range_end; ++i) {
+        leaf.entries.push_back(MakeLeafEntry(positions[i]));
+      }
+    }
+  });
+
+  for (size_t depth = max_depth + 1; depth-- > 0;) {
+    const std::vector<uint32_t>& level = internal_by_depth[depth];
+    ParallelFor(level.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t ni = lo; ni < hi; ++ni) {
+        for (Entry& entry : nodes_[level[ni]].entries) {
+          // SummarizeNode reads the (now final) child and returns the full
+          // summary entry, .child included.
+          entry = SummarizeNode(entry.child);
+        }
+      }
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

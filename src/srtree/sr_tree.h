@@ -145,9 +145,19 @@ class SrTree {
   double EntryMinDistance(const Entry& entry,
                           std::span<const float> query) const;
 
-  // Static build helpers.
-  uint32_t BuildStaticRecursive(std::vector<size_t>& positions, size_t begin,
-                                size_t end);
+  // Static build helpers — a three-phase deterministic parallel pipeline
+  // (see the .cc): (1) PartitionPositions reorders the position array with
+  // level-synchronous parallel max-variance splits; (2) BuildSkeleton
+  // replays the same slicing arithmetic serially (data-free) to allocate
+  // nodes in the exact order the old recursive build did; (3) FillEntries
+  // fills leaf entries and bottom-up internal summaries in parallel.
+  void PartitionPositions(std::vector<size_t>& positions) const;
+  uint32_t BuildSkeleton(size_t begin, size_t end, size_t depth,
+                         std::vector<std::pair<size_t, size_t>>* leaf_ranges,
+                         std::vector<size_t>* node_depths);
+  void FillEntries(const std::vector<size_t>& positions,
+                   const std::vector<std::pair<size_t, size_t>>& leaf_ranges,
+                   const std::vector<size_t>& node_depths);
 
   Status ValidateNode(uint32_t node_id, const Entry& summary) const;
 

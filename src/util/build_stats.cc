@@ -1,0 +1,50 @@
+#include "util/build_stats.h"
+
+#include <iomanip>
+
+namespace qvt {
+
+BuildStats& BuildStats::Global() {
+  static BuildStats* stats = new BuildStats();
+  return *stats;
+}
+
+void BuildStats::Record(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Phase& p : phases_) {
+    if (p.name == phase) {
+      p.seconds += seconds;
+      ++p.calls;
+      return;
+    }
+  }
+  phases_.push_back({phase, seconds, 1});
+}
+
+std::vector<BuildStats::Phase> BuildStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
+double BuildStats::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const Phase& p : phases_) total += p.seconds;
+  return total;
+}
+
+void BuildStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+void BuildStats::Print(std::ostream& os) const {
+  for (const Phase& p : Snapshot()) {
+    os << "  " << std::left << std::setw(24) << p.name << std::right
+       << std::fixed << std::setprecision(3) << std::setw(10) << p.seconds
+       << " s  (" << p.calls << (p.calls == 1 ? " call)" : " calls)")
+       << "\n";
+  }
+}
+
+}  // namespace qvt

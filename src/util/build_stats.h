@@ -1,0 +1,72 @@
+#ifndef QVT_UTIL_BUILD_STATS_H_
+#define QVT_UTIL_BUILD_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace qvt {
+
+/// Process-wide ledger of wall time spent in each index-construction phase
+/// ("generate", "srtree.partition", "kmeans.assign", "bag.cluster", ...).
+/// The builders record into it unconditionally (recording costs one mutex
+/// acquisition per coarse phase, nothing per element); qvt_tool and
+/// bench_micro_build read it back to report where build time went and how
+/// it scales with --build-threads.
+///
+/// Thread-safe; phase names are reported in first-recorded order.
+class BuildStats {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    uint64_t calls = 0;
+  };
+
+  /// The process-wide ledger.
+  static BuildStats& Global();
+
+  /// Adds `seconds` of wall time to `phase` (creating it on first use).
+  void Record(const std::string& phase, double seconds);
+
+  /// Snapshot of all phases in first-recorded order.
+  std::vector<Phase> Snapshot() const;
+
+  /// Sum of all phase times.
+  double TotalSeconds() const;
+
+  void Reset();
+
+  /// Prints "  <phase>  <seconds> s  (<calls> calls)" lines.
+  void Print(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Phase> phases_;
+};
+
+/// RAII wall-clock timer charging its scope to a BuildStats phase.
+class BuildPhaseTimer {
+ public:
+  explicit BuildPhaseTimer(std::string phase,
+                           BuildStats* stats = &BuildStats::Global())
+      : stats_(stats), phase_(std::move(phase)), watch_(&clock_) {}
+  ~BuildPhaseTimer() { stats_->Record(phase_, watch_.ElapsedSeconds()); }
+
+  BuildPhaseTimer(const BuildPhaseTimer&) = delete;
+  BuildPhaseTimer& operator=(const BuildPhaseTimer&) = delete;
+
+ private:
+  BuildStats* stats_;
+  std::string phase_;
+  WallClock clock_;
+  Stopwatch watch_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_UTIL_BUILD_STATS_H_

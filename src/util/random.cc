@@ -22,6 +22,17 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream) {
+  // Collapse (seed, stream) into one well-mixed 64-bit state through two
+  // SplitMix64 steps; the avalanche makes streams of the same seed (and the
+  // same stream id of different seeds) unrelated.
+  uint64_t sm = seed;
+  uint64_t mixed = SplitMix64(&sm);
+  sm = mixed ^ stream;
+  mixed = SplitMix64(&sm);
+  return Rng(mixed);
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -18,6 +18,16 @@ class Rng {
   /// streams.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  /// Explicit stream splitting: a generator for substream `stream` of
+  /// `seed`, statistically independent of every other (seed, stream) pair.
+  /// This is how the parallel build pipeline stays deterministic — each
+  /// independent unit of work (a synthetic image, a workload, a seeding
+  /// pass) draws from its own stream derived from the master seed, so the
+  /// unit's randomness never depends on how many units another thread
+  /// generated before it. Implemented by running SplitMix64 over seed then
+  /// stream, so Stream(s, 0) differs from Rng(s).
+  static Rng Stream(uint64_t seed, uint64_t stream);
+
   /// Next raw 64 random bits.
   uint64_t Next();
 

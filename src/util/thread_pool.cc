@@ -33,6 +33,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,9 +50,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       if (--in_flight_ == 0) idle_cv_.notify_all();
     }
   }

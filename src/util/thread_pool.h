@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -12,8 +13,15 @@
 namespace qvt {
 
 /// Fixed-size pool of worker threads draining a FIFO task queue. Built for
-/// the batch-query engine: a BatchSearcher submits one closure per query
-/// slice and calls Wait() for the barrier. Tasks must not throw.
+/// the batch-query engine (a BatchSearcher submits one closure per query
+/// slice and calls Wait() for the barrier) and for the parallel build
+/// pipeline's shard helpers.
+///
+/// A task that throws does not kill its worker: the first exception is
+/// captured and rethrown by the next Wait() call, so a failed build shard
+/// fails the build loudly instead of being silently dropped. Subsequent
+/// exceptions (and exceptions with no Wait() before destruction) are
+/// swallowed — the pool keeps running.
 ///
 /// Thread-safe: Submit() and Wait() may be called from any thread, though
 /// the intended use is a single owner submitting and waiting.
@@ -22,7 +30,8 @@ class ThreadPool {
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains outstanding tasks, then joins all workers.
+  /// Drains outstanding tasks, then joins all workers. Pending task
+  /// exceptions are discarded (destructors cannot throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,7 +40,8 @@ class ThreadPool {
   /// Enqueues a task. Never blocks (the queue is unbounded).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished running.
+  /// Blocks until every task submitted so far has finished running, then
+  /// rethrows the first exception any of them threw (clearing it).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -44,6 +54,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signals Wait(): all tasks done
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr first_exception_;  // first task failure since last Wait
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

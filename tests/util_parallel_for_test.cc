@@ -1,0 +1,209 @@
+#include "util/parallel_for.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qvt {
+namespace {
+
+/// Restores the environment/hardware default thread count on scope exit so a
+/// test's SetBuildThreads override never leaks into other tests.
+struct BuildThreadsGuard {
+  ~BuildThreadsGuard() { SetBuildThreads(0); }
+};
+
+TEST(BuildThreadsTest, OverrideAndReset) {
+  BuildThreadsGuard guard;
+  SetBuildThreads(3);
+  EXPECT_EQ(BuildThreads(), 3u);
+  SetBuildThreads(7);
+  EXPECT_EQ(BuildThreads(), 7u);
+  SetBuildThreads(0);
+  EXPECT_GE(BuildThreads(), 1u);
+}
+
+TEST(NumShardsTest, BoundaryCases) {
+  EXPECT_EQ(internal::NumShards(0, 10), 0u);
+  EXPECT_EQ(internal::NumShards(1, 10), 1u);
+  EXPECT_EQ(internal::NumShards(10, 10), 1u);
+  EXPECT_EQ(internal::NumShards(11, 10), 2u);
+  EXPECT_EQ(internal::NumShards(100, 10), 10u);
+  EXPECT_EQ(internal::NumShards(5, 0), 5u);  // grain 0 treated as 1
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  BuildThreadsGuard guard;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    SetBuildThreads(threads);
+    const size_t n = 1003;  // not a multiple of the grain
+    std::vector<int> hits(n, 0);
+    ParallelFor(n, 64, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " at " << threads
+                            << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ShardBoundariesDependOnlyOnGrain) {
+  BuildThreadsGuard guard;
+  // The same (n, grain) must yield the same shard decomposition at every
+  // thread count: record the (begin, end) pairs and compare as sets.
+  auto shards_at = [](size_t threads) {
+    SetBuildThreads(threads);
+    std::vector<std::pair<size_t, size_t>> shards(internal::NumShards(100, 8));
+    ParallelFor(100, 8, [&](size_t begin, size_t end) {
+      shards[begin / 8] = {begin, end};
+    });
+    return shards;
+  };
+  const auto serial = shards_at(1);
+  EXPECT_EQ(shards_at(2), serial);
+  EXPECT_EQ(shards_at(7), serial);
+}
+
+TEST(ParallelForTest, EmptyRangeAndSingleShardRunInline) {
+  BuildThreadsGuard guard;
+  SetBuildThreads(4);
+  int calls = 0;
+  ParallelFor(0, 16, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(10, 16, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelReduceTest, FloatingPointSumIsThreadCountInvariant) {
+  BuildThreadsGuard guard;
+  // Values chosen so naive reassociation changes the result: mixing
+  // magnitudes makes FP addition order-sensitive.
+  std::vector<double> values(4099);
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (double& v : values) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = static_cast<double>(state >> 11) * 1e-6 +
+        static_cast<double>(state & 0xff) * 1e9;
+  }
+  auto sum_at = [&](size_t threads) {
+    SetBuildThreads(threads);
+    return ParallelReduce(
+        values.size(), 128, 0.0,
+        [&](size_t begin, size_t end) {
+          return std::accumulate(values.begin() + begin, values.begin() + end,
+                                 0.0);
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  const double serial = sum_at(1);
+  // Bitwise equality, not near-equality: the determinism contract.
+  EXPECT_EQ(sum_at(2), serial);
+  EXPECT_EQ(sum_at(3), serial);
+  EXPECT_EQ(sum_at(7), serial);
+}
+
+TEST(ParallelReduceTest, FoldsPartialsInShardIndexOrder) {
+  BuildThreadsGuard guard;
+  SetBuildThreads(5);
+  // Each shard's partial is its own index; a non-commutative combine
+  // (string append) exposes any out-of-order fold.
+  const std::string folded = ParallelReduce(
+      40, 4, std::string("init"),
+      [](size_t begin, size_t) { return std::to_string(begin / 4); },
+      [](std::string acc, const std::string& partial) {
+        return acc + "," + partial;
+      });
+  EXPECT_EQ(folded, "init,0,1,2,3,4,5,6,7,8,9");
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  BuildThreadsGuard guard;
+  const int result = ParallelReduce(
+      0, 8, 42, [](size_t, size_t) { return 0; },
+      [](int acc, int partial) { return acc + partial; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelForTest, RethrowsLowestIndexShardException) {
+  BuildThreadsGuard guard;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SetBuildThreads(threads);
+    std::atomic<int> shards_run{0};
+    try {
+      ParallelFor(80, 8, [&](size_t begin, size_t) {
+        shards_run.fetch_add(1);
+        const size_t shard = begin / 8;
+        if (shard == 3 || shard == 7) {
+          throw std::runtime_error("shard " + std::to_string(shard));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      // Deterministic choice: the lowest-index failing shard wins, and the
+      // failure did not abort the siblings.
+      EXPECT_STREQ(e.what(), "shard 3");
+      EXPECT_EQ(shards_run.load(), 10);
+    }
+  }
+}
+
+TEST(ParallelForStatusTest, ReturnsLowestIndexFailure) {
+  BuildThreadsGuard guard;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SetBuildThreads(threads);
+    const Status status =
+        ParallelForStatus(80, 8, [&](size_t begin, size_t) {
+          const size_t shard = begin / 8;
+          if (shard == 5) return Status::InvalidArgument("shard 5");
+          if (shard == 2) return Status::Internal("shard 2");
+          return Status::OK();
+        });
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "shard 2");
+  }
+}
+
+TEST(ParallelForStatusTest, OkWhenAllShardsSucceed) {
+  BuildThreadsGuard guard;
+  SetBuildThreads(4);
+  std::atomic<int> shards_run{0};
+  const Status status = ParallelForStatus(100, 10, [&](size_t, size_t) {
+    shards_run.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(shards_run.load(), 10);
+}
+
+TEST(ParallelForTest, NestedCallsMakeProgress) {
+  BuildThreadsGuard guard;
+  SetBuildThreads(4);
+  // Caller participation means nested helpers cannot deadlock even when
+  // every pool worker is stuck inside an outer shard.
+  std::atomic<int64_t> total{0};
+  ParallelFor(8, 1, [&](size_t, size_t) {
+    const int64_t inner = ParallelReduce(
+        256, 16, int64_t{0},
+        [](size_t begin, size_t end) {
+          int64_t s = 0;
+          for (size_t i = begin; i < end; ++i) s += static_cast<int64_t>(i);
+          return s;
+        },
+        [](int64_t acc, int64_t partial) { return acc + partial; });
+    total.fetch_add(inner);
+  });
+  EXPECT_EQ(total.load(), 8 * (255 * 256 / 2));
+}
+
+}  // namespace
+}  // namespace qvt

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +56,66 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
   ThreadPool pool(2);
   pool.Wait();
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Submit([] { throw std::runtime_error("shard failed"); });
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "expected Wait() to rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard failed");
+  }
+  // The failure did not kill its worker: every other task still ran.
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Wait() cleared the captured exception; the next round is clean.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(1);  // one worker: tasks run in submission order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "expected Wait() to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.Wait();  // the later exception was swallowed, not deferred
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsPendingException) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("never observed"); });
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): destruction must drain the queue and discard the
+    // exception instead of terminating.
+  }
+  EXPECT_EQ(counter.load(), 20);
 }
 
 }  // namespace

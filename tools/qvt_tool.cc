@@ -1,9 +1,10 @@
 // qvt_tool — command-line front end for the library.
 //
 //   qvt_tool generate --out col.desc [--images 200] [--descriptors 100]
-//                     [--modes 20] [--seed 42]
+//                     [--modes 20] [--seed 42] [--build-threads N]
 //   qvt_tool build    --collection col.desc --out idx
 //                     [--chunker sr|rr|kmeans|birch|bag] [--chunk-size 1000]
+//                     [--build-threads N]
 //   qvt_tool info     --index idx
 //   qvt_tool search   --collection col.desc --index idx --query-pos 123
 //                     [--k 10] [--max-chunks 0 (=exact)] [--prefetch-depth 4]
@@ -15,6 +16,11 @@
 // pipeline); its default also honors the QVT_PREFETCH_DEPTH environment
 // variable. Results are bit-identical at every depth.
 //
+// --build-threads sets how many threads generation and index construction
+// use (default: QVT_BUILD_THREADS, else hardware concurrency). Artifacts
+// are bit-identical at every thread count; a per-phase wall-time ledger is
+// printed after the work.
+//
 // The collection file uses the paper's 100-byte record format, so indexes
 // built here interoperate with every library API.
 
@@ -22,6 +28,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "cluster/bag.h"
@@ -35,6 +42,8 @@
 #include "descriptor/generator.h"
 #include "descriptor/workload.h"
 #include "storage/chunk_cache.h"
+#include "util/build_stats.h"
+#include "util/parallel_for.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -77,6 +86,23 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Applies --build-threads (when present) and resets the phase ledger so the
+/// report below covers just this invocation.
+void ApplyBuildThreads(const Flags& flags) {
+  if (flags.Has("build-threads")) {
+    SetBuildThreads(static_cast<size_t>(flags.GetInt("build-threads", 0)));
+  }
+  BuildStats::Global().Reset();
+}
+
+void PrintBuildStats() {
+  std::printf("build phases (%zu thread%s):\n", BuildThreads(),
+              BuildThreads() == 1 ? "" : "s");
+  std::ostringstream ledger;
+  BuildStats::Global().Print(ledger);
+  std::fputs(ledger.str().c_str(), stdout);
+}
+
 int CmdGenerate(const Flags& flags) {
   if (!flags.Has("out")) {
     std::fprintf(stderr, "generate requires --out\n");
@@ -88,12 +114,14 @@ int CmdGenerate(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("descriptors", 100));
   config.num_modes = static_cast<size_t>(flags.GetInt("modes", 20));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  ApplyBuildThreads(flags);
 
   const Collection collection = GenerateCollection(config);
   const Status status = collection.Save(Env::Posix(), flags.Get("out", ""));
   if (!status.ok()) return Fail(status);
   std::printf("wrote %zu descriptors (%zu images) to %s\n", collection.size(),
               config.num_images, flags.Get("out", "").c_str());
+  PrintBuildStats();
   return 0;
 }
 
@@ -104,6 +132,7 @@ int CmdBuild(const Flags& flags) {
   }
   auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
   if (!collection.ok()) return Fail(collection.status());
+  ApplyBuildThreads(flags);
 
   const size_t chunk_size =
       static_cast<size_t>(flags.GetInt("chunk-size", 1000));
@@ -144,6 +173,7 @@ int CmdBuild(const Flags& flags) {
               index->num_chunks(),
               static_cast<size_t>(index->total_descriptors()),
               chunking->outliers.size(), chunker->name().c_str());
+  PrintBuildStats();
   return 0;
 }
 

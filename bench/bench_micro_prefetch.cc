@@ -73,6 +73,9 @@ class DelayEnv final : public Env {
   StatusOr<uint64_t> GetFileSize(const std::string& path) override {
     return target_->GetFileSize(path);
   }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return target_->RenameFile(from, to);
+  }
 
  private:
   Env* target_;

@@ -74,11 +74,11 @@ void Run(const ExperimentConfig& config) {
     double precision = 0.0, accesses = 0.0;
     Stopwatch watch(&wall);
     for (size_t q = 0; q < workload.num_queries(); ++q) {
-      MedrankStats stats;
-      auto result = medrank.Search(workload.Query(q), k, &stats);
+      QueryTelemetry telemetry;
+      auto result = medrank.Search(workload.Query(q), k, &telemetry);
       QVT_CHECK_OK(result.status());
       precision += PrecisionAtK(*result, truth.TruthFor(q), k);
-      accesses += static_cast<double>(stats.sorted_accesses);
+      accesses += static_cast<double>(telemetry.index_entries_scanned);
     }
     table.AddRow({"Medrank", std::to_string(lines) + " lines",
                   TablePrinter::Num(precision / num_queries, 3),
@@ -95,11 +95,11 @@ void Run(const ExperimentConfig& config) {
     double precision = 0.0, distances = 0.0;
     Stopwatch watch(&wall);
     for (size_t q = 0; q < workload.num_queries(); ++q) {
-      LshStats stats;
-      auto result = lsh.Search(workload.Query(q), k, &stats);
+      QueryTelemetry telemetry;
+      auto result = lsh.Search(workload.Query(q), k, &telemetry);
       QVT_CHECK_OK(result.status());
       precision += PrecisionAtK(*result, truth.TruthFor(q), k);
-      distances += static_cast<double>(stats.distance_computations);
+      distances += static_cast<double>(telemetry.descriptors_scanned);
     }
     table.AddRow({"LSH", std::to_string(tables) + " tables",
                   TablePrinter::Num(precision / num_queries, 3),
@@ -114,15 +114,15 @@ void Run(const ExperimentConfig& config) {
     double precision = 0.0, refined = 0.0;
     Stopwatch watch(&wall);
     for (size_t q = 0; q < workload.num_queries(); ++q) {
-      VaFileStats stats;
+      QueryTelemetry telemetry;
       auto result =
           refinements == 0
-              ? va.Search(workload.Query(q), k, &stats)
+              ? va.Search(workload.Query(q), k, &telemetry)
               : va.SearchApproximate(workload.Query(q), k, refinements,
-                                     &stats);
+                                     &telemetry);
       QVT_CHECK_OK(result.status());
       precision += PrecisionAtK(*result, truth.TruthFor(q), k);
-      refined += static_cast<double>(stats.refinements);
+      refined += static_cast<double>(telemetry.descriptors_scanned);
     }
     table.AddRow({"VA-file",
                   refinements == 0 ? "exact"
@@ -144,11 +144,11 @@ void Run(const ExperimentConfig& config) {
     double precision = 0.0, scanned = 0.0;
     Stopwatch watch(&wall);
     for (size_t q = 0; q < workload.num_queries(); ++q) {
-      PSphereStats stats;
-      auto result = psphere.Search(workload.Query(q), k, &stats);
+      QueryTelemetry telemetry;
+      auto result = psphere.Search(workload.Query(q), k, &telemetry);
       QVT_CHECK_OK(result.status());
       precision += PrecisionAtK(*result, truth.TruthFor(q), k);
-      scanned += static_cast<double>(stats.vectors_scanned);
+      scanned += static_cast<double>(telemetry.descriptors_scanned);
     }
     table.AddRow({"P-Sphere",
                   TablePrinter::Num(fill, 0) + "x replication",

@@ -6,7 +6,7 @@
 
 #include <cmath>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
 #include "cluster/bag.h"
 #include "cluster/srtree_chunker.h"
@@ -56,12 +56,15 @@ std::string HexFingerprint(uint64_t fp) {
   return buf;
 }
 
-/// Simple key=value manifest used to persist scalar build facts.
+/// Simple key=value manifest used to persist scalar build facts. All I/O
+/// goes through the Env abstraction, so a MemEnv-backed suite never touches
+/// the real filesystem and IoStatsEnv sees manifest traffic too.
 class Manifest {
  public:
-  static StatusOr<Manifest> Load(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) return Status::NotFound("no manifest at " + path);
+  static StatusOr<Manifest> Load(Env* env, const std::string& path) {
+    auto bytes = ReadFileBytes(env, path);
+    if (!bytes.ok()) return Status::NotFound("no manifest at " + path);
+    std::istringstream in(std::string(bytes->begin(), bytes->end()));
     Manifest m;
     std::string key;
     double value;
@@ -69,15 +72,17 @@ class Manifest {
     return m;
   }
 
-  Status Save(const std::string& path) const {
-    std::ofstream out(path + ".tmp", std::ios::trunc);
-    if (!out) return Status::IoError("cannot write manifest " + path);
+  Status Save(Env* env, const std::string& path) const {
+    std::ostringstream out;
     for (const auto& [key, value] : values_) {
       out << key << " " << value << "\n";
     }
-    out.close();
-    std::filesystem::rename(path + ".tmp", path);
-    return Status::OK();
+    const std::string text = out.str();
+    // Write-temp-then-rename, so a concurrent loader never reads a partial
+    // manifest.
+    QVT_RETURN_IF_ERROR(
+        WriteFileBytes(env, path + ".tmp", text.data(), text.size()));
+    return env->RenameFile(path + ".tmp", path);
   }
 
   void Set(const std::string& key, double value) { values_[key] = value; }
@@ -140,7 +145,7 @@ StatusOr<std::unique_ptr<IndexSuite>> IndexSuite::BuildOrLoad(
 Status IndexSuite::BuildEverything() {
   WallClock wall;
   const std::string manifest_path = CachePath("manifest.txt");
-  auto manifest_or = Manifest::Load(manifest_path);
+  auto manifest_or = Manifest::Load(env_, manifest_path);
   const bool cached = manifest_or.ok() && manifest_or->Has("complete");
   Manifest manifest = cached ? std::move(manifest_or).value() : Manifest();
 
@@ -218,9 +223,10 @@ Status IndexSuite::BuildEverything() {
   // chunking + index) depends only on that class's BAG snapshot, so it can
   // overlap the next class's BAG run on the calling thread. One worker is
   // deliberate: tails of different classes serialize with each other, which
-  // keeps all Env writes on a single thread at a time (MemEnv is not
-  // thread-safe) while the main thread does pure computation. The artifacts
-  // are unchanged — every tail input is an immutable snapshot.
+  // keeps the cache-file write order deterministic while the main thread
+  // does pure computation (Env itself is thread-safe, including MemEnv).
+  // The artifacts are unchanged — every tail input is an immutable
+  // snapshot.
   std::unique_ptr<ThreadPool> tail_pool;
   if (!indexes_cached && BuildThreads() > 1) {
     tail_pool = std::make_unique<ThreadPool>(1);
@@ -422,7 +428,7 @@ Status IndexSuite::BuildEverything() {
   }
 
   manifest.Set("complete", 1.0);
-  return manifest.Save(manifest_path);
+  return manifest.Save(env_, manifest_path);
 }
 
 const GroundTruth& IndexSuite::truth(SizeClass size_class,

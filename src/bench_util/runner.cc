@@ -75,17 +75,17 @@ StatusOr<QualityCurves> RunWorkload(const Searcher& searcher,
   return curves;
 }
 
-StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
-                                          const Workload& workload,
-                                          const GroundTruth* truth, size_t k,
-                                          const StopRule& stop,
-                                          size_t num_threads) {
+StatusOr<BatchRunReport> RunMethodBatch(const SearchMethod& method,
+                                        const Workload& workload,
+                                        const GroundTruth* truth, size_t k,
+                                        const StopRule& stop,
+                                        size_t num_threads) {
   if (truth != nullptr &&
       (truth->num_queries() != workload.num_queries() || truth->k() < k)) {
     return Status::InvalidArgument("ground truth does not match workload");
   }
 
-  const BatchSearcher batch_searcher(&searcher, num_threads);
+  const BatchSearcher batch_searcher(&method, num_threads);
   auto batch = batch_searcher.SearchAll(workload, k, stop);
   if (!batch.ok()) return batch.status();
 
@@ -100,23 +100,47 @@ StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
           : 0.0;
   report.wall = batch->wall;
   report.model = batch->model;
+  report.exact_queries = batch->exact_queries;
 
   // Reduce per-query metrics serially in input order, so the report is
-  // identical whatever thread interleaving produced the results.
-  for (size_t q = 0; q < batch->results.size(); ++q) {
-    const SearchResult& result = batch->results[q];
-    report.mean_chunks_read += static_cast<double>(result.chunks_read);
-    if (truth != nullptr) {
+  // identical whatever thread interleaving produced the results. The
+  // counter means come straight off the batch's telemetry totals.
+  if (truth != nullptr) {
+    for (size_t q = 0; q < batch->results.size(); ++q) {
       report.mean_final_precision +=
-          PrecisionAtK(result.neighbors, truth->TruthFor(q), k);
+          PrecisionAtK(batch->results[q].neighbors, truth->TruthFor(q), k);
     }
   }
   if (report.num_queries > 0) {
     const double n = static_cast<double>(report.num_queries);
-    report.mean_chunks_read /= n;
+    const QueryTelemetry& totals = batch->totals;
+    report.mean_probes = static_cast<double>(totals.probes) / n;
+    report.mean_index_entries_scanned =
+        static_cast<double>(totals.index_entries_scanned) / n;
+    report.mean_candidates_examined =
+        static_cast<double>(totals.candidates_examined) / n;
+    report.mean_descriptors_scanned =
+        static_cast<double>(totals.descriptors_scanned) / n;
+    report.mean_bytes_read = static_cast<double>(totals.bytes_read) / n;
+    report.mean_chunks_read = static_cast<double>(totals.chunks_read) / n;
+    const uint64_t verdicts = totals.cache_hits + totals.cache_misses;
+    report.cache_hit_rate =
+        verdicts > 0
+            ? static_cast<double>(totals.cache_hits) /
+                  static_cast<double>(verdicts)
+            : 0.0;
     report.mean_final_precision /= n;
   }
   return report;
+}
+
+StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
+                                          const Workload& workload,
+                                          const GroundTruth* truth, size_t k,
+                                          const StopRule& stop,
+                                          size_t num_threads) {
+  const std::unique_ptr<SearchMethod> method = WrapSearcher(&searcher);
+  return RunMethodBatch(*method, workload, truth, k, stop, num_threads);
 }
 
 }  // namespace qvt

@@ -47,7 +47,9 @@ StatusOr<QualityCurves> RunWorkload(const Searcher& searcher,
 
 /// Aggregate report of one concurrent batch run (no per-chunk curves — the
 /// per-chunk observer is a serial-methodology instrument; the batch engine
-/// reports throughput and tail latency instead).
+/// reports throughput and tail latency instead). The per-query means below
+/// reduce the unified QueryTelemetry schema, so the same report shape works
+/// for every registered method.
 struct BatchRunReport {
   size_t num_queries = 0;
   size_t num_threads = 1;
@@ -55,15 +57,33 @@ struct BatchRunReport {
   double queries_per_second = 0.0;
   LatencyPercentiles wall;   ///< per-query wall micros
   LatencyPercentiles model;  ///< per-query cost-model micros
+  /// Per-query means of the shared telemetry counters.
+  double mean_probes = 0.0;
+  double mean_index_entries_scanned = 0.0;
+  double mean_candidates_examined = 0.0;
+  double mean_descriptors_scanned = 0.0;
+  double mean_bytes_read = 0.0;
   double mean_chunks_read = 0.0;
+  /// cache_hits / (cache_hits + cache_misses); 0 when no cache was wired.
+  double cache_hit_rate = 0.0;
+  /// Queries whose answer the method proved exact.
+  size_t exact_queries = 0;
   /// Precision@k against `truth`; 0 when no truth was supplied.
   double mean_final_precision = 0.0;
 };
 
-/// Runs every query of `workload` through a BatchSearcher over `searcher`
-/// with `num_threads` workers. `truth` may be null (skips precision
-/// scoring). With num_threads == 1 the per-query results are bit-identical
-/// to looping Searcher::Search serially.
+/// Runs every query of `workload` through a BatchSearcher over `method`
+/// (already Prepare()d) with `num_threads` workers. `truth` may be null
+/// (skips precision scoring). With num_threads == 1 the per-query results
+/// are bit-identical to looping method.Search serially.
+StatusOr<BatchRunReport> RunMethodBatch(const SearchMethod& method,
+                                        const Workload& workload,
+                                        const GroundTruth* truth, size_t k,
+                                        const StopRule& stop,
+                                        size_t num_threads);
+
+/// Legacy entry point: wraps `searcher` in the unified chunked adapter and
+/// delegates to RunMethodBatch.
 StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
                                           const Workload& workload,
                                           const GroundTruth* truth, size_t k,

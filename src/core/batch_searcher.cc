@@ -12,13 +12,13 @@ namespace qvt {
 
 namespace {
 
-LatencyPercentiles Percentiles(const std::vector<SearchResult>& results,
-                               int64_t SearchResult::* field) {
+LatencyPercentiles Percentiles(const std::vector<MethodResult>& results,
+                               int64_t QueryTelemetry::* field) {
   LatencyPercentiles out;
   if (results.empty()) return out;
   SampleStats stats;
-  for (const SearchResult& r : results) {
-    stats.Add(static_cast<double>(r.*field));
+  for (const MethodResult& r : results) {
+    stats.Add(static_cast<double>(r.telemetry.*field));
   }
   out.p50 = static_cast<int64_t>(stats.Percentile(50));
   out.p95 = static_cast<int64_t>(stats.Percentile(95));
@@ -30,8 +30,13 @@ LatencyPercentiles Percentiles(const std::vector<SearchResult>& results,
 
 }  // namespace
 
+BatchSearcher::BatchSearcher(const SearchMethod* method, size_t num_threads)
+    : method_(method), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
 BatchSearcher::BatchSearcher(const Searcher* searcher, size_t num_threads)
-    : searcher_(searcher), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+    : owned_method_(WrapSearcher(searcher)),
+      method_(owned_method_.get()),
+      num_threads_(num_threads == 0 ? 1 : num_threads) {}
 
 StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
     const Workload& queries, size_t k, const StopRule& stop) const {
@@ -46,10 +51,8 @@ StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
   if (num_threads_ == 1 || n <= 1) {
     // Serial fast path: same loop a caller would write around Search(),
     // preserving the paper's single-stream methodology exactly.
-    SearchScratch scratch;
     for (size_t q = 0; q < n; ++q) {
-      auto result =
-          searcher_->Search(queries.Query(q), k, stop, nullptr, &scratch);
+      auto result = method_->Search(queries.Query(q), k, stop);
       if (!result.ok()) return result.status();
       batch.results[q] = std::move(result).value();
     }
@@ -61,12 +64,10 @@ StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
     ThreadPool pool(num_threads_);
     for (size_t t = 0; t < num_threads_; ++t) {
       pool.Submit([&] {
-        SearchScratch scratch;  // one per worker, reused across its queries
         for (;;) {
           const size_t q = next_query.fetch_add(1, std::memory_order_relaxed);
           if (q >= n) return;
-          auto result =
-              searcher_->Search(queries.Query(q), k, stop, nullptr, &scratch);
+          auto result = method_->Search(queries.Query(q), k, stop);
           if (!result.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = result.status();
@@ -81,10 +82,12 @@ StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
   }
 
   batch.batch_wall_micros = stopwatch.ElapsedMicros();
-  batch.wall = Percentiles(batch.results, &SearchResult::wall_elapsed_micros);
-  batch.model =
-      Percentiles(batch.results, &SearchResult::model_elapsed_micros);
-  for (const SearchResult& r : batch.results) batch.prefetch += r.prefetch;
+  batch.wall = Percentiles(batch.results, &QueryTelemetry::wall_micros);
+  batch.model = Percentiles(batch.results, &QueryTelemetry::model_micros);
+  for (const MethodResult& r : batch.results) {
+    batch.totals += r.telemetry;
+    if (r.telemetry.exact) ++batch.exact_queries;
+  }
   return batch;
 }
 

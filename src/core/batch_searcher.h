@@ -2,9 +2,11 @@
 #define QVT_CORE_BATCH_SEARCHER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/search_method.h"
 #include "core/searcher.h"
 #include "descriptor/workload.h"
 #include "util/statusor.h"
@@ -24,37 +26,50 @@ struct LatencyPercentiles {
 };
 
 /// Outcome of one batch: per-query results in input order plus aggregate
-/// timing.
+/// timing and the summed telemetry of every query.
 struct BatchSearchResult {
   /// results[i] answers queries.Query(i), regardless of which worker ran it.
-  std::vector<SearchResult> results;
+  std::vector<MethodResult> results;
   /// Wall time of the whole batch (submission to last completion).
   int64_t batch_wall_micros = 0;
   /// Distribution of per-query wall latencies.
   LatencyPercentiles wall;
   /// Distribution of per-query modeled (cost-model) latencies. Independent
   /// of the thread count: the model charges each query as if it ran alone.
+  /// All zero for methods without a disk model.
   LatencyPercentiles model;
-  /// Sum of the per-query prefetch counters (all zero when the searcher
-  /// runs without a read-ahead pipeline).
-  PrefetchStats prefetch;
+  /// Sum of the per-query QueryTelemetry records (timers and counters; the
+  /// unified schema every method emits).
+  QueryTelemetry totals;
+  /// Queries whose answer the method proved exact.
+  size_t exact_queries = 0;
   size_t num_threads = 1;
 };
 
 /// Fans a query workload out across a fixed-size thread pool. Every worker
-/// thread owns a SearchScratch and pulls query indices from a shared atomic
-/// cursor, so the division of labor adapts to per-query cost skew (the
-/// paper's giant BAG chunks make that skew severe, Fig. 1).
+/// pulls query indices from a shared atomic cursor, so the division of labor
+/// adapts to per-query cost skew (the paper's giant BAG chunks make that
+/// skew severe, Fig. 1).
+///
+/// Drives any SearchMethod: the chunked searcher, the exact scan, or any of
+/// the related-work indexes, all constructed by name through MethodRegistry.
+/// The method must be Prepare()d and is then called concurrently (the
+/// SearchMethod contract requires const thread-safe Search).
 ///
 /// With num_threads == 1 no pool is created and queries run in submission
-/// order on the calling thread — bit-identical to looping over
-/// Searcher::Search, which keeps the paper's figure benchmarks reproducible.
-/// With more threads, per-query neighbors, chunks_read, and modeled times
-/// are still deterministic (all per-query state is private; ties are broken
-/// by descriptor id); only wall-clock figures vary run to run.
+/// order on the calling thread — bit-identical to looping over the method's
+/// Search, which keeps the paper's figure benchmarks reproducible. With
+/// more threads, per-query neighbors and telemetry counters are still
+/// deterministic (all per-query state is private; ties are broken by
+/// descriptor id); only wall-clock figures vary run to run.
 class BatchSearcher {
  public:
-  /// `searcher` is borrowed and must outlive the batch searcher.
+  /// `method` is borrowed and must outlive the batch searcher.
+  BatchSearcher(const SearchMethod* method, size_t num_threads);
+
+  /// Convenience: wraps a borrowed chunked `searcher` in the unified
+  /// adapter (owned by this BatchSearcher). Behaves exactly like the
+  /// pre-unification BatchSearcher over a Searcher.
   BatchSearcher(const Searcher* searcher, size_t num_threads);
 
   /// Runs every query of `queries` for its k nearest neighbors under `stop`.
@@ -65,7 +80,8 @@ class BatchSearcher {
   size_t num_threads() const { return num_threads_; }
 
  private:
-  const Searcher* searcher_;
+  std::unique_ptr<SearchMethod> owned_method_;  ///< legacy Searcher ctor only
+  const SearchMethod* method_;
   size_t num_threads_;
 };
 

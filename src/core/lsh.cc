@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/vec.h"
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -85,35 +86,45 @@ LshIndex LshIndex::Build(const Collection* collection,
   return index;
 }
 
-StatusOr<std::vector<Neighbor>> LshIndex::Search(std::span<const float> query,
-                                                 size_t k,
-                                                 LshStats* stats) const {
+StatusOr<std::vector<Neighbor>> LshIndex::Search(
+    std::span<const float> query, size_t k, QueryTelemetry* telemetry) const {
   if (query.size() != collection_->dim()) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
 
-  LshStats local_stats;
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+  QueryTelemetry telem;
   KnnResultSet result(k);
   std::vector<uint8_t> seen(collection_->size(), 0);
 
+  // Plan stage: hash the query once per table (the bucket keys fully
+  // determine the walk below).
+  std::vector<uint64_t> keys(config_.num_tables);
+  for (size_t t = 0; t < config_.num_tables; ++t) keys[t] = HashOf(query, t);
+  telem.plan.wall_micros = stopwatch.ElapsedMicros();
+
   for (size_t t = 0; t < config_.num_tables; ++t) {
-    const uint64_t key = HashOf(query, t);
-    ++local_stats.buckets_probed;
+    ++telem.probes;
     const auto& entries = tables_[t].sorted_entries;
-    auto it = std::lower_bound(
-        entries.begin(), entries.end(), std::make_pair(key, uint32_t{0}));
-    for (; it != entries.end() && it->first == key; ++it) {
-      ++local_stats.candidates;
+    auto it = std::lower_bound(entries.begin(), entries.end(),
+                               std::make_pair(keys[t], uint32_t{0}));
+    for (; it != entries.end() && it->first == keys[t]; ++it) {
+      ++telem.candidates_examined;
       const uint32_t pos = it->second;
       if (seen[pos]) continue;
       seen[pos] = 1;
-      ++local_stats.distance_computations;
+      ++telem.descriptors_scanned;
       result.Insert(collection_->Id(pos),
                     vec::Distance(collection_->Vector(pos), query));
     }
   }
-  if (stats != nullptr) *stats = local_stats;
+  telem.wall_micros = stopwatch.ElapsedMicros();
+  telem.scan.wall_micros = telem.wall_micros - telem.plan.wall_micros;
+  telem.bytes_read = telem.descriptors_scanned *
+                    DescriptorRecordBytes(collection_->dim());
+  if (telemetry != nullptr) *telemetry = telem;
   return result.Sorted();
 }
 

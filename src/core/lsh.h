@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/result_set.h"
+#include "core/telemetry.h"
 #include "descriptor/collection.h"
 #include "util/statusor.h"
 
@@ -25,13 +26,6 @@ struct LshConfig {
   uint64_t seed = 777;
 };
 
-/// Work counters of one LSH query.
-struct LshStats {
-  size_t buckets_probed = 0;     ///< one per table
-  size_t candidates = 0;         ///< bucket members before dedup
-  size_t distance_computations = 0;
-};
-
 /// Classic multi-table LSH: a query probes one bucket per table and ranks
 /// the union of their members by exact distance. Sub-linear candidate sets
 /// at the cost of missing neighbors that collide in no table.
@@ -40,11 +34,14 @@ class LshIndex {
   /// Builds the tables over `collection` (borrowed; must outlive the index).
   static LshIndex Build(const Collection* collection, const LshConfig& config);
 
-  /// Approximate k nearest neighbors (ascending distance). Returns fewer
-  /// than k when the probed buckets hold fewer distinct candidates.
-  StatusOr<std::vector<Neighbor>> Search(std::span<const float> query,
-                                         size_t k,
-                                         LshStats* stats = nullptr) const;
+  /// Approximate k nearest neighbors (ascending distance, ties by id).
+  /// Returns fewer than k when the probed buckets hold fewer distinct
+  /// candidates. `telemetry`, when non-null, receives the unified query
+  /// record (probes = buckets probed, candidates_examined = bucket members
+  /// before dedup, descriptors_scanned = exact distance computations).
+  StatusOr<std::vector<Neighbor>> Search(
+      std::span<const float> query, size_t k,
+      QueryTelemetry* telemetry = nullptr) const;
 
   double bucket_width() const { return config_.bucket_width; }
 

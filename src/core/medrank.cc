@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "geometry/vec.h"
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -60,7 +61,7 @@ MedrankIndex MedrankIndex::Build(const Collection* collection,
 }
 
 StatusOr<std::vector<Neighbor>> MedrankIndex::Search(
-    std::span<const float> query, size_t k, MedrankStats* stats) const {
+    std::span<const float> query, size_t k, QueryTelemetry* telemetry) const {
   const size_t dim = collection_->dim();
   const size_t n = collection_->size();
   if (query.size() != dim) {
@@ -69,6 +70,10 @@ StatusOr<std::vector<Neighbor>> MedrankIndex::Search(
   if (k == 0 || k > n) {
     return Status::InvalidArgument("k out of range");
   }
+
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+  QueryTelemetry telem;
 
   const size_t m = config_.num_lines;
   const size_t needed = std::max<size_t>(
@@ -94,6 +99,8 @@ StatusOr<std::vector<Neighbor>> MedrankIndex::Search(
     walks[line].up = static_cast<size_t>(it - values.begin());
     walks[line].down = static_cast<ptrdiff_t>(walks[line].up) - 1;
   }
+  telem.probes = m;
+  telem.plan.wall_micros = stopwatch.ElapsedMicros();
 
   // Global lock-step walk: always advance the cursor whose next element is
   // projection-closest to the query (sorted access).
@@ -101,7 +108,14 @@ StatusOr<std::vector<Neighbor>> MedrankIndex::Search(
     double gap;
     uint32_t line;
     bool upward;
-    bool operator>(const Cursor& other) const { return gap > other.gap; }
+    // Equal gaps (exact projection ties) resolve by (line, direction) so the
+    // emission order is a deterministic function of the index, not of
+    // priority-queue internals.
+    bool operator>(const Cursor& other) const {
+      if (gap != other.gap) return gap > other.gap;
+      if (line != other.line) return line > other.line;
+      return upward && !other.upward;
+    }
   };
   std::priority_queue<Cursor, std::vector<Cursor>, std::greater<>> frontier;
   auto push_cursor = [&](uint32_t line, bool upward) {
@@ -125,7 +139,6 @@ StatusOr<std::vector<Neighbor>> MedrankIndex::Search(
   std::vector<uint8_t> seen_count(n, 0);
   std::vector<Neighbor> result;
   result.reserve(k);
-  MedrankStats local_stats;
 
   while (result.size() < k && !frontier.empty()) {
     const Cursor cursor = frontier.top();
@@ -140,15 +153,21 @@ StatusOr<std::vector<Neighbor>> MedrankIndex::Search(
       --w.down;
     }
     push_cursor(cursor.line, cursor.upward);
-    ++local_stats.sorted_accesses;
+    ++telem.index_entries_scanned;
 
     if (++seen_count[position] == needed) {
+      ++telem.candidates_examined;
+      ++telem.descriptors_scanned;
       result.push_back(
           {collection_->Id(position),
            vec::Distance(collection_->Vector(position), query)});
     }
   }
-  if (stats != nullptr) *stats = local_stats;
+  telem.wall_micros = stopwatch.ElapsedMicros();
+  telem.scan.wall_micros = telem.wall_micros - telem.plan.wall_micros;
+  telem.bytes_read =
+      telem.descriptors_scanned * DescriptorRecordBytes(dim);
+  if (telemetry != nullptr) *telemetry = telem;
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/result_set.h"
+#include "core/telemetry.h"
 #include "descriptor/collection.h"
 #include "util/statusor.h"
 
@@ -19,13 +20,6 @@ struct MedrankConfig {
   /// the lines (0.5 = the median rank of the original algorithm).
   double min_frequency = 0.5;
   uint64_t seed = 4242;
-};
-
-/// Access counters of one Medrank query.
-struct MedrankStats {
-  /// Sorted-access steps performed across all lines (the algorithm's I/O
-  /// unit; Medrank is I/O-optimal in this measure).
-  size_t sorted_accesses = 0;
 };
 
 /// Rank-aggregation approximate nearest-neighbor search: every descriptor
@@ -44,10 +38,14 @@ class MedrankIndex {
   /// Returns the k probable nearest neighbors in emission (rank) order.
   /// Distances are filled in from the collection for convenience; they are
   /// NOT used by the algorithm. k must be positive and at most the
-  /// collection size.
-  StatusOr<std::vector<Neighbor>> Search(std::span<const float> query,
-                                         size_t k,
-                                         MedrankStats* stats = nullptr) const;
+  /// collection size. `telemetry`, when non-null, receives the unified
+  /// query record (probes = lines walked, index_entries_scanned =
+  /// sorted-access steps — the algorithm's I/O unit, in which Medrank is
+  /// I/O-optimal; descriptors_scanned = emitted neighbors whose distances
+  /// are filled in).
+  StatusOr<std::vector<Neighbor>> Search(
+      std::span<const float> query, size_t k,
+      QueryTelemetry* telemetry = nullptr) const;
 
   size_t num_lines() const { return config_.num_lines; }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "geometry/vec.h"
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -62,13 +63,17 @@ double PSphereTree::ReplicationFactor() const {
 }
 
 StatusOr<std::vector<Neighbor>> PSphereTree::Search(
-    std::span<const float> query, size_t k, PSphereStats* stats) const {
+    std::span<const float> query, size_t k, QueryTelemetry* telemetry) const {
   if (query.size() != dim_) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
 
-  // Nearest center...
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+  QueryTelemetry telem;
+
+  // Nearest center... (the plan stage: picking the one sphere to probe)
   size_t best = 0;
   double best_sq = std::numeric_limits<double>::infinity();
   for (size_t s = 0; s < num_spheres(); ++s) {
@@ -79,6 +84,8 @@ StatusOr<std::vector<Neighbor>> PSphereTree::Search(
       best = s;
     }
   }
+  telem.index_entries_scanned = num_spheres();
+  telem.plan.wall_micros = stopwatch.ElapsedMicros();
 
   // ...and a single sequential scan of its members.
   KnnResultSet result(k);
@@ -86,7 +93,14 @@ StatusOr<std::vector<Neighbor>> PSphereTree::Search(
     result.Insert(collection_->Id(pos),
                   vec::Distance(collection_->Vector(pos), query));
   }
-  if (stats != nullptr) stats->vectors_scanned = members_[best].size();
+  telem.probes = 1;
+  telem.candidates_examined = members_[best].size();
+  telem.descriptors_scanned = members_[best].size();
+  telem.bytes_read =
+      telem.descriptors_scanned * DescriptorRecordBytes(dim_);
+  telem.wall_micros = stopwatch.ElapsedMicros();
+  telem.scan.wall_micros = telem.wall_micros - telem.plan.wall_micros;
+  if (telemetry != nullptr) *telemetry = telem;
   return result.Sorted();
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/result_set.h"
+#include "core/telemetry.h"
 #include "descriptor/collection.h"
 #include "util/statusor.h"
 
@@ -23,11 +24,6 @@ struct PSphereConfig {
   uint64_t seed = 31337;
 };
 
-/// Work counters of one P-Sphere query.
-struct PSphereStats {
-  size_t vectors_scanned = 0;  ///< members of the single probed sphere
-};
-
 /// P-Sphere search: each sphere stores the L nearest descriptors to its
 /// center; a query scans exactly one sphere — the one with the nearest
 /// center. One seek, one sequential scan, probabilistic accuracy that grows
@@ -39,10 +35,13 @@ class PSphereTree {
   static PSphereTree Build(const Collection* collection,
                            const PSphereConfig& config);
 
-  /// Approximate k-NN from the single nearest sphere.
-  StatusOr<std::vector<Neighbor>> Search(std::span<const float> query,
-                                         size_t k,
-                                         PSphereStats* stats = nullptr) const;
+  /// Approximate k-NN from the single nearest sphere. `telemetry`, when
+  /// non-null, receives the unified query record (probes = 1 sphere,
+  /// index_entries_scanned = sphere centers ranked, descriptors_scanned =
+  /// members of the probed sphere).
+  StatusOr<std::vector<Neighbor>> Search(
+      std::span<const float> query, size_t k,
+      QueryTelemetry* telemetry = nullptr) const;
 
   size_t num_spheres() const { return centers_.size() / dim_; }
   /// Total stored vectors across spheres / collection size (>= 1).

@@ -1,0 +1,691 @@
+#include "core/search_method.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "core/exact_scan.h"
+#include "core/lsh.h"
+#include "core/medrank.h"
+#include "core/psphere.h"
+#include "core/va_file.h"
+#include "descriptor/types.h"
+#include "geometry/vec.h"
+#include "storage/page.h"
+#include "util/clock.h"
+
+namespace qvt {
+
+// --- MethodOptions ----------------------------------------------------------
+
+StatusOr<MethodOptions> MethodOptions::Parse(std::string_view spec) {
+  MethodOptions options;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("method parameter '" + std::string(item) +
+                                     "' is not key=value");
+    }
+    options.values_[std::string(item.substr(0, eq))] =
+        std::string(item.substr(eq + 1));
+  }
+  return options;
+}
+
+StatusOr<std::string> MethodOptions::Raw(const std::string& key) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound(key);
+  consumed_.insert(key);
+  return it->second;
+}
+
+StatusOr<size_t> MethodOptions::GetSize(const std::string& key,
+                                        size_t default_value) {
+  auto raw = Raw(key);
+  if (!raw.ok()) return default_value;
+  size_t value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc() || ptr != raw->data() + raw->size()) {
+    return Status::InvalidArgument("parameter " + key + "='" + *raw +
+                                   "' is not a non-negative integer");
+  }
+  return value;
+}
+
+StatusOr<uint64_t> MethodOptions::GetUint64(const std::string& key,
+                                            uint64_t default_value) {
+  QVT_ASSIGN_OR_RETURN(const size_t value, GetSize(key, default_value));
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<double> MethodOptions::GetDouble(const std::string& key,
+                                          double default_value) {
+  auto raw = Raw(key);
+  if (!raw.ok()) return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (raw->empty() || end != raw->c_str() + raw->size()) {
+    return Status::InvalidArgument("parameter " + key + "='" + *raw +
+                                   "' is not a number");
+  }
+  return value;
+}
+
+Status MethodOptions::CheckAllConsumed() const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key)) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += key;
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown method parameter(s): " + unknown);
+}
+
+// --- SearchMethod shared helpers -------------------------------------------
+
+Status SearchMethod::RequireExactStop(const StopRule& stop,
+                                      std::string_view name) {
+  if (stop.kind == StopRule::Kind::kExact && stop.epsilon == 0.0) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(std::string(name) +
+                                 " does not support approximate stop rules");
+}
+
+StatusOr<MethodResult> SearchMethod::SearchRange(std::span<const float>,
+                                                 double,
+                                                 const StopRule&) const {
+  return Status::Unimplemented(std::string(name()) +
+                               " does not support range search");
+}
+
+namespace {
+
+Status RequirePrepared(bool prepared, std::string_view name) {
+  if (prepared) return Status::OK();
+  return Status::FailedPrecondition(std::string(name) +
+                                    " used before Prepare()");
+}
+
+/// Sorts into the unified (distance, id) result contract. Most methods
+/// already emit this order; Medrank natively emits rank order.
+void SortNeighbors(std::vector<Neighbor>* neighbors) {
+  std::sort(neighbors->begin(), neighbors->end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+}
+
+// --- chunked: the paper's §4.3 searcher over the chunk index ---------------
+
+class ChunkedMethod final : public SearchMethod {
+ public:
+  explicit ChunkedMethod(const MethodContext& context)
+      : owned_(std::in_place, context.index, context.cost_model,
+               context.cache, context.prefetch),
+        searcher_(&*owned_),
+        index_(context.index) {}
+
+  /// Borrows a pre-configured searcher (WrapSearcher). The searcher is
+  /// ready by construction, so the wrapper skips the Prepare() gate.
+  explicit ChunkedMethod(const Searcher* searcher)
+      : searcher_(searcher), index_(searcher->index()), prepared_(true) {}
+
+  std::string_view name() const override { return "chunked"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "chunked §4.3 searcher: " << index_->num_chunks()
+        << " chunks, dim " << index_->dim()
+        << (searcher_->prefetcher() != nullptr ? ", prefetch on"
+                                               : ", prefetch off");
+    return out.str();
+  }
+
+  MethodCapabilities capabilities() const override {
+    return {/*exact=*/true, /*range_search=*/true, /*stop_rules=*/true,
+            /*disk_model=*/true};
+  }
+
+  Status Prepare() override {
+    // The chunk index was built before the context existed; nothing heavy
+    // remains, but the contract's Prepare-before-Search gate still applies.
+    prepared_ = true;
+    return Status::OK();
+  }
+
+  StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(prepared_, name()));
+    static thread_local SearchScratch scratch;
+    QVT_ASSIGN_OR_RETURN(SearchResult raw,
+                         searcher_->Search(query, k, stop, nullptr, &scratch));
+    return Convert(std::move(raw));
+  }
+
+  StatusOr<MethodResult> SearchRange(std::span<const float> query,
+                                     double radius,
+                                     const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(prepared_, name()));
+    static thread_local SearchScratch scratch;
+    QVT_ASSIGN_OR_RETURN(
+        SearchResult raw,
+        searcher_->SearchRange(query, radius, stop, &scratch));
+    return Convert(std::move(raw));
+  }
+
+ private:
+  MethodResult Convert(SearchResult raw) const {
+    MethodResult result;
+    result.neighbors = std::move(raw.neighbors);
+    QueryTelemetry& t = result.telemetry;
+    t.wall_micros = raw.wall_elapsed_micros;
+    t.model_micros = raw.model_elapsed_micros;
+    t.model_overlapped_micros = raw.model_overlapped_micros;
+    t.plan.wall_micros = raw.rank_wall_micros;
+    t.plan.model_micros = raw.rank_model_micros;
+    t.scan.wall_micros = raw.wall_elapsed_micros - raw.rank_wall_micros;
+    t.scan.model_micros = raw.model_elapsed_micros - raw.rank_model_micros;
+    t.probes = raw.chunks_read;
+    t.index_entries_scanned = index_->num_chunks();
+    t.candidates_examined = raw.descriptors_processed;
+    t.descriptors_scanned = raw.descriptors_processed;
+    t.bytes_read = raw.pages_read * kPageSize;
+    t.chunks_read = raw.chunks_read;
+    t.cache_hits = raw.cache_hits;
+    t.cache_misses = raw.cache_misses;
+    t.prefetch = raw.prefetch;
+    t.exact = raw.exact;
+    return result;
+  }
+
+  /// Engaged when this method constructed its own searcher (registry path);
+  /// disengaged when wrapping a borrowed one (WrapSearcher).
+  std::optional<Searcher> owned_;
+  const Searcher* searcher_;
+  const ChunkIndex* index_;
+  bool prepared_ = false;
+};
+
+// --- exact-scan: the sequential-scan reference ------------------------------
+
+class ExactScanMethod final : public SearchMethod {
+ public:
+  explicit ExactScanMethod(const MethodContext& context)
+      : collection_(context.collection) {}
+
+  std::string_view name() const override { return "exact-scan"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "exact sequential scan: " << collection_->size()
+        << " descriptors, dim " << collection_->dim();
+    return out.str();
+  }
+
+  MethodCapabilities capabilities() const override {
+    return {/*exact=*/true, /*range_search=*/true, /*stop_rules=*/false,
+            /*disk_model=*/false};
+  }
+
+  Status Prepare() override {
+    // Scans need no build, but the Prepare-before-Search gate is uniform.
+    prepared_ = true;
+    return Status::OK();
+  }
+
+  StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(prepared_, name()));
+    QVT_RETURN_IF_ERROR(RequireExactStop(stop, name()));
+    if (k == 0) return Status::InvalidArgument("k must be positive");
+    if (query.size() != collection_->dim()) {
+      return Status::InvalidArgument("query dimensionality mismatch");
+    }
+    WallClock wall;
+    Stopwatch stopwatch(&wall);
+    MethodResult result;
+    result.neighbors = ExactScan(*collection_, query, k);
+    FillTelemetry(stopwatch.ElapsedMicros(), &result.telemetry);
+    return result;
+  }
+
+  StatusOr<MethodResult> SearchRange(std::span<const float> query,
+                                     double radius,
+                                     const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(prepared_, name()));
+    QVT_RETURN_IF_ERROR(RequireExactStop(stop, name()));
+    if (radius < 0.0) {
+      return Status::InvalidArgument("radius must be non-negative");
+    }
+    if (query.size() != collection_->dim()) {
+      return Status::InvalidArgument("query dimensionality mismatch");
+    }
+    WallClock wall;
+    Stopwatch stopwatch(&wall);
+    MethodResult result;
+    for (size_t i = 0; i < collection_->size(); ++i) {
+      const double d = vec::Distance(collection_->Vector(i), query);
+      if (d <= radius) result.neighbors.push_back({collection_->Id(i), d});
+    }
+    SortNeighbors(&result.neighbors);
+    FillTelemetry(stopwatch.ElapsedMicros(), &result.telemetry);
+    return result;
+  }
+
+ private:
+  void FillTelemetry(int64_t wall_micros, QueryTelemetry* t) const {
+    const size_t n = collection_->size();
+    t->wall_micros = wall_micros;
+    t->scan.wall_micros = wall_micros;
+    t->candidates_examined = n;
+    t->descriptors_scanned = n;
+    t->bytes_read = n * DescriptorRecordBytes(collection_->dim());
+    t->exact = true;
+  }
+
+  const Collection* collection_;
+  bool prepared_ = false;
+};
+
+// --- lsh: multi-table p-stable LSH (§6 related work) ------------------------
+
+class LshMethod final : public SearchMethod {
+ public:
+  LshMethod(const MethodContext& context, const LshConfig& config)
+      : collection_(context.collection), config_(config) {}
+
+  std::string_view name() const override { return "lsh"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "LSH: " << config_.num_tables << " tables x "
+        << config_.hashes_per_table << " hashes, bucket width "
+        << (index_.has_value() ? index_->bucket_width()
+                               : config_.bucket_width);
+    return out.str();
+  }
+
+  MethodCapabilities capabilities() const override {
+    return {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
+            /*disk_model=*/false};
+  }
+
+  Status Prepare() override {
+    if (!index_.has_value()) {
+      index_.emplace(LshIndex::Build(collection_, config_));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(index_.has_value(), name()));
+    QVT_RETURN_IF_ERROR(RequireExactStop(stop, name()));
+    MethodResult result;
+    QVT_ASSIGN_OR_RETURN(result.neighbors,
+                         index_->Search(query, k, &result.telemetry));
+    return result;
+  }
+
+ private:
+  const Collection* collection_;
+  LshConfig config_;
+  std::optional<LshIndex> index_;
+};
+
+// --- va-file: vector-approximation file (§6 related work) -------------------
+
+class VaFileMethod final : public SearchMethod {
+ public:
+  VaFileMethod(const MethodContext& context, const VaFileConfig& config,
+               size_t max_refinements)
+      : collection_(context.collection),
+        config_(config),
+        max_refinements_(max_refinements) {}
+
+  std::string_view name() const override { return "va-file"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "VA-file: " << config_.bits_per_dim << " bits/dim";
+    if (max_refinements_ != std::numeric_limits<size_t>::max()) {
+      out << ", refinement budget " << max_refinements_;
+    } else {
+      out << ", exact refinement";
+    }
+    return out.str();
+  }
+
+  MethodCapabilities capabilities() const override {
+    return {/*exact=*/true, /*range_search=*/false, /*stop_rules=*/false,
+            /*disk_model=*/false};
+  }
+
+  Status Prepare() override {
+    if (!va_.has_value()) {
+      va_.emplace(VaFile::Build(collection_, config_));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(va_.has_value(), name()));
+    QVT_RETURN_IF_ERROR(RequireExactStop(stop, name()));
+    MethodResult result;
+    QVT_ASSIGN_OR_RETURN(
+        result.neighbors,
+        va_->SearchApproximate(query, k, max_refinements_,
+                               &result.telemetry));
+    return result;
+  }
+
+ private:
+  const Collection* collection_;
+  VaFileConfig config_;
+  size_t max_refinements_;
+  std::optional<VaFile> va_;
+};
+
+// --- medrank: rank aggregation over random lines (§6 related work) ----------
+
+class MedrankMethod final : public SearchMethod {
+ public:
+  MedrankMethod(const MethodContext& context, const MedrankConfig& config)
+      : collection_(context.collection), config_(config) {}
+
+  std::string_view name() const override { return "medrank"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "Medrank: " << config_.num_lines << " lines, min frequency "
+        << config_.min_frequency;
+    return out.str();
+  }
+
+  MethodCapabilities capabilities() const override {
+    return {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
+            /*disk_model=*/false};
+  }
+
+  Status Prepare() override {
+    if (!index_.has_value()) {
+      index_.emplace(MedrankIndex::Build(collection_, config_));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(index_.has_value(), name()));
+    QVT_RETURN_IF_ERROR(RequireExactStop(stop, name()));
+    MethodResult result;
+    QVT_ASSIGN_OR_RETURN(result.neighbors,
+                         index_->Search(query, k, &result.telemetry));
+    // The native API emits rank order; the unified contract is (distance,
+    // id) like every other method.
+    SortNeighbors(&result.neighbors);
+    return result;
+  }
+
+ private:
+  const Collection* collection_;
+  MedrankConfig config_;
+  std::optional<MedrankIndex> index_;
+};
+
+// --- psphere: replicated hypersphere scan (§6 related work) -----------------
+
+class PSphereMethod final : public SearchMethod {
+ public:
+  PSphereMethod(const MethodContext& context, const PSphereConfig& config)
+      : collection_(context.collection), config_(config) {}
+
+  std::string_view name() const override { return "psphere"; }
+
+  std::string Describe() const override {
+    std::ostringstream out;
+    out << "P-Sphere tree: " << config_.num_spheres << " spheres, fill "
+        << config_.fill_factor;
+    if (tree_.has_value()) {
+      out << ", replication " << tree_->ReplicationFactor();
+    }
+    return out.str();
+  }
+
+  MethodCapabilities capabilities() const override {
+    return {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
+            /*disk_model=*/false};
+  }
+
+  Status Prepare() override {
+    if (collection_->empty()) {
+      return Status::InvalidArgument(
+          "psphere requires a non-empty collection");
+    }
+    if (!tree_.has_value()) {
+      tree_.emplace(PSphereTree::Build(collection_, config_));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
+                                const StopRule& stop) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(tree_.has_value(), name()));
+    QVT_RETURN_IF_ERROR(RequireExactStop(stop, name()));
+    MethodResult result;
+    QVT_ASSIGN_OR_RETURN(result.neighbors,
+                         tree_->Search(query, k, &result.telemetry));
+    return result;
+  }
+
+ private:
+  const Collection* collection_;
+  PSphereConfig config_;
+  std::optional<PSphereTree> tree_;
+};
+
+// --- built-in factories -----------------------------------------------------
+
+Status RequireCollection(const MethodContext& context,
+                         std::string_view name) {
+  if (context.collection != nullptr) return Status::OK();
+  return Status::InvalidArgument(std::string(name) +
+                                 " requires a collection in the context");
+}
+
+MethodRegistry BuildGlobalRegistry() {
+  MethodRegistry registry;
+
+  registry.Register(
+      {"chunked",
+       "the paper's chunk-index searcher (§4.3): rank chunks by centroid "
+       "distance, scan under a stop rule",
+       {/*exact=*/true, /*range_search=*/true, /*stop_rules=*/true,
+        /*disk_model=*/true}},
+      [](const MethodContext& context, MethodOptions&)
+          -> StatusOr<std::unique_ptr<SearchMethod>> {
+        if (context.index == nullptr) {
+          return Status::InvalidArgument(
+              "chunked requires a chunk index in the context");
+        }
+        return std::unique_ptr<SearchMethod>(new ChunkedMethod(context));
+      });
+
+  registry.Register(
+      {"exact-scan",
+       "exact sequential scan of the collection — the ground-truth "
+       "reference (§5.4)",
+       {/*exact=*/true, /*range_search=*/true, /*stop_rules=*/false,
+        /*disk_model=*/false}},
+      [](const MethodContext& context, MethodOptions&)
+          -> StatusOr<std::unique_ptr<SearchMethod>> {
+        QVT_RETURN_IF_ERROR(RequireCollection(context, "exact-scan"));
+        return std::unique_ptr<SearchMethod>(new ExactScanMethod(context));
+      });
+
+  registry.Register(
+      {"lsh",
+       "multi-table p-stable LSH (Gionis et al., VLDB'99; related work §6)",
+       {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
+        /*disk_model=*/false}},
+      [](const MethodContext& context, MethodOptions& options)
+          -> StatusOr<std::unique_ptr<SearchMethod>> {
+        QVT_RETURN_IF_ERROR(RequireCollection(context, "lsh"));
+        LshConfig config;
+        QVT_ASSIGN_OR_RETURN(config.num_tables,
+                             options.GetSize("num_tables", config.num_tables));
+        QVT_ASSIGN_OR_RETURN(
+            config.hashes_per_table,
+            options.GetSize("hashes_per_table", config.hashes_per_table));
+        QVT_ASSIGN_OR_RETURN(
+            config.bucket_width,
+            options.GetDouble("bucket_width", config.bucket_width));
+        QVT_ASSIGN_OR_RETURN(config.seed,
+                             options.GetUint64("seed", config.seed));
+        if (config.num_tables == 0 || config.hashes_per_table == 0) {
+          return Status::InvalidArgument(
+              "lsh requires num_tables >= 1 and hashes_per_table >= 1");
+        }
+        return std::unique_ptr<SearchMethod>(new LshMethod(context, config));
+      });
+
+  registry.Register(
+      {"va-file",
+       "vector-approximation file (Weber et al., VLDB'98), optionally with "
+       "the EDBT'00 refinement interrupt",
+       {/*exact=*/true, /*range_search=*/false, /*stop_rules=*/false,
+        /*disk_model=*/false}},
+      [](const MethodContext& context, MethodOptions& options)
+          -> StatusOr<std::unique_ptr<SearchMethod>> {
+        QVT_RETURN_IF_ERROR(RequireCollection(context, "va-file"));
+        VaFileConfig config;
+        QVT_ASSIGN_OR_RETURN(
+            config.bits_per_dim,
+            options.GetSize("bits_per_dim", config.bits_per_dim));
+        if (config.bits_per_dim < 1 || config.bits_per_dim > 8) {
+          return Status::InvalidArgument("bits_per_dim must be in [1, 8]");
+        }
+        // 0 = unlimited refinements (the exact two-phase algorithm).
+        QVT_ASSIGN_OR_RETURN(const size_t budget,
+                             options.GetSize("max_refinements", 0));
+        const size_t max_refinements =
+            budget == 0 ? std::numeric_limits<size_t>::max() : budget;
+        return std::unique_ptr<SearchMethod>(
+            new VaFileMethod(context, config, max_refinements));
+      });
+
+  registry.Register(
+      {"medrank",
+       "rank aggregation over random projection lines (Fagin et al., "
+       "SIGMOD'03; related work §6)",
+       {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
+        /*disk_model=*/false}},
+      [](const MethodContext& context, MethodOptions& options)
+          -> StatusOr<std::unique_ptr<SearchMethod>> {
+        QVT_RETURN_IF_ERROR(RequireCollection(context, "medrank"));
+        MedrankConfig config;
+        QVT_ASSIGN_OR_RETURN(config.num_lines,
+                             options.GetSize("num_lines", config.num_lines));
+        QVT_ASSIGN_OR_RETURN(
+            config.min_frequency,
+            options.GetDouble("min_frequency", config.min_frequency));
+        QVT_ASSIGN_OR_RETURN(config.seed,
+                             options.GetUint64("seed", config.seed));
+        if (config.num_lines == 0 || config.min_frequency <= 0.0 ||
+            config.min_frequency > 1.0) {
+          return Status::InvalidArgument(
+              "medrank requires num_lines >= 1 and min_frequency in (0, 1]");
+        }
+        return std::unique_ptr<SearchMethod>(
+            new MedrankMethod(context, config));
+      });
+
+  registry.Register(
+      {"psphere",
+       "P-Sphere tree: replicated hyperspheres, one-sphere probe "
+       "(Goldstein & Ramakrishnan, VLDB'00; related work §6)",
+       {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
+        /*disk_model=*/false}},
+      [](const MethodContext& context, MethodOptions& options)
+          -> StatusOr<std::unique_ptr<SearchMethod>> {
+        QVT_RETURN_IF_ERROR(RequireCollection(context, "psphere"));
+        PSphereConfig config;
+        QVT_ASSIGN_OR_RETURN(
+            config.num_spheres,
+            options.GetSize("num_spheres", config.num_spheres));
+        QVT_ASSIGN_OR_RETURN(
+            config.fill_factor,
+            options.GetDouble("fill_factor", config.fill_factor));
+        QVT_ASSIGN_OR_RETURN(config.seed,
+                             options.GetUint64("seed", config.seed));
+        if (config.num_spheres == 0 || config.fill_factor < 1.0) {
+          return Status::InvalidArgument(
+              "psphere requires num_spheres >= 1 and fill_factor >= 1");
+        }
+        return std::unique_ptr<SearchMethod>(
+            new PSphereMethod(context, config));
+      });
+
+  return registry;
+}
+
+}  // namespace
+
+std::unique_ptr<SearchMethod> WrapSearcher(const Searcher* searcher) {
+  return std::make_unique<ChunkedMethod>(searcher);
+}
+
+// --- MethodRegistry ---------------------------------------------------------
+
+MethodRegistry& MethodRegistry::Global() {
+  static MethodRegistry* registry = new MethodRegistry(BuildGlobalRegistry());
+  return *registry;
+}
+
+void MethodRegistry::Register(MethodInfo info, MethodFactory factory) {
+  const std::string name = info.name;
+  entries_[name] = Entry{std::move(info), std::move(factory)};
+}
+
+StatusOr<std::unique_ptr<SearchMethod>> MethodRegistry::Create(
+    const std::string& name, const MethodContext& context,
+    std::string_view params) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("unknown search method '" + name +
+                            "' (registered: " + known + ")");
+  }
+  QVT_ASSIGN_OR_RETURN(MethodOptions options, MethodOptions::Parse(params));
+  QVT_ASSIGN_OR_RETURN(std::unique_ptr<SearchMethod> method,
+                       it->second.factory(context, options));
+  QVT_RETURN_IF_ERROR(options.CheckAllConsumed());
+  return method;
+}
+
+std::vector<MethodInfo> MethodRegistry::List() const {
+  std::vector<MethodInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) infos.push_back(entry.info);
+  return infos;
+}
+
+}  // namespace qvt

@@ -1,0 +1,181 @@
+#ifndef QVT_CORE_SEARCH_METHOD_H_
+#define QVT_CORE_SEARCH_METHOD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/chunk_index.h"
+#include "core/result_set.h"
+#include "core/searcher.h"
+#include "core/telemetry.h"
+#include "descriptor/collection.h"
+#include "storage/chunk_cache.h"
+#include "storage/disk_cost_model.h"
+#include "storage/prefetcher.h"
+#include "util/statusor.h"
+
+namespace qvt {
+
+/// Answer of one query through the unified interface: neighbors in
+/// ascending (distance, id) order — the KnnResultSet tie-break, which every
+/// method honors — plus the shared telemetry record.
+struct MethodResult {
+  std::vector<Neighbor> neighbors;
+  QueryTelemetry telemetry;
+};
+
+/// Static capability flags of a search method, known without constructing
+/// it (carried by the registry for listings).
+struct MethodCapabilities {
+  /// Can prove exactness (telemetry.exact may come back true).
+  bool exact = false;
+  /// Supports SearchRange (epsilon-neighbor queries).
+  bool range_search = false;
+  /// Honors approximate StopRules (kMaxChunks / kTimeBudget / epsilon).
+  /// Methods without this reject any stop other than StopRule::Exact().
+  bool stop_rules = false;
+  /// Charges the DiskCostModel (telemetry model clocks are meaningful).
+  bool disk_model = false;
+};
+
+/// Everything a method factory may draw on. Borrowed pointers must outlive
+/// the constructed method. `index` is only needed by the chunked method;
+/// every other method works from `collection` alone.
+struct MethodContext {
+  const Collection* collection = nullptr;
+  const ChunkIndex* index = nullptr;
+  DiskCostModel cost_model;
+  ChunkCache* cache = nullptr;
+  PrefetcherOptions prefetch;
+};
+
+/// String-keyed method parameters ("num_tables=8,seed=42"). Getters record
+/// which keys were consumed so the registry can reject unknown ones — a
+/// typo'd parameter fails loudly instead of silently running defaults.
+class MethodOptions {
+ public:
+  MethodOptions() = default;
+
+  /// Parses a comma-separated key=value list. Empty spec is valid.
+  static StatusOr<MethodOptions> Parse(std::string_view spec);
+
+  StatusOr<size_t> GetSize(const std::string& key, size_t default_value);
+  StatusOr<double> GetDouble(const std::string& key, double default_value);
+  StatusOr<uint64_t> GetUint64(const std::string& key, uint64_t default_value);
+
+  /// OK when every supplied key was consumed by a getter; InvalidArgument
+  /// naming the leftovers otherwise.
+  Status CheckAllConsumed() const;
+
+ private:
+  StatusOr<std::string> Raw(const std::string& key);
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+/// The polymorphic face of every search method in the repo: the paper's
+/// chunked searcher (§4.3), the exact sequential scan it is scored against,
+/// and the four related-work indexes of §6 (LSH, VA-file, Medrank,
+/// P-Sphere). One interface, one telemetry schema, one result contract —
+/// BatchSearcher, the bench runner, and qvt_tool drive any of them through
+/// this type.
+///
+/// Contract:
+///  * Prepare() does the expensive build (hash tables, sorted projections,
+///    sphere assignment); construction through the registry is cheap.
+///  * Search()/SearchRange() are const and thread-safe after Prepare() —
+///    BatchSearcher calls them from many threads concurrently.
+///  * Neighbors come back ascending by (distance, id), bit-identical to the
+///    underlying method's direct call (tested).
+///  * Methods without stop-rule support fail InvalidArgument on any stop
+///    other than StopRule::Exact(); methods without range support fail
+///    Unimplemented on SearchRange.
+class SearchMethod {
+ public:
+  virtual ~SearchMethod() = default;
+
+  /// The registry key this method was constructed under.
+  virtual std::string_view name() const = 0;
+  /// One-line human description including resolved parameters.
+  virtual std::string Describe() const = 0;
+  virtual MethodCapabilities capabilities() const = 0;
+
+  /// Builds the method's data structures. Idempotent; must be called (and
+  /// must succeed) before Search.
+  virtual Status Prepare() = 0;
+
+  /// k-nearest-neighbor query under `stop`.
+  virtual StatusOr<MethodResult> Search(
+      std::span<const float> query, size_t k,
+      const StopRule& stop = StopRule::Exact()) const = 0;
+
+  /// Epsilon-neighbor (range) query. Default: Unimplemented.
+  virtual StatusOr<MethodResult> SearchRange(std::span<const float> query,
+                                             double radius,
+                                             const StopRule& stop) const;
+
+ protected:
+  /// Shared guard: OK iff `stop` is the plain exact rule. Methods that do
+  /// not interpret stop rules call this first.
+  static Status RequireExactStop(const StopRule& stop, std::string_view name);
+};
+
+/// A registry entry: what the method is, before any instance exists.
+struct MethodInfo {
+  std::string name;
+  std::string summary;
+  MethodCapabilities capabilities;
+};
+
+using MethodFactory = std::function<StatusOr<std::unique_ptr<SearchMethod>>(
+    const MethodContext& context, MethodOptions& options)>;
+
+/// Wraps an already-configured, borrowed Searcher in the unified "chunked"
+/// adapter — the same conversion the registry's "chunked" factory applies,
+/// without constructing a new Searcher. Used by BatchSearcher's legacy
+/// constructor and by tests pinning unified results to direct calls.
+/// `searcher` must outlive the returned method.
+std::unique_ptr<SearchMethod> WrapSearcher(const Searcher* searcher);
+
+/// Name -> factory map for search methods. The six built-ins ("chunked",
+/// "exact-scan", "lsh", "va-file", "medrank", "psphere") self-register into
+/// Global(); tools and benches construct any method from a config string.
+class MethodRegistry {
+ public:
+  /// The process-wide registry, with all built-ins registered.
+  static MethodRegistry& Global();
+
+  /// Registers a method; overwrites a previous entry of the same name.
+  void Register(MethodInfo info, MethodFactory factory);
+
+  /// Constructs (but does not Prepare) the named method. `params` is a
+  /// comma-separated key=value list; unknown keys are rejected.
+  StatusOr<std::unique_ptr<SearchMethod>> Create(
+      const std::string& name, const MethodContext& context,
+      std::string_view params = "") const;
+
+  /// All registered methods, sorted by name.
+  std::vector<MethodInfo> List() const;
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+
+ private:
+  struct Entry {
+    MethodInfo info;
+    MethodFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_SEARCH_METHOD_H_

@@ -119,6 +119,8 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
 
   // --- Step 1: rank all chunks by centroid distance (§4.3). ---------------
   int64_t model_micros = RankChunks(query, s);
+  const int64_t rank_model_micros = model_micros;
+  const int64_t rank_wall_micros = stopwatch.ElapsedMicros();
 
   // --- Steps 2 & 3: scan chunks in rank order under the stop rule. --------
   // The read schedule is fully known now, so the pipelined path opens a
@@ -186,6 +188,10 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
 
     ++result.chunks_read;
     result.descriptors_processed += data->size();
+    if (cache_ != nullptr) {
+      from_cache ? ++result.cache_hits : ++result.cache_misses;
+    }
+    if (!from_cache) result.pages_read += entry.location.num_pages;
     // Cache hits skip the disk entirely: CPU cost only.
     model_micros +=
         from_cache
@@ -221,6 +227,8 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
   result.model_elapsed_micros = model_micros;
   result.model_overlapped_micros = timeline.ElapsedMicros();
   result.wall_elapsed_micros = stopwatch.ElapsedMicros();
+  result.rank_model_micros = rank_model_micros;
+  result.rank_wall_micros = rank_wall_micros;
   return result;
 }
 
@@ -243,6 +251,8 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
 
   // Rank chunks by centroid distance, as in Search().
   int64_t model_micros = RankChunks(query, s);
+  const int64_t rank_model_micros = model_micros;
+  const int64_t rank_wall_micros = stopwatch.ElapsedMicros();
 
   // The intersect filter below depends only on ranking data, so the
   // pipelined read schedule — exactly the chunks the loop will fetch, in
@@ -313,6 +323,10 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     }
     ++result.chunks_read;
     result.descriptors_processed += data->size();
+    if (cache_ != nullptr) {
+      from_cache ? ++result.cache_hits : ++result.cache_misses;
+    }
+    if (!from_cache) result.pages_read += entry.location.num_pages;
     // Same accounting as Search(): resident chunks cost CPU only.
     model_micros +=
         from_cache
@@ -334,6 +348,8 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
   result.model_elapsed_micros = model_micros;
   result.model_overlapped_micros = timeline.ElapsedMicros();
   result.wall_elapsed_micros = stopwatch.ElapsedMicros();
+  result.rank_model_micros = rank_model_micros;
+  result.rank_wall_micros = rank_wall_micros;
   return result;
 }
 

@@ -74,8 +74,17 @@ struct SearchResult {
   std::vector<Neighbor> neighbors;   ///< ascending distance
   size_t chunks_read = 0;
   uint64_t descriptors_processed = 0;
+  /// Disk pages of the chunks actually fetched from the chunk file (cache
+  /// hits excluded) — bytes_read = pages_read * kPageSize.
+  uint64_t pages_read = 0;
+  /// Cache verdicts over the chunks read; both zero when no cache is wired.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   int64_t model_elapsed_micros = 0;
   int64_t wall_elapsed_micros = 0;
+  /// Step-1 (chunk ranking) share of the elapsed time, on both clocks.
+  int64_t rank_wall_micros = 0;
+  int64_t rank_model_micros = 0;
   /// Modeled wall time with the prefetch pipeline overlapping chunk I/O and
   /// CPU across the rank order (OverlappedScanTimeline, at the searcher's
   /// actual prefetch depth; 0 when the pipeline is disabled — then each
@@ -165,6 +174,9 @@ class Searcher {
 
   /// The prefetch pipeline backing this searcher, or null at depth 0.
   const ChunkPrefetcher* prefetcher() const { return prefetcher_.get(); }
+
+  /// The chunk index this searcher scans (borrowed).
+  const ChunkIndex* index() const { return index_; }
 
  private:
   /// Synchronous fetch of chunk `chunk_id` — the depth-0 path and the

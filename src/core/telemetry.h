@@ -1,0 +1,103 @@
+#ifndef QVT_CORE_TELEMETRY_H_
+#define QVT_CORE_TELEMETRY_H_
+
+#include <cstdint>
+
+#include "storage/prefetcher.h"
+
+namespace qvt {
+
+/// Elapsed time of one named query stage, tracked on both clocks the engine
+/// runs against: the host wall clock and the deterministic 2005-hardware
+/// cost model (DESIGN.md substitution 2). Methods with no disk cost model
+/// (the memory-resident related-work indexes) leave model_micros at 0.
+struct StageTimes {
+  int64_t wall_micros = 0;
+  int64_t model_micros = 0;
+
+  StageTimes& operator+=(const StageTimes& other) {
+    wall_micros += other.wall_micros;
+    model_micros += other.model_micros;
+    return *this;
+  }
+};
+
+/// The unified per-query measurement record every SearchMethod emits — the
+/// one schema BatchSearcher and the bench runner aggregate, replacing the
+/// former per-method stats structs (LshStats, VaFileStats, MedrankStats,
+/// PSphereStats) and the bespoke counters callers used to pull out of
+/// SearchResult by hand.
+///
+/// Counter semantics (a method leaves fields that do not apply at 0):
+///  * probes                — coarse index accesses: chunks considered for
+///                            reading, LSH buckets probed, Medrank lines
+///                            walked, P-Sphere spheres scanned.
+///  * index_entries_scanned — fine-grained filter entries examined without
+///                            touching full vectors: chunk-index centroid
+///                            entries ranked, VA-file approximations,
+///                            Medrank sorted accesses, sphere centers.
+///  * candidates_examined   — candidates considered for exact evaluation,
+///                            before dedup/pruning: chunk descriptors
+///                            offered to the result set, LSH bucket members,
+///                            VA-file phase-1 survivors, sphere members.
+///  * descriptors_scanned   — full-vector exact distance computations.
+///  * bytes_read            — bytes of stored data the query had to touch:
+///                            chunk pages read * page size for the chunked
+///                            method, approximation codes plus refined
+///                            records for the VA-file, 100-byte records per
+///                            exact distance for the memory-resident methods.
+///  * chunks_read, cache_*, prefetch — chunked-path ledgers (zero elsewhere).
+struct QueryTelemetry {
+  // --- timers -------------------------------------------------------------
+  int64_t wall_micros = 0;   ///< whole query on the host wall clock
+  int64_t model_micros = 0;  ///< whole query on the cost model (0 = no model)
+  /// Modeled wall time with the prefetch pipeline overlapping I/O and CPU
+  /// (reported alongside — never instead of — model_micros).
+  int64_t model_overlapped_micros = 0;
+  /// Per-stage split: plan (ranking / hashing / projecting the query before
+  /// any candidate is touched), scan (walking the index structure and
+  /// generating candidates), refine (exact-distance refinement of surviving
+  /// candidates, where the method separates that phase).
+  StageTimes plan;
+  StageTimes scan;
+  StageTimes refine;
+
+  // --- counters -----------------------------------------------------------
+  uint64_t probes = 0;
+  uint64_t index_entries_scanned = 0;
+  uint64_t candidates_examined = 0;
+  uint64_t descriptors_scanned = 0;
+  uint64_t bytes_read = 0;
+  uint64_t chunks_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  PrefetchStats prefetch;
+  /// True when the method proved no better neighbor exists.
+  bool exact = false;
+
+  /// Element-wise accumulation of timers and counters — the batch aggregate
+  /// over per-query records. `exact` is a per-query verdict and is left
+  /// untouched; batch consumers count exact queries themselves.
+  QueryTelemetry& operator+=(const QueryTelemetry& other) {
+    wall_micros += other.wall_micros;
+    model_micros += other.model_micros;
+    model_overlapped_micros += other.model_overlapped_micros;
+    plan += other.plan;
+    scan += other.scan;
+    refine += other.refine;
+    probes += other.probes;
+    index_entries_scanned += other.index_entries_scanned;
+    candidates_examined += other.candidates_examined;
+    descriptors_scanned += other.descriptors_scanned;
+    bytes_read += other.bytes_read;
+    chunks_read += other.chunks_read;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    prefetch += other.prefetch;
+    return *this;
+  }
+};
+
+}  // namespace qvt
+
+#endif  // QVT_CORE_TELEMETRY_H_

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "geometry/vec.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace qvt {
@@ -83,21 +84,21 @@ void VaFile::QueryBounds(std::span<const float> query,
   }
 }
 
-StatusOr<std::vector<Neighbor>> VaFile::Search(std::span<const float> query,
-                                               size_t k,
-                                               VaFileStats* stats) const {
-  return SearchInternal(query, k, std::numeric_limits<size_t>::max(), stats);
+StatusOr<std::vector<Neighbor>> VaFile::Search(
+    std::span<const float> query, size_t k, QueryTelemetry* telemetry) const {
+  return SearchInternal(query, k, std::numeric_limits<size_t>::max(),
+                        telemetry);
 }
 
 StatusOr<std::vector<Neighbor>> VaFile::SearchApproximate(
     std::span<const float> query, size_t k, size_t max_refinements,
-    VaFileStats* stats) const {
-  return SearchInternal(query, k, max_refinements, stats);
+    QueryTelemetry* telemetry) const {
+  return SearchInternal(query, k, max_refinements, telemetry);
 }
 
 StatusOr<std::vector<Neighbor>> VaFile::SearchInternal(
     std::span<const float> query, size_t k, size_t max_refinements,
-    VaFileStats* stats) const {
+    QueryTelemetry* telemetry) const {
   const size_t dim = collection_->dim();
   const size_t n = collection_->size();
   if (query.size() != dim) {
@@ -105,8 +106,14 @@ StatusOr<std::vector<Neighbor>> VaFile::SearchInternal(
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
 
+  WallClock wall;
+  Stopwatch stopwatch(&wall);
+  QueryTelemetry telem;
+
+  // Plan stage: per-dimension cell bound tables for this query.
   std::vector<double> lower_sq, upper_sq;
   QueryBounds(query, &lower_sq, &upper_sq);
+  telem.plan.wall_micros = stopwatch.ElapsedMicros();
 
   // Phase 1: scan all approximations; track the k smallest upper bounds and
   // keep every vector whose lower bound beats the running k-th upper bound.
@@ -118,7 +125,6 @@ StatusOr<std::vector<Neighbor>> VaFile::SearchInternal(
   // Max-heap of the k best upper bounds seen so far.
   std::priority_queue<double> upper_heap;
 
-  VaFileStats local_stats;
   for (size_t i = 0; i < n; ++i) {
     const uint8_t* code = codes_.data() + i * dim;
     double lb = 0.0, ub = 0.0;
@@ -126,7 +132,7 @@ StatusOr<std::vector<Neighbor>> VaFile::SearchInternal(
       lb += lower_sq[d * cells_ + code[d]];
       ub += upper_sq[d * cells_ + code[d]];
     }
-    ++local_stats.approximations_scanned;
+    ++telem.index_entries_scanned;
     const double kth_ub = upper_heap.size() == k
                               ? upper_heap.top()
                               : std::numeric_limits<double>::infinity();
@@ -141,6 +147,8 @@ StatusOr<std::vector<Neighbor>> VaFile::SearchInternal(
     }
   }
 
+  telem.scan.wall_micros = stopwatch.ElapsedMicros() - telem.plan.wall_micros;
+
   // Phase 2: refine in ascending lower-bound order; stop when the next
   // lower bound exceeds the current k-th exact distance (or the refinement
   // budget runs out — the approximate variant).
@@ -151,19 +159,31 @@ StatusOr<std::vector<Neighbor>> VaFile::SearchInternal(
               }
               return a.position < b.position;
             });
-  local_stats.candidates = candidates.size();
+  telem.candidates_examined = candidates.size();
 
   KnnResultSet result(k);
+  bool interrupted = false;
   for (const Candidate& candidate : candidates) {
-    if (local_stats.refinements >= max_refinements) break;
+    if (telem.descriptors_scanned >= max_refinements) {
+      interrupted = true;
+      break;
+    }
     const double kth = result.KthDistance();
     if (result.full() && candidate.lower_bound_sq > kth * kth) break;
-    ++local_stats.refinements;
+    ++telem.descriptors_scanned;
     result.Insert(collection_->Id(candidate.position),
                   vec::Distance(collection_->Vector(candidate.position),
                                 query));
   }
-  if (stats != nullptr) *stats = local_stats;
+  telem.wall_micros = stopwatch.ElapsedMicros();
+  telem.refine.wall_micros =
+      telem.wall_micros - telem.plan.wall_micros - telem.scan.wall_micros;
+  // Phase 1 touches every approximation code; phase 2 fetches full records.
+  telem.bytes_read =
+      n * dim + telem.descriptors_scanned * DescriptorRecordBytes(dim);
+  // Refinement interrupted by the budget forfeits the exactness proof.
+  telem.exact = !interrupted;
+  if (telemetry != nullptr) *telemetry = telem;
   return result.Sorted();
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/result_set.h"
+#include "core/telemetry.h"
 #include "descriptor/collection.h"
 #include "util/statusor.h"
 
@@ -16,13 +17,6 @@ namespace qvt {
 struct VaFileConfig {
   /// Bits of quantization per dimension (cells per dim = 2^bits). At most 8.
   size_t bits_per_dim = 4;
-};
-
-/// Work counters of one VA-file query.
-struct VaFileStats {
-  size_t approximations_scanned = 0;  ///< phase 1 (always the whole file)
-  size_t candidates = 0;              ///< survived phase-1 filtering
-  size_t refinements = 0;             ///< exact vectors fetched in phase 2
 };
 
 /// Vector-Approximation file: a flat array of per-dimension quantized cell
@@ -40,16 +34,19 @@ class VaFile {
 
   /// Exact k-NN: full phase-1 scan, then refinement of all candidates in
   /// ascending lower-bound order with pruning. Matches a sequential scan's
-  /// answer (tested).
-  StatusOr<std::vector<Neighbor>> Search(std::span<const float> query,
-                                         size_t k,
-                                         VaFileStats* stats = nullptr) const;
+  /// answer (tested). `telemetry`, when non-null, receives the unified query
+  /// record (index_entries_scanned = phase-1 approximations, always the
+  /// whole file; candidates_examined = phase-1 survivors;
+  /// descriptors_scanned = exact vectors refined in phase 2).
+  StatusOr<std::vector<Neighbor>> Search(
+      std::span<const float> query, size_t k,
+      QueryTelemetry* telemetry = nullptr) const;
 
   /// Approximate k-NN: like Search but phase 2 stops after at most
   /// `max_refinements` exact-vector fetches (the EDBT'00 interrupt).
   StatusOr<std::vector<Neighbor>> SearchApproximate(
       std::span<const float> query, size_t k, size_t max_refinements,
-      VaFileStats* stats = nullptr) const;
+      QueryTelemetry* telemetry = nullptr) const;
 
   /// Bytes of the approximation array (the compression the VA-file buys).
   size_t ApproximationBytes() const { return codes_.size(); }
@@ -58,10 +55,9 @@ class VaFile {
   VaFile(const Collection* collection, const VaFileConfig& config)
       : collection_(collection), config_(config) {}
 
-  StatusOr<std::vector<Neighbor>> SearchInternal(std::span<const float> query,
-                                                 size_t k,
-                                                 size_t max_refinements,
-                                                 VaFileStats* stats) const;
+  StatusOr<std::vector<Neighbor>> SearchInternal(
+      std::span<const float> query, size_t k, size_t max_refinements,
+      QueryTelemetry* telemetry) const;
 
   /// Squared lower/upper bound contributions of dimension d for cell code c.
   void QueryBounds(std::span<const float> query,

@@ -132,6 +132,13 @@ class PosixEnv final : public Env {
     if (size < 0) return Status::IoError("ftell failed: " + path);
     return static_cast<uint64_t>(size);
   }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError("cannot rename " + from + " to " + to);
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace
@@ -149,13 +156,14 @@ namespace {
 
 class MemWritableFile final : public WritableFile {
  public:
-  explicit MemWritableFile(std::shared_ptr<std::vector<uint8_t>> data)
+  explicit MemWritableFile(std::shared_ptr<MemEnv::FileData> data)
       : data_(std::move(data)) {}
 
   Status Append(const void* bytes, size_t size) override {
     if (closed_) return Status::FailedPrecondition("write after Close");
     const auto* p = static_cast<const uint8_t*>(bytes);
-    data_->insert(data_->end(), p, p + size);
+    std::lock_guard<std::mutex> lock(data_->mu);
+    data_->bytes.insert(data_->bytes.end(), p, p + size);
     return Status::OK();
   }
 
@@ -165,30 +173,37 @@ class MemWritableFile final : public WritableFile {
     return Status::OK();
   }
 
-  uint64_t Size() const override { return data_->size(); }
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return data_->bytes.size();
+  }
 
  private:
-  std::shared_ptr<std::vector<uint8_t>> data_;
-  bool closed_ = false;
+  std::shared_ptr<MemEnv::FileData> data_;
+  bool closed_ = false;  // handle-local; handles are single-owner
 };
 
 class MemRandomAccessFile final : public RandomAccessFile {
  public:
-  explicit MemRandomAccessFile(std::shared_ptr<std::vector<uint8_t>> data)
+  explicit MemRandomAccessFile(std::shared_ptr<MemEnv::FileData> data)
       : data_(std::move(data)) {}
 
   Status Read(uint64_t offset, size_t size, void* scratch) const override {
-    if (offset + size > data_->size()) {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + size > data_->bytes.size()) {
       return Status::OutOfRange("read past EOF in mem file");
     }
-    std::memcpy(scratch, data_->data() + offset, size);
+    std::memcpy(scratch, data_->bytes.data() + offset, size);
     return Status::OK();
   }
 
-  uint64_t Size() const override { return data_->size(); }
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return data_->bytes.size();
+  }
 
  private:
-  std::shared_ptr<std::vector<uint8_t>> data_;
+  std::shared_ptr<MemEnv::FileData> data_;
 };
 
 }  // namespace
@@ -202,26 +217,34 @@ MemEnv::FileEntry* MemEnv::Find(const std::string& path) {
 
 StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
     const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileEntry* entry = Find(path);
   if (entry == nullptr) {
     files_.push_back({path, FileEntry{}});
     entry = &files_.back().second;
   }
-  entry->data = std::make_shared<std::vector<uint8_t>>();
+  // Truncating open installs a fresh FileData; handles on the old contents
+  // keep their snapshot, as with an unlinked-but-open POSIX file.
+  entry->data = std::make_shared<FileData>();
   return std::unique_ptr<WritableFile>(new MemWritableFile(entry->data));
 }
 
 StatusOr<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
     const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileEntry* entry = Find(path);
   if (entry == nullptr) return Status::NotFound("no such file: " + path);
   return std::unique_ptr<RandomAccessFile>(
       new MemRandomAccessFile(entry->data));
 }
 
-bool MemEnv::FileExists(const std::string& path) { return Find(path) != nullptr; }
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Find(path) != nullptr;
+}
 
 Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = files_.begin(); it != files_.end(); ++it) {
     if (it->first == path) {
       files_.erase(it);
@@ -232,9 +255,36 @@ Status MemEnv::DeleteFile(const std::string& path) {
 }
 
 StatusOr<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileEntry* entry = Find(path);
   if (entry == nullptr) return Status::NotFound("no such file: " + path);
-  return static_cast<uint64_t>(entry->data->size());
+  std::lock_guard<std::mutex> data_lock(entry->data->mu);
+  return static_cast<uint64_t>(entry->data->bytes.size());
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (from == to) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  FileEntry* source = Find(from);
+  if (source == nullptr) return Status::NotFound("no such file: " + from);
+  const FileEntry moved = *source;
+  // Drop any file already at the destination, then retarget the source
+  // entry — both under the one registry lock, so the rename is atomic to
+  // every other Env call.
+  for (auto it = files_.begin(); it != files_.end(); ++it) {
+    if (it->first == to) {
+      files_.erase(it);
+      break;
+    }
+  }
+  for (auto it = files_.begin(); it != files_.end(); ++it) {
+    if (it->first == from) {
+      it->first = to;
+      it->second = moved;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such file: " + from);
 }
 
 // ---------------------------------------------------------------------------

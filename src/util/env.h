@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,11 +55,19 @@ class Env {
   virtual Status DeleteFile(const std::string& path) = 0;
   virtual StatusOr<uint64_t> GetFileSize(const std::string& path) = 0;
 
+  /// Atomically moves `from` to `to`, replacing any existing file at `to` —
+  /// the publish step of write-temp-then-rename update protocols.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
   /// Process-wide real-filesystem environment. Never deleted.
   static Env* Posix();
 };
 
-/// In-memory environment for tests. Files live in this object.
+/// In-memory environment for tests. Files live in this object. Thread-safe:
+/// the path registry is mutex-guarded, and every file's bytes carry their
+/// own lock, so concurrent opens, reads, writes, and deletes from test
+/// thread pools are races on semantics only, never on memory.
 class MemEnv final : public Env {
  public:
   MemEnv() = default;
@@ -70,16 +79,26 @@ class MemEnv final : public Env {
   bool FileExists(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   StatusOr<uint64_t> GetFileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+
+  /// Contents of one in-memory file: the byte vector plus the lock that
+  /// serializes handle I/O on it. Handles share this object, so open files
+  /// stay readable after a delete or truncating re-open (POSIX semantics).
+  struct FileData {
+    std::mutex mu;
+    std::vector<uint8_t> bytes;
+  };
 
  private:
-  friend class MemWritableFile;
   struct FileEntry {
-    std::shared_ptr<std::vector<uint8_t>> data;
+    std::shared_ptr<FileData> data;
   };
-  // path -> contents. Guarded by nothing: MemEnv is single-threaded by
-  // design (tests).
+  /// path -> contents. Guarded by mu_; the bytes behind each entry are
+  /// guarded by their own FileData::mu.
+  std::mutex mu_;
   std::vector<std::pair<std::string, FileEntry>> files_;
 
+  /// Caller must hold mu_.
   FileEntry* Find(const std::string& path);
 };
 
@@ -113,6 +132,9 @@ class IoStatsEnv final : public Env {
   }
   StatusOr<uint64_t> GetFileSize(const std::string& path) override {
     return target_->GetFileSize(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return target_->RenameFile(from, to);
   }
 
  private:

@@ -84,6 +84,7 @@ class Status {
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

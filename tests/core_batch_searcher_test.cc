@@ -40,16 +40,19 @@ struct BatchFixture {
   }
 };
 
-void ExpectIdenticalResults(const std::vector<SearchResult>& a,
+// Compares unified batch results against a directly-collected serial
+// reference of native SearchResults — pinning the adapter's telemetry
+// mapping as well as the neighbors.
+void ExpectIdenticalResults(const std::vector<MethodResult>& a,
                             const std::vector<SearchResult>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t q = 0; q < a.size(); ++q) {
-    EXPECT_EQ(a[q].chunks_read, b[q].chunks_read) << "query " << q;
-    EXPECT_EQ(a[q].descriptors_processed, b[q].descriptors_processed)
+    EXPECT_EQ(a[q].telemetry.chunks_read, b[q].chunks_read) << "query " << q;
+    EXPECT_EQ(a[q].telemetry.descriptors_scanned, b[q].descriptors_processed)
         << "query " << q;
-    EXPECT_EQ(a[q].model_elapsed_micros, b[q].model_elapsed_micros)
+    EXPECT_EQ(a[q].telemetry.model_micros, b[q].model_elapsed_micros)
         << "query " << q;
-    EXPECT_EQ(a[q].exact, b[q].exact) << "query " << q;
+    EXPECT_EQ(a[q].telemetry.exact, b[q].exact) << "query " << q;
     ASSERT_EQ(a[q].neighbors.size(), b[q].neighbors.size()) << "query " << q;
     for (size_t i = 0; i < a[q].neighbors.size(); ++i) {
       EXPECT_EQ(a[q].neighbors[i].id, b[q].neighbors[i].id)
@@ -133,14 +136,19 @@ TEST(BatchSearcherTest, SharedCacheKeepsAnswersIdentical) {
   // Neighbors and chunks_read must not depend on cache hits (only the
   // modeled charge does, which a shared cache makes schedule-dependent).
   for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
-    const SearchResult& a = batch->results[q];
-    const SearchResult& b = reference->results[q];
-    EXPECT_EQ(a.chunks_read, b.chunks_read) << "query " << q;
+    const MethodResult& a = batch->results[q];
+    const MethodResult& b = reference->results[q];
+    EXPECT_EQ(a.telemetry.chunks_read, b.telemetry.chunks_read)
+        << "query " << q;
     ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << "query " << q;
     for (size_t i = 0; i < a.neighbors.size(); ++i) {
       EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id)
           << "query " << q << " rank " << i;
     }
+    // The cached run's telemetry must balance its verdicts.
+    EXPECT_EQ(a.telemetry.cache_hits + a.telemetry.cache_misses,
+              a.telemetry.chunks_read)
+        << "query " << q;
   }
   const ChunkCacheStats stats = cache.Stats();
   EXPECT_GT(stats.hits + stats.misses, 0u);
@@ -171,17 +179,18 @@ TEST(BatchSearcherTest, PrefetchingThreadsMatchSynchronousSerial) {
     BatchSearcher serial(&sync, 1);
     auto reference = serial.SearchAll(fx.workload, 10, rule);
     ASSERT_TRUE(reference.ok());
-    EXPECT_EQ(reference->prefetch.issued, 0u);  // fully synchronous
+    EXPECT_EQ(reference->totals.prefetch.issued, 0u);  // fully synchronous
 
     BatchSearcher threaded(&pipelined, 8);
     auto batch = threaded.SearchAll(fx.workload, 10, rule);
     ASSERT_TRUE(batch.ok());
 
     for (size_t q = 0; q < fx.workload.num_queries(); ++q) {
-      const SearchResult& a = batch->results[q];
-      const SearchResult& b = reference->results[q];
-      EXPECT_EQ(a.chunks_read, b.chunks_read) << "query " << q;
-      EXPECT_EQ(a.exact, b.exact) << "query " << q;
+      const MethodResult& a = batch->results[q];
+      const MethodResult& b = reference->results[q];
+      EXPECT_EQ(a.telemetry.chunks_read, b.telemetry.chunks_read)
+          << "query " << q;
+      EXPECT_EQ(a.telemetry.exact, b.telemetry.exact) << "query " << q;
       ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << "query " << q;
       for (size_t i = 0; i < a.neighbors.size(); ++i) {
         EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id)
@@ -191,7 +200,7 @@ TEST(BatchSearcherTest, PrefetchingThreadsMatchSynchronousSerial) {
       }
     }
     // The batch aggregates every stream's counters, and the ledger balances.
-    const PrefetchStats& p = batch->prefetch;
+    const PrefetchStats& p = batch->totals.prefetch;
     EXPECT_EQ(p.issued, p.used + p.wasted + p.cancelled);
     total += p;
   }

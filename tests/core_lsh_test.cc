@@ -65,12 +65,12 @@ TEST(LshTest, CandidateSetIsSubLinear) {
   config.num_tables = 8;
   config.hashes_per_table = 10;  // selective buckets
   const LshIndex index = LshIndex::Build(&c, config);
-  LshStats stats;
-  auto result = index.Search(c.Vector(3), 10, &stats);
+  QueryTelemetry telemetry;
+  auto result = index.Search(c.Vector(3), 10, &telemetry);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(stats.buckets_probed, 8u);
-  EXPECT_LT(stats.distance_computations, c.size() / 2);
-  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_EQ(telemetry.probes, 8u);
+  EXPECT_LT(telemetry.descriptors_scanned, c.size() / 2);
+  EXPECT_GT(telemetry.descriptors_scanned, 0u);
 }
 
 TEST(LshTest, MoreTablesImproveRecall) {

@@ -107,13 +107,14 @@ TEST(MedrankTest, MoreLinesImproveRecall) {
 TEST(MedrankTest, StatsCountSortedAccesses) {
   const Collection c = Synthetic();
   const MedrankIndex index = MedrankIndex::Build(&c, MedrankConfig{});
-  MedrankStats stats;
-  auto result = index.Search(c.Vector(0), 5, &stats);
+  QueryTelemetry telemetry;
+  auto result = index.Search(c.Vector(0), 5, &telemetry);
   ASSERT_TRUE(result.ok());
-  EXPECT_GT(stats.sorted_accesses, 0u);
+  EXPECT_GT(telemetry.index_entries_scanned, 0u);
+  EXPECT_EQ(telemetry.probes, index.num_lines());
   // Emitting 5 neighbors at median frequency needs at least 5 * lines/2
   // accesses.
-  EXPECT_GE(stats.sorted_accesses, 5 * index.num_lines() / 2);
+  EXPECT_GE(telemetry.index_entries_scanned, 5 * index.num_lines() / 2);
 }
 
 TEST(MedrankTest, InvalidArgumentsRejected) {

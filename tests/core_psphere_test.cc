@@ -45,11 +45,13 @@ TEST(PSphereTest, ScansOnlyOneSphere) {
   config.num_spheres = 32;
   config.fill_factor = 2.0;
   const PSphereTree tree = PSphereTree::Build(&c, config);
-  PSphereStats stats;
-  auto result = tree.Search(c.Vector(5), 10, &stats);
+  QueryTelemetry telemetry;
+  auto result = tree.Search(c.Vector(5), 10, &telemetry);
   ASSERT_TRUE(result.ok());
-  EXPECT_LT(stats.vectors_scanned, c.size() / 4);
-  EXPECT_GT(stats.vectors_scanned, 0u);
+  EXPECT_EQ(telemetry.probes, 1u);
+  EXPECT_EQ(telemetry.index_entries_scanned, tree.num_spheres());
+  EXPECT_LT(telemetry.descriptors_scanned, c.size() / 4);
+  EXPECT_GT(telemetry.descriptors_scanned, 0u);
 }
 
 TEST(PSphereTest, HigherFillFactorImprovesRecall) {

@@ -50,15 +50,16 @@ TEST(VaFileTest, FilteringIsEffective) {
   config.bits_per_dim = 6;
   const VaFile va = VaFile::Build(&c, config);
 
-  VaFileStats stats;
-  auto result = va.Search(c.Vector(100), 10, &stats);
+  QueryTelemetry telemetry;
+  auto result = va.Search(c.Vector(100), 10, &telemetry);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(stats.approximations_scanned, c.size());
+  EXPECT_EQ(telemetry.index_entries_scanned, c.size());
+  EXPECT_TRUE(telemetry.exact);
   // The whole point of the VA-file: only a small fraction of vectors get
   // refined.
-  EXPECT_LT(stats.refinements, c.size() / 4);
-  EXPECT_LE(stats.refinements, stats.candidates);
-  EXPECT_GE(stats.refinements, 10u);
+  EXPECT_LT(telemetry.descriptors_scanned, c.size() / 4);
+  EXPECT_LE(telemetry.descriptors_scanned, telemetry.candidates_examined);
+  EXPECT_GE(telemetry.descriptors_scanned, 10u);
 }
 
 TEST(VaFileTest, MoreBitsRefineFewerVectors) {
@@ -74,11 +75,11 @@ TEST(VaFileTest, MoreBitsRefineFewerVectors) {
   Rng rng(4);
   for (int t = 0; t < 10; ++t) {
     const size_t pos = rng.Uniform(c.size());
-    VaFileStats a, b;
+    QueryTelemetry a, b;
     ASSERT_TRUE(coarse.Search(c.Vector(pos), 10, &a).ok());
     ASSERT_TRUE(fine.Search(c.Vector(pos), 10, &b).ok());
-    coarse_refinements += a.refinements;
-    fine_refinements += b.refinements;
+    coarse_refinements += a.descriptors_scanned;
+    fine_refinements += b.descriptors_scanned;
   }
   EXPECT_LT(fine_refinements, coarse_refinements);
 }
@@ -102,11 +103,11 @@ TEST(VaFileTest, ApproximateVariantTradesQualityForWork) {
   const Collection c = Synthetic();
   const VaFile va = VaFile::Build(&c, VaFileConfig{});
 
-  VaFileStats limited_stats;
+  QueryTelemetry limited_telemetry;
   auto limited = va.SearchApproximate(c.Vector(7), 10, /*max_refinements=*/10,
-                                      &limited_stats);
+                                      &limited_telemetry);
   ASSERT_TRUE(limited.ok());
-  EXPECT_LE(limited_stats.refinements, 10u);
+  EXPECT_LE(limited_telemetry.descriptors_scanned, 10u);
 
   // With an unlimited budget the same call is exact.
   auto unlimited = va.SearchApproximate(c.Vector(7), 10, c.size());

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +100,29 @@ TEST_P(EnvRoundTripTest, AppendAccumulates) {
   EXPECT_EQ(std::string(read->begin(), read->end()), "abcd");
 }
 
+TEST_P(EnvRoundTripTest, RenameMovesContents) {
+  ASSERT_TRUE(WriteFileBytes(env_, Path("tmp"), "payload", 7).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("tmp"), Path("final")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("tmp")));
+  auto read = ReadFileBytes(env_, Path("final"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::string(read->begin(), read->end()), "payload");
+}
+
+TEST_P(EnvRoundTripTest, RenameReplacesExistingTarget) {
+  ASSERT_TRUE(WriteFileBytes(env_, Path("old"), "old", 3).ok());
+  ASSERT_TRUE(WriteFileBytes(env_, Path("new"), "freshest", 8).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("new"), Path("old")).ok());
+  auto read = ReadFileBytes(env_, Path("old"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::string(read->begin(), read->end()), "freshest");
+  EXPECT_FALSE(env_->FileExists(Path("new")));
+}
+
+TEST_P(EnvRoundTripTest, RenameMissingSourceFails) {
+  EXPECT_FALSE(env_->RenameFile(Path("ghost"), Path("anywhere")).ok());
+}
+
 TEST_P(EnvRoundTripTest, DoubleCloseFails) {
   auto file = env_->NewWritableFile(Path("f"));
   ASSERT_TRUE(file.ok());
@@ -138,6 +163,78 @@ TEST(MemEnvTest, FilesAreIndependent) {
   ASSERT_TRUE(WriteFileBytes(&env, "b", "22", 2).ok());
   EXPECT_EQ(*env.GetFileSize("a"), 1u);
   EXPECT_EQ(*env.GetFileSize("b"), 2u);
+}
+
+// Thread-safety regression (run under -DQVT_SANITIZE=thread to make any
+// data race fatal): writer threads create and rewrite private files while
+// reader threads hammer a shared file and the registry with reads, stats,
+// existence probes, renames, and deletes.
+TEST(MemEnvTest, ConcurrentReadersAndWritersAreSafe) {
+  MemEnv env;
+  const std::string shared = "shared";
+  const std::string payload(4096, 'q');
+  ASSERT_TRUE(
+      WriteFileBytes(&env, shared, payload.data(), payload.size()).ok());
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string mine = "private_" + std::to_string(t);
+      for (size_t round = 0; round < kRounds; ++round) {
+        // Rewrite a private file (truncating re-open) and read it back.
+        ASSERT_TRUE(
+            WriteFileBytes(&env, mine, payload.data(), 16 + t + round).ok());
+        auto mine_read = ReadFileBytes(&env, mine);
+        ASSERT_TRUE(mine_read.ok());
+        ASSERT_EQ(mine_read->size(), 16 + t + round);
+
+        // Concurrent positional reads of the shared file.
+        auto file = env.NewRandomAccessFile(shared);
+        ASSERT_TRUE(file.ok());
+        char buf[64];
+        ASSERT_TRUE((*file)->Read((t * 97 + round) % 1024, sizeof buf, buf)
+                        .ok());
+
+        // Registry churn: probes, sizes, renames, deletes.
+        env.FileExists(shared);
+        ASSERT_TRUE(env.GetFileSize(shared).ok());
+        const std::string tmp = mine + ".tmp";
+        ASSERT_TRUE(WriteFileBytes(&env, tmp, "x", 1).ok());
+        ASSERT_TRUE(env.RenameFile(tmp, mine + ".renamed").ok());
+        ASSERT_TRUE(env.DeleteFile(mine + ".renamed").ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The shared file was never written concurrently; it must be intact.
+  auto read = ReadFileBytes(&env, shared);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::string(read->begin(), read->end()), payload);
+}
+
+// An open read handle must stay valid when the file is deleted or
+// truncated underneath it — the unlinked-but-open POSIX lifetime MemEnv
+// mirrors, exercised from two threads.
+TEST(MemEnvTest, OpenHandleSurvivesDeleteAndTruncate) {
+  MemEnv env;
+  ASSERT_TRUE(WriteFileBytes(&env, "f", "0123456789", 10).ok());
+  auto file = env.NewRandomAccessFile("f");
+  ASSERT_TRUE(file.ok());
+
+  std::thread mutator([&] {
+    ASSERT_TRUE(WriteFileBytes(&env, "f", "zz", 2).ok());  // truncate
+    ASSERT_TRUE(env.DeleteFile("f").ok());
+  });
+  for (size_t i = 0; i < 100; ++i) {
+    char buf[10];
+    ASSERT_TRUE((*file)->Read(0, sizeof buf, buf).ok());
+    ASSERT_EQ(std::string(buf, sizeof buf), "0123456789");
+  }
+  mutator.join();
+  EXPECT_FALSE(env.FileExists("f"));
 }
 
 }  // namespace

@@ -6,11 +6,23 @@
 //                     [--chunker sr|rr|kmeans|birch|bag] [--chunk-size 1000]
 //                     [--build-threads N]
 //   qvt_tool info     --index idx
+//   qvt_tool methods  [--names 1]
 //   qvt_tool search   --collection col.desc --index idx --query-pos 123
 //                     [--k 10] [--max-chunks 0 (=exact)] [--prefetch-depth 4]
+//                     [--method chunked] [--method-params "key=val,..."]
 //   qvt_tool batch    --collection col.desc --index idx [--queries 1000]
 //                     [--k 10] [--threads 1] [--max-chunks 0] [--seed 7]
 //                     [--cache-pages 0] [--verify 0] [--prefetch-depth 4]
+//                     [--method chunked] [--method-params "key=val,..."]
+//                     [--check-recall 0.0]
+//
+// --method picks any search method registered in MethodRegistry ("methods"
+// lists them): chunked (the paper's §4.3 searcher; needs --index),
+// exact-scan, lsh, va-file, medrank, psphere. --method-params passes
+// comma-separated key=value options to the method's factory; unknown keys
+// are rejected. --check-recall R computes exact-scan ground truth for the
+// sampled workload and fails (exit 1) when mean recall@k drops below R —
+// the CI smoke harness for the method matrix.
 //
 // --prefetch-depth sets the chunk read-ahead window (0 disables the
 // pipeline); its default also honors the QVT_PREFETCH_DEPTH environment
@@ -28,6 +40,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -38,6 +51,9 @@
 #include "cluster/srtree_chunker.h"
 #include "core/batch_searcher.h"
 #include "core/chunk_index.h"
+#include "core/evaluation.h"
+#include "core/exact_scan.h"
+#include "core/search_method.h"
 #include "core/searcher.h"
 #include "descriptor/generator.h"
 #include "descriptor/workload.h"
@@ -74,6 +90,10 @@ class Flags {
   int64_t GetInt(const std::string& name, int64_t fallback) const {
     const auto it = values_.find(name);
     return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
   }
   bool Has(const std::string& name) const { return values_.count(name) != 0; }
 
@@ -203,18 +223,56 @@ int CmdInfo(const Flags& flags) {
   return 0;
 }
 
+// Lists every method in the registry with its capability flags.
+// --names 1 prints bare names only (one per line), for shell loops.
+int CmdMethods(const Flags& flags) {
+  const bool names_only = flags.GetInt("names", 0) != 0;
+  for (const MethodInfo& info : MethodRegistry::Global().List()) {
+    if (names_only) {
+      std::printf("%s\n", info.name.c_str());
+      continue;
+    }
+    const MethodCapabilities& caps = info.capabilities;
+    std::printf("%-11s %s\n", info.name.c_str(), info.summary.c_str());
+    std::printf("            capabilities: exact=%s range=%s stop-rules=%s "
+                "disk-model=%s\n",
+                caps.exact ? "yes" : "no", caps.range_search ? "yes" : "no",
+                caps.stop_rules ? "yes" : "no",
+                caps.disk_model ? "yes" : "no");
+  }
+  return 0;
+}
+
+// Prints the unified per-query (or summed) telemetry record.
+void PrintTelemetry(const QueryTelemetry& t, const char* prefix) {
+  std::printf("%sprobes %llu, index entries %llu, candidates %llu, "
+              "descriptors %llu\n",
+              prefix, static_cast<unsigned long long>(t.probes),
+              static_cast<unsigned long long>(t.index_entries_scanned),
+              static_cast<unsigned long long>(t.candidates_examined),
+              static_cast<unsigned long long>(t.descriptors_scanned));
+  std::printf("%sbytes read %llu, chunks read %llu, cache %llu hit / %llu "
+              "miss\n",
+              prefix, static_cast<unsigned long long>(t.bytes_read),
+              static_cast<unsigned long long>(t.chunks_read),
+              static_cast<unsigned long long>(t.cache_hits),
+              static_cast<unsigned long long>(t.cache_misses));
+}
+
 int CmdSearch(const Flags& flags) {
-  if (!flags.Has("collection") || !flags.Has("index") ||
-      !flags.Has("query-pos")) {
-    std::fprintf(stderr,
-                 "search requires --collection, --index and --query-pos\n");
+  if (!flags.Has("collection") || !flags.Has("query-pos")) {
+    std::fprintf(stderr, "search requires --collection and --query-pos\n");
     return 2;
   }
   auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
   if (!collection.ok()) return Fail(collection.status());
-  auto index = ChunkIndex::Open(Env::Posix(),
-                                ChunkIndexPaths::ForBase(flags.Get("index", "")));
-  if (!index.ok()) return Fail(index.status());
+
+  std::optional<StatusOr<ChunkIndex>> index;
+  if (flags.Has("index")) {
+    index.emplace(ChunkIndex::Open(
+        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", ""))));
+    if (!index->ok()) return Fail(index->status());
+  }
 
   const size_t pos = static_cast<size_t>(flags.GetInt("query-pos", 0));
   if (pos >= collection->size()) {
@@ -225,29 +283,38 @@ int CmdSearch(const Flags& flags) {
   const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
   const int64_t max_chunks = flags.GetInt("max-chunks", 0);
 
-  Searcher searcher(&*index, DiskCostModel(), nullptr,
-                    PrefetchFromFlag(flags.GetInt("prefetch-depth", -1)));
+  MethodContext context;
+  context.collection = &*collection;
+  context.index = index.has_value() ? &**index : nullptr;
+  context.prefetch = PrefetchFromFlag(flags.GetInt("prefetch-depth", -1));
+  auto method = MethodRegistry::Global().Create(
+      flags.Get("method", "chunked"), context, flags.Get("method-params", ""));
+  if (!method.ok()) return Fail(method.status());
+  if (const Status prepared = (*method)->Prepare(); !prepared.ok()) {
+    return Fail(prepared);
+  }
+  std::printf("method: %s\n", (*method)->Describe().c_str());
+
   const StopRule stop = max_chunks > 0
                             ? StopRule::MaxChunks(
                                   static_cast<size_t>(max_chunks))
                             : StopRule::Exact();
-  auto result = searcher.Search(collection->Vector(pos), k, stop);
+  auto result = (*method)->Search(collection->Vector(pos), k, stop);
   if (!result.ok()) return Fail(result.status());
 
-  std::printf("%s search: %zu chunks read, %.1f ms modeled "
-              "(%.1f ms overlapped), %.1f ms wall\n",
-              result->exact ? "exact" : "approximate", result->chunks_read,
-              result->model_elapsed_micros / 1000.0,
-              result->model_overlapped_micros / 1000.0,
-              result->wall_elapsed_micros / 1000.0);
-  if (searcher.prefetcher() != nullptr) {
-    std::printf("prefetch: depth %zu, %llu issued, %llu used, %llu wasted, "
+  const QueryTelemetry& t = result->telemetry;
+  std::printf("%s search: %.1f ms wall, %.1f ms modeled "
+              "(%.1f ms overlapped)\n",
+              t.exact ? "exact" : "approximate", t.wall_micros / 1000.0,
+              t.model_micros / 1000.0, t.model_overlapped_micros / 1000.0);
+  PrintTelemetry(t, "");
+  if (t.prefetch.issued > 0) {
+    std::printf("prefetch: %llu issued, %llu used, %llu wasted, "
                 "%llu cancelled\n",
-                searcher.prefetcher()->depth(),
-                static_cast<unsigned long long>(result->prefetch.issued),
-                static_cast<unsigned long long>(result->prefetch.used),
-                static_cast<unsigned long long>(result->prefetch.wasted),
-                static_cast<unsigned long long>(result->prefetch.cancelled));
+                static_cast<unsigned long long>(t.prefetch.issued),
+                static_cast<unsigned long long>(t.prefetch.used),
+                static_cast<unsigned long long>(t.prefetch.wasted),
+                static_cast<unsigned long long>(t.prefetch.cancelled));
   }
   for (const Neighbor& n : result->neighbors) {
     std::printf("  id %-10u dist %.4f\n", n.id, n.distance);
@@ -255,21 +322,32 @@ int CmdSearch(const Flags& flags) {
   return 0;
 }
 
-// Runs a sampled query workload through the concurrent batch engine.
-// --threads=1 (the default) is bit-identical to looping the serial searcher,
-// so figure-reproduction runs stay on the paper's methodology; higher thread
-// counts report throughput and tail latency. --verify 1 re-runs the batch
-// serially and cross-checks neighbors and chunks_read per query.
+// Runs a sampled query workload through the concurrent batch engine, via
+// any registered --method (default: the paper's chunked searcher).
+// --threads=1 (the default) is bit-identical to looping the method's Search
+// serially, so figure-reproduction runs stay on the paper's methodology;
+// higher thread counts report throughput and tail latency. --verify 1
+// re-runs the batch serially (prefetch off, fresh cache) and cross-checks
+// neighbors per query. --check-recall R scores the batch against exact-scan
+// ground truth and fails below the threshold.
 int CmdBatch(const Flags& flags) {
-  if (!flags.Has("collection") || !flags.Has("index")) {
-    std::fprintf(stderr, "batch requires --collection and --index\n");
+  const std::string method_name = flags.Get("method", "chunked");
+  if (!flags.Has("collection")) {
+    std::fprintf(stderr, "batch requires --collection\n");
+    return 2;
+  }
+  if (method_name == "chunked" && !flags.Has("index")) {
+    std::fprintf(stderr, "batch --method chunked requires --index\n");
     return 2;
   }
   auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
   if (!collection.ok()) return Fail(collection.status());
-  auto index = ChunkIndex::Open(Env::Posix(),
-                                ChunkIndexPaths::ForBase(flags.Get("index", "")));
-  if (!index.ok()) return Fail(index.status());
+  std::optional<StatusOr<ChunkIndex>> index;
+  if (flags.Has("index")) {
+    index.emplace(ChunkIndex::Open(
+        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", ""))));
+    if (!index->ok()) return Fail(index->status());
+  }
 
   const size_t num_queries = std::min<size_t>(
       static_cast<size_t>(flags.GetInt("queries", 1000)), collection->size());
@@ -295,8 +373,22 @@ int CmdBatch(const Flags& flags) {
       PrefetchFromFlag(flags.GetInt("prefetch-depth", -1));
   // Enough read workers that one stalled query never starves the others.
   prefetch.io_threads = std::max<size_t>(2, threads);
-  Searcher searcher(&*index, DiskCostModel(), cache.get(), prefetch);
-  BatchSearcher batch_searcher(&searcher, threads);
+
+  MethodContext context;
+  context.collection = &*collection;
+  context.index = index.has_value() ? &**index : nullptr;
+  context.cache = cache.get();
+  context.prefetch = prefetch;
+  const std::string method_params = flags.Get("method-params", "");
+  auto method = MethodRegistry::Global().Create(method_name, context,
+                                                method_params);
+  if (!method.ok()) return Fail(method.status());
+  if (const Status prepared = (*method)->Prepare(); !prepared.ok()) {
+    return Fail(prepared);
+  }
+  std::printf("method: %s\n", (*method)->Describe().c_str());
+
+  BatchSearcher batch_searcher(method->get(), threads);
   auto batch = batch_searcher.SearchAll(workload, k, stop);
   if (!batch.ok()) return Fail(batch.status());
 
@@ -318,14 +410,17 @@ int CmdBatch(const Flags& flags) {
               batch->model.mean / 1000.0, batch->model.p50 / 1000.0,
               batch->model.p95 / 1000.0, batch->model.p99 / 1000.0,
               batch->model.max / 1000.0);
-  if (searcher.prefetcher() != nullptr) {
-    std::printf("prefetch: depth %zu, %llu issued, %llu used, %llu wasted, "
+  std::printf("telemetry totals (%zu exact of %zu):\n", batch->exact_queries,
+              workload.num_queries());
+  PrintTelemetry(batch->totals, "  ");
+  if (batch->totals.prefetch.issued > 0) {
+    std::printf("prefetch: %llu issued, %llu used, %llu wasted, "
                 "%llu cancelled\n",
-                searcher.prefetcher()->depth(),
-                static_cast<unsigned long long>(batch->prefetch.issued),
-                static_cast<unsigned long long>(batch->prefetch.used),
-                static_cast<unsigned long long>(batch->prefetch.wasted),
-                static_cast<unsigned long long>(batch->prefetch.cancelled));
+                static_cast<unsigned long long>(batch->totals.prefetch.issued),
+                static_cast<unsigned long long>(batch->totals.prefetch.used),
+                static_cast<unsigned long long>(batch->totals.prefetch.wasted),
+                static_cast<unsigned long long>(
+                    batch->totals.prefetch.cancelled));
   }
   if (cache != nullptr) {
     const ChunkCacheStats stats = cache->Stats();
@@ -337,26 +432,33 @@ int CmdBatch(const Flags& flags) {
   }
 
   if (flags.GetInt("verify", 0) != 0) {
-    // A fresh cache for the serial pass, so both runs start cold — and the
-    // prefetch pipeline off, so the reference is the plain synchronous
-    // searcher (this cross-check covers concurrency AND prefetching).
+    // A fresh method instance for the serial pass with a fresh cache, so
+    // both runs start cold — and the prefetch pipeline off, so the chunked
+    // reference is the plain synchronous searcher (this cross-check covers
+    // concurrency AND prefetching).
     std::unique_ptr<ChunkCache> serial_cache;
     if (cache_pages > 0) {
       serial_cache = std::make_unique<ChunkCache>(cache_pages, 1);
     }
-    PrefetcherOptions no_prefetch;
-    no_prefetch.depth = 0;
-    Searcher serial_searcher(&*index, DiskCostModel(), serial_cache.get(),
-                             no_prefetch);
-    BatchSearcher serial(&serial_searcher, 1);
+    MethodContext serial_context = context;
+    serial_context.cache = serial_cache.get();
+    serial_context.prefetch.depth = 0;
+    auto serial_method = MethodRegistry::Global().Create(
+        method_name, serial_context, method_params);
+    if (!serial_method.ok()) return Fail(serial_method.status());
+    if (const Status prepared = (*serial_method)->Prepare(); !prepared.ok()) {
+      return Fail(prepared);
+    }
+    BatchSearcher serial(serial_method->get(), 1);
     auto reference = serial.SearchAll(workload, k, stop);
     if (!reference.ok()) return Fail(reference.status());
     size_t mismatches = 0;
     for (size_t q = 0; q < workload.num_queries(); ++q) {
-      const SearchResult& a = batch->results[q];
-      const SearchResult& b = reference->results[q];
-      bool same = a.chunks_read == b.chunks_read &&
-                  a.neighbors.size() == b.neighbors.size();
+      const MethodResult& a = batch->results[q];
+      const MethodResult& b = reference->results[q];
+      bool same =
+          a.telemetry.chunks_read == b.telemetry.chunks_read &&
+          a.neighbors.size() == b.neighbors.size();
       for (size_t i = 0; same && i < a.neighbors.size(); ++i) {
         same = a.neighbors[i].id == b.neighbors[i].id;
       }
@@ -373,13 +475,30 @@ int CmdBatch(const Flags& flags) {
     std::printf("speedup vs serial: %.2fx\n", speedup);
     if (mismatches != 0) return 1;
   }
+
+  if (flags.Has("check-recall")) {
+    const double threshold = flags.GetDouble("check-recall", 0.0);
+    const GroundTruth truth = GroundTruth::Compute(*collection, workload, k);
+    double recall = 0.0;
+    for (size_t q = 0; q < workload.num_queries(); ++q) {
+      recall += PrecisionAtK(batch->results[q].neighbors, truth.TruthFor(q),
+                             k);
+    }
+    if (workload.num_queries() > 0) {
+      recall /= static_cast<double>(workload.num_queries());
+    }
+    const bool pass = recall >= threshold;
+    std::printf("recall@%zu vs exact scan: %.4f (threshold %.4f) %s\n", k,
+                recall, threshold, pass ? "PASS" : "FAIL");
+    if (!pass) return 1;
+  }
   return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: qvt_tool <generate|build|info|search|batch> "
+                 "usage: qvt_tool <generate|build|info|methods|search|batch> "
                  "[--flag value]...\n");
     return 2;
   }
@@ -388,6 +507,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "info") return CmdInfo(flags);
+  if (command == "methods") return CmdMethods(flags);
   if (command == "search") return CmdSearch(flags);
   if (command == "batch") return CmdBatch(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());

@@ -39,8 +39,7 @@ int main() {
                 chunking.status().ToString().c_str());
     return 1;
   }
-  std::printf("chunks: %zu (avg %.0f descriptors)\n",
-              chunking->chunks.size(), chunking->AverageChunkSize());
+  std::printf("chunks: %s\n", chunking->Populations().ToString().c_str());
 
   // 3. Build the on-disk chunk index.
   auto index = ChunkIndex::Build(collection, *chunking, Env::Posix(),

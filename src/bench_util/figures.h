@@ -32,6 +32,31 @@ void PrintNeighborsFigure(std::ostream& os, const std::string& title,
 /// Formats seconds with millisecond resolution.
 std::string Seconds(double s);
 
+/// One labeled series of the quality-vs-tail-latency experiment: the sweep
+/// points of one chunking strategy, plus the population distribution of the
+/// index the sweep ran against and the population bound (if any) that index
+/// was built under.
+struct TailSeries {
+  std::string label;            ///< e.g. "kmeans", "balanced-kmeans"
+  PopulationStats populations;  ///< of the swept index's chunks
+  size_t population_bound = 0;  ///< declared max chunk population; 0 = none
+  std::vector<TailPoint> points;
+};
+
+/// Prints the delivered-quality-vs-tail-latency table: one row per budget,
+/// per series columns for recall and the wall/model p50/p99 (with the
+/// p99/p50 tail ratio the balanced chunkers exist to shrink).
+void PrintTailTable(std::ostream& os, const std::string& title,
+                    const std::vector<TailSeries>& series);
+
+/// Writes the BENCH_tail.json document: per series the population
+/// distribution (min/mean/p99/max, imbalance = max/mean, and — when the
+/// series declares a population bound — imbalance_bound, the largest
+/// imbalance a compliant index can show), then per point the budget,
+/// recall, and the wall/model latency distributions. Pure serialization;
+/// callers open the stream.
+void WriteTailJson(std::ostream& os, const std::vector<TailSeries>& series);
+
 }  // namespace qvt
 
 #endif  // QVT_BENCH_UTIL_FIGURES_H_

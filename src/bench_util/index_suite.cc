@@ -294,8 +294,7 @@ Status IndexSuite::BuildEverything() {
 
     auto bag_chunks = std::make_shared<const ChunkingResult>(bag->Snapshot());
     QVT_LOG(Info) << "BAG/" << class_name << ": "
-                  << bag_chunks->chunks.size() << " chunks, avg "
-                  << bag_chunks->AverageChunkSize() << " descriptors, "
+                  << bag_chunks->Populations().ToString() << ", "
                   << bag_chunks->outliers.size() << " outliers";
 
     ClassBuild* out = &class_builds[class_idx];
@@ -324,9 +323,12 @@ Status IndexSuite::BuildEverything() {
       }
 
       // Size-matched SR-tree index over the retained (outlier-free) set.
+      // Populations().mean is exactly the old AverageChunkSize(), so the
+      // size-matched leaf capacity — and the suite-cache fingerprint — are
+      // unchanged.
       const size_t sr_leaf = std::max<size_t>(
-          2,
-          static_cast<size_t>(std::llround(bag_chunks->AverageChunkSize())));
+          2, static_cast<size_t>(
+                 std::llround(bag_chunks->Populations().mean)));
       Stopwatch sr_watch(&wall);
       SrTreeChunker sr_chunker(sr_leaf);
       auto sr_chunks = sr_chunker.FormChunks(*retained_[class_idx]);

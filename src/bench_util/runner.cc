@@ -123,6 +123,7 @@ StatusOr<BatchRunReport> RunMethodBatch(const SearchMethod& method,
         static_cast<double>(totals.descriptors_scanned) / n;
     report.mean_bytes_read = static_cast<double>(totals.bytes_read) / n;
     report.mean_chunks_read = static_cast<double>(totals.chunks_read) / n;
+    report.max_probe_rows = totals.max_probe_rows;
     const uint64_t verdicts = totals.cache_hits + totals.cache_misses;
     report.cache_hit_rate =
         verdicts > 0
@@ -141,6 +142,26 @@ StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
                                           size_t num_threads) {
   const std::unique_ptr<SearchMethod> method = WrapSearcher(&searcher);
   return RunMethodBatch(*method, workload, truth, k, stop, num_threads);
+}
+
+StatusOr<std::vector<TailPoint>> RunTailSweep(
+    const SearchMethod& method, const Workload& workload,
+    const GroundTruth* truth, size_t k, const std::vector<size_t>& budgets,
+    size_t num_threads) {
+  if (budgets.empty()) {
+    return Status::InvalidArgument("tail sweep needs at least one budget");
+  }
+  std::vector<TailPoint> points;
+  points.reserve(budgets.size());
+  for (size_t budget : budgets) {
+    const StopRule stop =
+        budget == 0 ? StopRule::Exact() : StopRule::MaxChunks(budget);
+    QVT_ASSIGN_OR_RETURN(
+        BatchRunReport report,
+        RunMethodBatch(method, workload, truth, k, stop, num_threads));
+    points.push_back(TailPoint{budget, std::move(report)});
+  }
+  return points;
 }
 
 }  // namespace qvt

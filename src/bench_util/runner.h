@@ -66,6 +66,10 @@ struct BatchRunReport {
   double mean_chunks_read = 0.0;
   /// cache_hits / (cache_hits + cache_misses); 0 when no cache was wired.
   double cache_hit_rate = 0.0;
+  /// Population of the largest single probe any query of the batch scanned
+  /// (QueryTelemetry::max_probe_rows, max-merged) — the chunk-imbalance
+  /// exposure behind the wall/model p99.
+  uint64_t max_probe_rows = 0;
   /// Queries whose answer the method proved exact.
   size_t exact_queries = 0;
   /// Precision@k against `truth`; 0 when no truth was supplied.
@@ -89,6 +93,25 @@ StatusOr<BatchRunReport> RunWorkloadBatch(const Searcher& searcher,
                                           const GroundTruth* truth, size_t k,
                                           const StopRule& stop,
                                           size_t num_threads);
+
+/// One point of a quality-vs-tail-latency sweep: the batch report measured
+/// under one chunk budget. Budget 0 means run to conclusion (exact stop
+/// rule), anchoring the sweep's recall = 1 end.
+struct TailPoint {
+  size_t max_chunks = 0;
+  BatchRunReport report;
+};
+
+/// The tail-latency experiment axis: runs `workload` through `method` once
+/// per entry of `budgets` (each a kMaxChunks stop rule; 0 = exact) and
+/// returns the delivered-quality-vs-latency-distribution points, in budget
+/// order. The per-query latency spread at a fixed budget is what separates
+/// balance-constrained chunking from plain k-means: equal mean, different
+/// p99 (Tavenard et al.).
+StatusOr<std::vector<TailPoint>> RunTailSweep(
+    const SearchMethod& method, const Workload& workload,
+    const GroundTruth* truth, size_t k, const std::vector<size_t>& budgets,
+    size_t num_threads);
 
 }  // namespace qvt
 

@@ -1,6 +1,49 @@
 #include "cluster/chunker.h"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stats.h"
+
 namespace qvt {
+
+PopulationStats PopulationStats::FromPopulations(
+    const std::vector<uint64_t>& populations) {
+  PopulationStats stats;
+  if (populations.empty()) return stats;
+  stats.num_chunks = populations.size();
+  SampleStats samples;
+  stats.min = populations[0];
+  for (uint64_t pop : populations) {
+    stats.total += pop;
+    stats.min = std::min(stats.min, pop);
+    stats.max = std::max(stats.max, pop);
+    samples.Add(static_cast<double>(pop));
+  }
+  stats.mean = samples.Mean();
+  stats.p50 = samples.Percentile(50);
+  stats.p99 = samples.Percentile(99);
+  stats.imbalance =
+      stats.mean > 0.0 ? static_cast<double>(stats.max) / stats.mean : 0.0;
+  return stats;
+}
+
+std::string PopulationStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu chunks, pop min %llu / mean %.1f / p99 %.1f / max %llu, "
+                "imbalance %.2fx",
+                num_chunks, static_cast<unsigned long long>(min), mean, p99,
+                static_cast<unsigned long long>(max), imbalance);
+  return buf;
+}
+
+PopulationStats ChunkingResult::Populations() const {
+  std::vector<uint64_t> populations;
+  populations.reserve(chunks.size());
+  for (const auto& c : chunks) populations.push_back(c.size());
+  return PopulationStats::FromPopulations(populations);
+}
 
 Status ValidateChunking(const ChunkingResult& result, size_t collection_size) {
   std::vector<uint8_t> seen(collection_size, 0);

@@ -1,6 +1,7 @@
 #ifndef QVT_CLUSTER_CHUNKER_H_
 #define QVT_CLUSTER_CHUNKER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,30 @@
 #include "util/statusor.h"
 
 namespace qvt {
+
+/// Full population distribution of a set of chunks. Replaces the old
+/// mean-only accessor: the mean hides exactly the imbalance that drives
+/// tail latency — a query probing one max-population chunk pays for it
+/// alone, whatever the mean says (Tavenard et al.).
+struct PopulationStats {
+  size_t num_chunks = 0;
+  uint64_t total = 0;  ///< descriptors across all chunks
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;  ///< SampleStats::Percentile convention
+  double p99 = 0.0;
+  /// max / mean — 1.0 for perfectly uniform chunks, 0 when there are none.
+  double imbalance = 0.0;
+
+  /// Computes the distribution of `populations` (one entry per chunk).
+  static PopulationStats FromPopulations(
+      const std::vector<uint64_t>& populations);
+
+  /// "12 chunks, pop min 3 / mean 41.7 / p99 388.2 / max 391, imbalance
+  /// 9.37x" — the one-line form Describe()-style reports embed.
+  std::string ToString() const;
+};
 
 /// Output of a chunk-forming strategy: a partition of collection positions
 /// into chunks, plus positions discarded as outliers. Every position of the
@@ -22,12 +47,8 @@ struct ChunkingResult {
     return n;
   }
 
-  /// Mean chunk population (0 when there are no chunks).
-  double AverageChunkSize() const {
-    if (chunks.empty()) return 0.0;
-    return static_cast<double>(TotalChunkedDescriptors()) /
-           static_cast<double>(chunks.size());
-  }
+  /// Population distribution over `chunks` (all fields zero when empty).
+  PopulationStats Populations() const;
 };
 
 /// A chunk-forming strategy (§1.1): maps a descriptor collection to chunks.

@@ -18,22 +18,11 @@ namespace {
 constexpr size_t kRowGrain = 4096;
 }  // namespace
 
-KMeansChunker::KMeansChunker(const KMeansConfig& config) : config_(config) {
-  QVT_CHECK(config.num_clusters >= 1);
-  QVT_CHECK(config.max_iterations >= 1);
-}
-
-StatusOr<ChunkingResult> KMeansChunker::FormChunks(
-    const Collection& collection) {
-  if (collection.empty()) {
-    return Status::InvalidArgument("cannot cluster an empty collection");
-  }
+std::vector<std::vector<double>> SeedKMeansCentroids(
+    const Collection& collection, size_t k, const KMeansConfig& config,
+    Rng& rng) {
   const size_t n = collection.size();
   const size_t dim = collection.dim();
-  const size_t k = std::min(config_.num_clusters, n);
-  Rng rng(config_.seed);
-
-  // --- Seeding -------------------------------------------------------------
   std::vector<std::vector<double>> centroids(k,
                                              std::vector<double>(dim, 0.0));
   auto set_centroid = [&](size_t c, size_t pos) {
@@ -44,7 +33,7 @@ StatusOr<ChunkingResult> KMeansChunker::FormChunks(
   const float* raw = collection.RawData().data();
   std::vector<double> centroid_sq(n);  // batched kernel output
 
-  if (config_.plus_plus_init && k > 1) {
+  if (config.plus_plus_init && k > 1) {
     // k-means++: first center uniform, subsequent centers proportional to
     // squared distance from the nearest chosen center.
     BuildPhaseTimer seed_timer("kmeans.seed");
@@ -81,6 +70,33 @@ StatusOr<ChunkingResult> KMeansChunker::FormChunks(
         static_cast<uint32_t>(n), static_cast<uint32_t>(k));
     for (size_t c = 0; c < k; ++c) set_centroid(c, picks[c]);
   }
+  return centroids;
+}
+
+KMeansChunker::KMeansChunker(const KMeansConfig& config) : config_(config) {
+  QVT_CHECK(config.num_clusters >= 1);
+  QVT_CHECK(config.max_iterations >= 1);
+}
+
+StatusOr<ChunkingResult> KMeansChunker::FormChunks(
+    const Collection& collection) {
+  if (collection.empty()) {
+    return Status::InvalidArgument("cannot cluster an empty collection");
+  }
+  const size_t n = collection.size();
+  const size_t dim = collection.dim();
+  const size_t k = std::min(config_.num_clusters, n);
+  Rng rng(config_.seed);
+
+  std::vector<std::vector<double>> centroids =
+      SeedKMeansCentroids(collection, k, config_, rng);
+  auto set_centroid = [&](size_t c, size_t pos) {
+    const auto v = collection.Vector(pos);
+    for (size_t d = 0; d < dim; ++d) centroids[c][d] = v[d];
+  };
+
+  const float* raw = collection.RawData().data();
+  std::vector<double> centroid_sq(n);  // batched kernel output
 
   // --- Lloyd iterations ----------------------------------------------------
   std::vector<uint32_t> assignment(n, 0);

@@ -20,6 +20,16 @@ struct KMeansConfig {
   bool plus_plus_init = true;
 };
 
+/// Seeds `k` centroids over `collection`, consuming `rng` exactly as
+/// KMeansChunker always has: k-means++ when `config.plus_plus_init` and
+/// k > 1, else a uniform sample without replacement. Shared with
+/// BalancedKMeansChunker so both variants start Lloyd's iterations from
+/// bit-identical seeds. Deterministic at any build thread count (the
+/// kernel sweeps are sharded per row; the weighted pick is serial).
+std::vector<std::vector<double>> SeedKMeansCentroids(
+    const Collection& collection, size_t k, const KMeansConfig& config,
+    Rng& rng);
+
 class KMeansChunker final : public Chunker {
  public:
   explicit KMeansChunker(const KMeansConfig& config);

@@ -1,0 +1,163 @@
+#include "cluster/rebalance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geometry/vec.h"
+
+namespace qvt {
+
+namespace {
+
+/// Arithmetic mean of the chunk's members.
+std::vector<float> ChunkCentroid(const std::vector<size_t>& chunk,
+                                 const Collection& collection) {
+  std::vector<std::span<const float>> points;
+  points.reserve(chunk.size());
+  for (size_t pos : chunk) points.push_back(collection.Vector(pos));
+  return vec::Mean(points, collection.dim());
+}
+
+/// The member of `chunk` farthest from `from`, ties to the earlier member.
+size_t FarthestMember(const std::vector<size_t>& chunk,
+                      const Collection& collection,
+                      std::span<const float> from) {
+  size_t best = chunk[0];
+  double best_sq = -1.0;
+  for (size_t pos : chunk) {
+    const double sq = vec::SquaredDistance(collection.Vector(pos), from);
+    if (sq > best_sq) {
+      best_sq = sq;
+      best = pos;
+    }
+  }
+  return best;
+}
+
+/// Splits `chunk` in two at the midpoint of the order induced by the two
+/// poles a (farthest from the centroid) and b (farthest from a): members
+/// are sorted by d(x, a) - d(x, b), position tie-break, and the first
+/// ceil(size / 2) go with a. Both halves are nonempty for size >= 2.
+void SplitChunk(const std::vector<size_t>& chunk, const Collection& collection,
+                std::vector<size_t>* half_a, std::vector<size_t>* half_b) {
+  const std::vector<float> centroid = ChunkCentroid(chunk, collection);
+  const size_t a = FarthestMember(chunk, collection, centroid);
+  const size_t b = FarthestMember(chunk, collection, collection.Vector(a));
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(chunk.size());
+  for (size_t pos : chunk) {
+    const auto v = collection.Vector(pos);
+    const double score = vec::Distance(v, collection.Vector(a)) -
+                         vec::Distance(v, collection.Vector(b));
+    scored.emplace_back(score, pos);
+  }
+  std::sort(scored.begin(), scored.end());
+
+  const size_t cut = (chunk.size() + 1) / 2;
+  half_a->clear();
+  half_b->clear();
+  for (size_t i = 0; i < scored.size(); ++i) {
+    (i < cut ? half_a : half_b)->push_back(scored[i].second);
+  }
+}
+
+}  // namespace
+
+StatusOr<ChunkingResult> SplitOversized(ChunkingResult chunking,
+                                        const Collection& collection,
+                                        size_t max_population) {
+  if (max_population == 0) {
+    return Status::InvalidArgument("max_population must be positive");
+  }
+  // In-place worklist: an oversized chunk is split where it stands, the
+  // second half appended; appended halves are revisited when the scan
+  // reaches them. Terminates because every split strictly shrinks the
+  // chunk being worked on.
+  std::vector<size_t> half_a, half_b;
+  for (size_t i = 0; i < chunking.chunks.size(); ++i) {
+    while (chunking.chunks[i].size() > max_population) {
+      SplitChunk(chunking.chunks[i], collection, &half_a, &half_b);
+      chunking.chunks[i] = half_a;
+      chunking.chunks.push_back(half_b);
+    }
+  }
+  return chunking;
+}
+
+StatusOr<ChunkingResult> PackUndersized(ChunkingResult chunking,
+                                        const Collection& collection,
+                                        size_t min_population,
+                                        size_t max_population) {
+  if (max_population > 0 && min_population > max_population) {
+    return Status::InvalidArgument(
+        "min_population exceeds max_population");
+  }
+  if (min_population <= 1 || chunking.chunks.size() <= 1) return chunking;
+
+  std::vector<std::vector<float>> centroids(chunking.chunks.size());
+  for (size_t i = 0; i < chunking.chunks.size(); ++i) {
+    centroids[i] = ChunkCentroid(chunking.chunks[i], collection);
+  }
+
+  for (;;) {
+    // Smallest undersized chunk first, ties to the lower index.
+    size_t donor = chunking.chunks.size();
+    for (size_t i = 0; i < chunking.chunks.size(); ++i) {
+      if (chunking.chunks[i].size() >= min_population) continue;
+      if (donor == chunking.chunks.size() ||
+          chunking.chunks[i].size() < chunking.chunks[donor].size()) {
+        donor = i;
+      }
+    }
+    if (donor == chunking.chunks.size()) break;
+
+    // Nearest centroid with room; ties to the lower index.
+    size_t target = chunking.chunks.size();
+    double best_sq = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < chunking.chunks.size(); ++i) {
+      if (i == donor) continue;
+      if (max_population > 0 && chunking.chunks[i].size() +
+                                        chunking.chunks[donor].size() >
+                                    max_population) {
+        continue;
+      }
+      const double sq = vec::SquaredDistance(
+          std::span<const float>(centroids[i]),
+          std::span<const float>(centroids[donor]));
+      if (sq < best_sq) {
+        best_sq = sq;
+        target = i;
+      }
+    }
+    if (target == chunking.chunks.size()) break;  // nobody has room
+
+    chunking.chunks[target].insert(chunking.chunks[target].end(),
+                                   chunking.chunks[donor].begin(),
+                                   chunking.chunks[donor].end());
+    centroids[target] = ChunkCentroid(chunking.chunks[target], collection);
+    chunking.chunks.erase(chunking.chunks.begin() + donor);
+    centroids.erase(centroids.begin() + donor);
+    if (chunking.chunks.size() <= 1) break;
+  }
+  return chunking;
+}
+
+StatusOr<ChunkingResult> RebalanceChunking(ChunkingResult chunking,
+                                           const Collection& collection,
+                                           const RebalanceOptions& options) {
+  QVT_ASSIGN_OR_RETURN(
+      chunking,
+      SplitOversized(std::move(chunking), collection, options.max_population));
+  if (options.min_population > 0) {
+    QVT_ASSIGN_OR_RETURN(
+        chunking,
+        PackUndersized(std::move(chunking), collection,
+                       options.min_population, options.max_population));
+  }
+  return chunking;
+}
+
+}  // namespace qvt

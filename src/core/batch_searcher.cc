@@ -1,6 +1,7 @@
 #include "core/batch_searcher.h"
 
 #include <atomic>
+#include <cmath>
 #include <mutex>
 #include <utility>
 
@@ -10,22 +11,29 @@
 
 namespace qvt {
 
+LatencyPercentiles LatencyPercentiles::FromStats(const SampleStats& stats) {
+  LatencyPercentiles out;
+  if (stats.count() == 0) return out;
+  // llround, not a truncating cast: interpolated percentiles of integer
+  // microsecond samples otherwise round down in one consumer and not in
+  // another depending on how the cast was written.
+  out.p50 = std::llround(stats.Percentile(50));
+  out.p95 = std::llround(stats.Percentile(95));
+  out.p99 = std::llround(stats.Percentile(99));
+  out.max = std::llround(stats.Max());
+  out.mean = stats.Mean();
+  return out;
+}
+
 namespace {
 
 LatencyPercentiles Percentiles(const std::vector<MethodResult>& results,
                                int64_t QueryTelemetry::* field) {
-  LatencyPercentiles out;
-  if (results.empty()) return out;
   SampleStats stats;
   for (const MethodResult& r : results) {
     stats.Add(static_cast<double>(r.telemetry.*field));
   }
-  out.p50 = static_cast<int64_t>(stats.Percentile(50));
-  out.p95 = static_cast<int64_t>(stats.Percentile(95));
-  out.p99 = static_cast<int64_t>(stats.Percentile(99));
-  out.max = static_cast<int64_t>(stats.Max());
-  out.mean = stats.Mean();
-  return out;
+  return LatencyPercentiles::FromStats(stats);
 }
 
 }  // namespace

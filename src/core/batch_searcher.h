@@ -9,6 +9,7 @@
 #include "core/search_method.h"
 #include "core/searcher.h"
 #include "descriptor/workload.h"
+#include "util/stats.h"
 #include "util/statusor.h"
 
 namespace qvt {
@@ -23,6 +24,21 @@ struct LatencyPercentiles {
   int64_t p99 = 0;
   int64_t max = 0;
   double mean = 0.0;
+
+  /// The one way a LatencyPercentiles is derived from samples: the
+  /// SampleStats linear-interpolation convention (see
+  /// SampleStats::Percentile), rounded to whole microseconds. Both
+  /// BatchSearcher and the bench runner's tail sweep build their reports
+  /// through this helper, so small-batch percentiles agree bit-for-bit
+  /// across paths. All zero when `stats` is empty.
+  static LatencyPercentiles FromStats(const SampleStats& stats);
+
+  /// p99 / p50 — the tail-amplification factor balanced chunking targets.
+  /// 0 when p50 is 0.
+  double TailRatio() const {
+    return p50 > 0 ? static_cast<double>(p99) / static_cast<double>(p50)
+                   : 0.0;
+  }
 };
 
 /// Outcome of one batch: per-query results in input order plus aggregate

@@ -78,6 +78,18 @@ uint32_t ChunkIndex::max_chunk_descriptors() const {
   return max;
 }
 
+PopulationStats ChunkIndex::populations() const {
+  std::vector<uint64_t> pops;
+  pops.reserve(entries_.size());
+  for (const auto& e : entries_) pops.push_back(e.location.num_descriptors);
+  return PopulationStats::FromPopulations(pops);
+}
+
+std::string ChunkIndex::Describe() const {
+  return "chunk index: dim " + std::to_string(dim_) + ", " +
+         populations().ToString();
+}
+
 Status ChunkIndex::ReadChunk(size_t i, ChunkData* out) const {
   if (i >= entries_.size()) {
     return Status::OutOfRange("chunk index out of range");
@@ -85,12 +97,26 @@ Status ChunkIndex::ReadChunk(size_t i, ChunkData* out) const {
   return reader_->ReadChunk(entries_[i].location, out);
 }
 
-Status ChunkIndex::Validate() const {
+Status ChunkIndex::Validate(uint32_t max_population) const {
   ChunkData chunk;
   std::vector<double> distances;
   uint64_t expected_page = 0;
   for (size_t i = 0; i < entries_.size(); ++i) {
     const ChunkIndexEntry& entry = entries_[i];
+    if (entry.location.num_descriptors == 0) {
+      return Status::Corruption("chunk " + std::to_string(i) +
+                                " is empty (a zero-row chunk still costs a "
+                                "probe and pages on every query that ranks "
+                                "it)");
+    }
+    if (max_population > 0 &&
+        entry.location.num_descriptors > max_population) {
+      return Status::Corruption(
+          "chunk " + std::to_string(i) + " holds " +
+          std::to_string(entry.location.num_descriptors) +
+          " descriptors, exceeding the declared population bound of " +
+          std::to_string(max_population));
+    }
     if (entry.location.first_page != expected_page) {
       return Status::Corruption("chunk " + std::to_string(i) +
                                 " is not stored sequentially");

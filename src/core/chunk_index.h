@@ -65,12 +65,25 @@ class ChunkIndex {
   /// Population of the largest chunk.
   uint32_t max_chunk_descriptors() const;
 
+  /// Full population distribution over the chunks — min/max/mean/p99 and
+  /// the imbalance factor (max/mean) that predicts tail latency: a query
+  /// probing the max-population chunk pays its scan and transfer alone.
+  PopulationStats populations() const;
+
+  /// One-line summary: chunk count, dimension, total descriptors, and the
+  /// population distribution with its imbalance factor.
+  std::string Describe() const;
+
   /// Reads chunk `i` into `*out`.
   Status ReadChunk(size_t i, ChunkData* out) const;
 
   /// Verifies that every chunk's contents lie within its index entry's
-  /// sphere and that locations are consistent. Expensive; for tests.
-  Status Validate() const;
+  /// sphere, that locations are consistent, and that no chunk is empty (an
+  /// empty chunk silently inflates probe counts with zero-row scans).
+  /// `max_population` > 0 additionally rejects any chunk more populous
+  /// than the declared bound — the check a balance-constrained index is
+  /// held to. Expensive; for tests.
+  Status Validate(uint32_t max_population = 0) const;
 
  private:
   ChunkIndex(std::vector<ChunkIndexEntry> entries,

@@ -204,6 +204,7 @@ class ChunkedMethod final : public SearchMethod {
     t.descriptors_scanned = raw.descriptors_processed;
     t.bytes_read = raw.pages_read * kPageSize;
     t.chunks_read = raw.chunks_read;
+    t.max_probe_rows = raw.largest_chunk_descriptors;
     t.cache_hits = raw.cache_hits;
     t.cache_misses = raw.cache_misses;
     t.prefetch = raw.prefetch;

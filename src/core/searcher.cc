@@ -188,6 +188,8 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
 
     ++result.chunks_read;
     result.descriptors_processed += data->size();
+    result.largest_chunk_descriptors = std::max(
+        result.largest_chunk_descriptors, entry.location.num_descriptors);
     if (cache_ != nullptr) {
       from_cache ? ++result.cache_hits : ++result.cache_misses;
     }
@@ -323,6 +325,8 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     }
     ++result.chunks_read;
     result.descriptors_processed += data->size();
+    result.largest_chunk_descriptors = std::max(
+        result.largest_chunk_descriptors, entry.location.num_descriptors);
     if (cache_ != nullptr) {
       from_cache ? ++result.cache_hits : ++result.cache_misses;
     }

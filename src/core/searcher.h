@@ -74,6 +74,10 @@ struct SearchResult {
   std::vector<Neighbor> neighbors;   ///< ascending distance
   size_t chunks_read = 0;
   uint64_t descriptors_processed = 0;
+  /// Population of the largest chunk this query scanned — the per-query
+  /// exposure to chunk imbalance that drives tail latency (a query probing
+  /// one giant chunk pays its whole scan and transfer alone).
+  uint32_t largest_chunk_descriptors = 0;
   /// Disk pages of the chunks actually fetched from the chunk file (cache
   /// hits excluded) — bytes_read = pages_read * kPageSize.
   uint64_t pages_read = 0;

@@ -1,6 +1,7 @@
 #ifndef QVT_CORE_TELEMETRY_H_
 #define QVT_CORE_TELEMETRY_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "storage/prefetcher.h"
@@ -69,6 +70,12 @@ struct QueryTelemetry {
   uint64_t descriptors_scanned = 0;
   uint64_t bytes_read = 0;
   uint64_t chunks_read = 0;
+  /// Population of the largest probe this query scanned (rows of the
+  /// biggest chunk read, for the chunked method; 0 for methods without
+  /// per-probe populations). The per-query exposure to chunk imbalance:
+  /// under uniform chunking it equals the chunk size, under skewed
+  /// chunking it is what the p99 queries choke on.
+  uint64_t max_probe_rows = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   PrefetchStats prefetch;
@@ -76,8 +83,9 @@ struct QueryTelemetry {
   bool exact = false;
 
   /// Element-wise accumulation of timers and counters — the batch aggregate
-  /// over per-query records. `exact` is a per-query verdict and is left
-  /// untouched; batch consumers count exact queries themselves.
+  /// over per-query records. `max_probe_rows` merges by max (the batch-wide
+  /// worst probe), `exact` is a per-query verdict and is left untouched;
+  /// batch consumers count exact queries themselves.
   QueryTelemetry& operator+=(const QueryTelemetry& other) {
     wall_micros += other.wall_micros;
     model_micros += other.model_micros;
@@ -91,6 +99,7 @@ struct QueryTelemetry {
     descriptors_scanned += other.descriptors_scanned;
     bytes_read += other.bytes_read;
     chunks_read += other.chunks_read;
+    max_probe_rows = std::max(max_probe_rows, other.max_probe_rows);
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     prefetch += other.prefetch;

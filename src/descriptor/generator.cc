@@ -55,10 +55,22 @@ Collection GenerateCollection(const GeneratorConfig& config) {
   QVT_CHECK(config.num_modes > 0);
   QVT_CHECK(config.modes_per_image > 0);
   QVT_CHECK(config.outlier_fraction >= 0.0 && config.outlier_fraction < 1.0);
+  QVT_CHECK(config.heavy_mode_weight >= 0.0 &&
+            config.heavy_mode_weight < 1.0);
 
   const std::vector<std::vector<float>> modes = MakeModeCenters(config);
-  const std::vector<double> mode_weights =
+  std::vector<double> mode_weights =
       MakeZipfWeights(config.num_modes, config.mode_zipf_exponent);
+  if (config.heavy_mode_weight > 0.0 && config.num_modes > 1) {
+    // Re-weight mode 0 so its share of the mixture is heavy_mode_weight.
+    // Only the weights change — mode centers, stream layout, and the
+    // heavy_mode_weight == 0 path are untouched, so default collections
+    // stay byte-identical.
+    double rest = 0.0;
+    for (size_t i = 1; i < mode_weights.size(); ++i) rest += mode_weights[i];
+    mode_weights[0] =
+        config.heavy_mode_weight / (1.0 - config.heavy_mode_weight) * rest;
+  }
 
   BuildPhaseTimer timer("generate");
 

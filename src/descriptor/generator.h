@@ -69,6 +69,14 @@ struct GeneratorConfig {
   /// space midpoint. Chosen so rare bundles form a sparse halo at roughly
   /// inter-mode distances (sparse but not unreachable).
   double outlier_scale = 14.0;
+
+  /// When > 0, boost mode 0's mixture weight so its expected share of
+  /// (non-rare) descriptors equals this fraction — e.g. 0.5 puts half the
+  /// collection in one dense mode. The tail-latency stress collection:
+  /// unconstrained chunkers give the heavy mode giant chunks, and every
+  /// query landing there pays for them alone. 0 (the default) leaves the
+  /// plain Zipf weights byte-identical to before this knob existed.
+  double heavy_mode_weight = 0.0;
 };
 
 /// Generates a synthetic descriptor collection. Descriptor ids are assigned

@@ -45,7 +45,11 @@ double SampleStats::StdDev() const {
 }
 
 double SampleStats::Percentile(double p) const {
-  QVT_CHECK(p >= 0.0 && p <= 100.0);
+  // Clamp instead of aborting: a caller-computed p that lands at 100.0001
+  // through float error must not take the process down mid-report. NaN has
+  // no meaningful clamp and propagates.
+  if (std::isnan(p)) return QuietNan();
+  p = std::clamp(p, 0.0, 100.0);
   if (samples_.empty()) return QuietNan();
   // Sort a local copy: the old in-place lazy sort cached through `mutable`
   // state, racing concurrent const readers.

@@ -28,7 +28,20 @@ class SampleStats {
   double Max() const;  ///< NaN when empty
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double StdDev() const;
-  /// Linear-interpolated percentile; p in [0, 100]. NaN when empty.
+  /// Percentile under the *linear-interpolation* convention (NIST C=1, the
+  /// same rule as numpy's default): the sorted samples sit at ranks
+  /// 0..n-1, the requested percentile maps to rank p/100 * (n-1), and a
+  /// fractional rank interpolates linearly between its two neighbors —
+  /// never the nearest-rank rule, which on small batches silently returns
+  /// max for every p above 100*(n-1)/n. Tiny samples are well defined:
+  /// n == 1 returns the sample for every p; n == 2 interpolates between
+  /// the two (p99 is close to, but not equal to, max). Every percentile
+  /// consumer in the repo (BatchSearcher, the bench runner, chunk
+  /// population reports) goes through this one method, so the convention
+  /// cannot diverge between paths.
+  ///
+  /// `p` outside [0, 100] is clamped to the range; NaN `p` returns NaN.
+  /// NaN when no samples were added.
   /// Sorts a local copy of the samples: O(n log n) per call, but safe to
   /// call concurrently with other const accessors.
   double Percentile(double p) const;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_util/runner.h"
+#include "core/search_method.h"
 #include "storage/disk_cost_model.h"
 #include "util/logging.h"
 
@@ -167,6 +168,49 @@ TEST_F(IndexSuiteTest, ApproximateStopLowersPrecision) {
   EXPECT_GT(approx->mean_final_precision, 0.0);
   EXPECT_LT(approx->mean_completion_model_seconds,
             exact->mean_completion_model_seconds);
+}
+
+TEST_F(IndexSuiteTest, RunTailSweepProducesOrderedPoints) {
+  const IndexVariant& v = suite_->variant(Strategy::kSrTree, SizeClass::kSmall);
+  const Searcher searcher(&v.index, DiskCostModel(config_->cost_model));
+  const auto method = WrapSearcher(&searcher);
+  ASSERT_TRUE(method->Prepare().ok());
+
+  const std::vector<size_t> budgets{1, 2, 0};
+  auto points = RunTailSweep(*method, suite_->dq(),
+                             &suite_->truth(SizeClass::kSmall, "DQ"),
+                             config_->k, budgets, /*num_threads=*/1);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), budgets.size());
+
+  // Points come back in budget order; recall rises with the budget and the
+  // exact anchor (budget 0) delivers recall 1.
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_EQ((*points)[i].max_chunks, budgets[i]);
+    EXPECT_EQ((*points)[i].report.num_queries, suite_->dq().num_queries());
+    EXPECT_GT((*points)[i].report.max_probe_rows, 0u);
+  }
+  EXPECT_LE((*points)[0].report.mean_final_precision,
+            (*points)[1].report.mean_final_precision + 1e-9);
+  EXPECT_DOUBLE_EQ(points->back().report.mean_final_precision, 1.0);
+  // Latency percentiles are ordered within every report.
+  for (const TailPoint& point : *points) {
+    EXPECT_LE(point.report.model.p50, point.report.model.p95);
+    EXPECT_LE(point.report.model.p95, point.report.model.p99);
+    EXPECT_GE(point.report.model.TailRatio(), 1.0);
+  }
+}
+
+TEST_F(IndexSuiteTest, RunTailSweepRejectsEmptyBudgets) {
+  const IndexVariant& v = suite_->variant(Strategy::kSrTree, SizeClass::kSmall);
+  const Searcher searcher(&v.index, DiskCostModel(config_->cost_model));
+  const auto method = WrapSearcher(&searcher);
+  ASSERT_TRUE(method->Prepare().ok());
+  EXPECT_TRUE(RunTailSweep(*method, suite_->dq(),
+                           &suite_->truth(SizeClass::kSmall, "DQ"),
+                           config_->k, {}, 1)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(ExperimentConfigTest, FingerprintChangesWithConfig) {

@@ -71,10 +71,10 @@ TEST(BagTest, SuccessionMonotonicallyCoarsens) {
   BagClusterer bag(&c, config);
   ASSERT_TRUE(bag.RunUntil(30).ok());
   const size_t at_30 = bag.NumClusters();
-  const double avg_30 = bag.Snapshot().AverageChunkSize();
+  const double avg_30 = bag.Snapshot().Populations().mean;
   ASSERT_TRUE(bag.RunUntil(15).ok());
   const size_t at_15 = bag.NumClusters();
-  const double avg_15 = bag.Snapshot().AverageChunkSize();
+  const double avg_15 = bag.Snapshot().Populations().mean;
   EXPECT_LE(at_15, at_30);
   EXPECT_LE(at_15, 15u);
   EXPECT_GE(avg_15, avg_30);

@@ -56,8 +56,29 @@ TEST(ChunkingResultTest, Accounting) {
   result.chunks = {{0, 1, 2}, {3, 4}};
   result.outliers = {5};
   EXPECT_EQ(result.TotalChunkedDescriptors(), 5u);
-  EXPECT_DOUBLE_EQ(result.AverageChunkSize(), 2.5);
-  EXPECT_DOUBLE_EQ(ChunkingResult{}.AverageChunkSize(), 0.0);
+
+  const PopulationStats stats = result.Populations();
+  EXPECT_EQ(stats.num_chunks, 2u);
+  EXPECT_EQ(stats.total, 5u);
+  EXPECT_EQ(stats.min, 2u);
+  EXPECT_EQ(stats.max, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.p50, 2.5);  // interpolated between the two sizes
+  EXPECT_DOUBLE_EQ(stats.imbalance, 3.0 / 2.5);
+
+  const PopulationStats empty = ChunkingResult{}.Populations();
+  EXPECT_EQ(empty.num_chunks, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.imbalance, 0.0);
+}
+
+TEST(ChunkingResultTest, UniformChunksHaveUnitImbalance) {
+  ChunkingResult result;
+  result.chunks = {{0, 1}, {2, 3}, {4, 5}};
+  const PopulationStats stats = result.Populations();
+  EXPECT_DOUBLE_EQ(stats.imbalance, 1.0);
+  EXPECT_EQ(stats.min, stats.max);
+  EXPECT_FALSE(stats.ToString().empty());
 }
 
 TEST(RoundRobinChunkerTest, UniformSizesAndValidPartition) {

@@ -116,6 +116,58 @@ TEST(ChunkIndexTest, EmptyChunkingRejected) {
                   .IsInvalidArgument());
 }
 
+TEST(ChunkIndexTest, EmptyChunkInChunkingRejected) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  ChunkingResult chunking;
+  chunking.chunks = {{0, 1}, {}};
+  for (size_t i = 2; i < c.size(); ++i) chunking.outliers.push_back(i);
+  EXPECT_TRUE(ChunkIndex::Build(c, chunking, &env,
+                                ChunkIndexPaths::ForBase("idx"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ChunkIndexTest, PopulationsAndDescribe) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  ChunkingResult chunking;
+  chunking.chunks = {{0, 1, 2, 3}, {4, 5}, {6, 7}};
+  for (size_t i = 8; i < c.size(); ++i) chunking.outliers.push_back(i);
+  auto index = ChunkIndex::Build(c, chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+
+  const PopulationStats pops = index->populations();
+  EXPECT_EQ(pops.num_chunks, 3u);
+  EXPECT_EQ(pops.total, 8u);
+  EXPECT_EQ(pops.min, 2u);
+  EXPECT_EQ(pops.max, 4u);
+  EXPECT_NEAR(pops.mean, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(pops.imbalance, 4.0 / (8.0 / 3.0), 1e-9);
+
+  const std::string describe = index->Describe();
+  EXPECT_NE(describe.find("3 chunks"), std::string::npos);
+  EXPECT_NE(describe.find("imbalance"), std::string::npos);
+}
+
+TEST(ChunkIndexTest, ValidateRejectsPopulationAboveBound) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  ChunkingResult chunking;
+  chunking.chunks = {{0, 1, 2, 3}, {4, 5}};
+  for (size_t i = 6; i < c.size(); ++i) chunking.outliers.push_back(i);
+  auto index = ChunkIndex::Build(c, chunking, &env,
+                                 ChunkIndexPaths::ForBase("idx"));
+  ASSERT_TRUE(index.ok());
+
+  EXPECT_TRUE(index->Validate().ok());
+  EXPECT_TRUE(index->Validate(/*max_population=*/4).ok());
+  const Status too_tight = index->Validate(/*max_population=*/3);
+  EXPECT_TRUE(too_tight.IsCorruption()) << too_tight.ToString();
+  EXPECT_NE(too_tight.ToString().find("population bound"), std::string::npos);
+}
+
 TEST(ChunkIndexTest, MaxChunkDescriptors) {
   MemEnv env;
   const Collection c = TestCollection();

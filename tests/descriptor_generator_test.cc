@@ -1,5 +1,6 @@
 #include "descriptor/generator.h"
 
+#include <algorithm>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -131,6 +132,49 @@ TEST(GeneratorTest, ZeroOutlierFractionHasNoFarBundles) {
     if (best > 60.0) ++stray;
   }
   EXPECT_EQ(stray, 0u);
+}
+
+TEST(GeneratorTest, ZeroHeavyModeWeightIsByteIdentical) {
+  GeneratorConfig config = SmallConfig();
+  config.heavy_mode_weight = 0.0;  // the default — must not perturb anything
+  const Collection a = GenerateCollection(SmallConfig());
+  const Collection b = GenerateCollection(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t d = 0; d < a.dim(); ++d) {
+      EXPECT_EQ(a.Vector(i)[d], b.Vector(i)[d]);
+    }
+  }
+}
+
+TEST(GeneratorTest, HeavyModeWeightSkewsOneMode) {
+  GeneratorConfig config = SmallConfig();
+  config.num_images = 200;
+  config.outlier_fraction = 0.0;
+  config.heavy_mode_weight = 0.5;
+  const Collection c = GenerateCollection(config);
+  const auto modes = GeneratorModeCenters(config);
+
+  // Count descriptors nearest to each mode; the heavy mode should hold
+  // about half of the collection, far above the 1/num_modes fair share.
+  std::vector<size_t> per_mode(modes.size(), 0);
+  for (size_t i = 0; i < c.size(); ++i) {
+    size_t best = 0;
+    double best_dist = 1e18;
+    for (size_t m = 0; m < modes.size(); ++m) {
+      const double dist = vec::Distance(modes[m], c.Vector(i));
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = m;
+      }
+    }
+    ++per_mode[best];
+  }
+  const size_t heaviest = *std::max_element(per_mode.begin(), per_mode.end());
+  const double heavy_share =
+      static_cast<double>(heaviest) / static_cast<double>(c.size());
+  EXPECT_GT(heavy_share, 0.35);
+  EXPECT_LT(heavy_share, 0.65);
 }
 
 }  // namespace

@@ -58,6 +58,43 @@ TEST(SampleStatsTest, EmptyOrderStatisticsAreNaN) {
   EXPECT_TRUE(std::isnan(stats.Percentile(50)));
 }
 
+TEST(SampleStatsTest, PercentileClampsOutOfRangeP) {
+  SampleStats stats;
+  for (double v : {10.0, 20.0, 30.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(250), 30.0);
+  EXPECT_TRUE(std::isnan(stats.Percentile(std::nan(""))));
+}
+
+// The convention contract: linear interpolation (NIST C=1), never
+// nearest-rank. Under nearest-rank, n = 10 would return max for every
+// p > 90 — exactly the failure mode that made small-batch p99 useless.
+TEST(SampleStatsTest, PercentileIsLinearInterpolationNotNearestRank) {
+  SampleStats stats;
+  for (int i = 1; i <= 10; ++i) stats.Add(static_cast<double>(i));
+  // rank = p/100 * (n-1): p99 -> 8.91 -> 9 + 0.91 * (10 - 9).
+  EXPECT_NEAR(stats.Percentile(99), 9.91, 1e-9);
+  EXPECT_LT(stats.Percentile(99), stats.Max());
+  EXPECT_NEAR(stats.Percentile(95), 9.55, 1e-9);
+}
+
+TEST(SampleStatsTest, TinySamplesAreWellDefined) {
+  SampleStats one;
+  one.Add(42.0);
+  // n == 1: every percentile is the sample.
+  EXPECT_DOUBLE_EQ(one.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(99), 42.0);
+
+  SampleStats two;
+  two.Add(10.0);
+  two.Add(20.0);
+  // n == 2: interpolate; p99 is close to but below max.
+  EXPECT_DOUBLE_EQ(two.Percentile(50), 15.0);
+  EXPECT_NEAR(two.Percentile(99), 19.9, 1e-9);
+  EXPECT_LT(two.Percentile(99), two.Max());
+}
+
 // Regression test for a data race: Percentile() used to sort the sample
 // buffer in place through `mutable` members, so concurrent const readers of
 // one shared SampleStats raced (caught by TSan). Every const accessor must

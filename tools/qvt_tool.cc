@@ -2,10 +2,16 @@
 //
 //   qvt_tool generate --out col.desc [--images 200] [--descriptors 100]
 //                     [--modes 20] [--seed 42] [--build-threads N]
+//                     [--heavy-mode-weight 0.0]
 //   qvt_tool build    --collection col.desc --out idx
-//                     [--chunker sr|rr|kmeans|birch|bag] [--chunk-size 1000]
+//                     [--chunker sr|rr|kmeans|balanced-kmeans|birch|bag]
+//                     [--chunk-size 1000] [--max-chunk-pop 0]
 //                     [--build-threads N]
 //   qvt_tool info     --index idx
+//   qvt_tool tail     --collection col.desc --index idx [--queries 200]
+//                     [--k 10] [--budgets 1,2,4,8,0] [--threads 1]
+//                     [--seed 7] [--max-chunk-pop 0] [--label chunked]
+//                     [--json BENCH_tail.json]
 //   qvt_tool methods  [--names 1]
 //   qvt_tool search   --collection col.desc --index idx --query-pos 123
 //                     [--k 10] [--max-chunks 0 (=exact)] [--prefetch-depth 4]
@@ -15,6 +21,15 @@
 //                     [--cache-pages 0] [--verify 0] [--prefetch-depth 4]
 //                     [--method chunked] [--method-params "key=val,..."]
 //                     [--check-recall 0.0]
+//
+// build --chunker balanced-kmeans enforces a per-chunk population bound
+// during assignment (--max-chunk-pop, or a 1.05x fair-share bound when 0);
+// with any other chunker, --max-chunk-pop applies the post-hoc rebalancing
+// passes (split oversized, pack undersized) to its output. generate
+// --heavy-mode-weight W puts fraction W of all descriptors in one dense
+// mode — the tail-latency stress collection. tail sweeps chunk budgets and
+// reports delivered recall vs the p50/p95/p99 latency distribution,
+// optionally writing the BENCH_tail.json document.
 //
 // --method picks any search method registered in MethodRegistry ("methods"
 // lists them): chunked (the paper's §4.3 searcher; needs --index),
@@ -38,15 +53,22 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "bench_util/figures.h"
+#include "bench_util/runner.h"
 #include "cluster/bag.h"
+#include "cluster/balanced_kmeans.h"
 #include "cluster/birch.h"
 #include "cluster/kmeans.h"
+#include "cluster/rebalance.h"
 #include "cluster/round_robin.h"
 #include "cluster/srtree_chunker.h"
 #include "core/batch_searcher.h"
@@ -134,6 +156,11 @@ int CmdGenerate(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("descriptors", 100));
   config.num_modes = static_cast<size_t>(flags.GetInt("modes", 20));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.heavy_mode_weight = flags.GetDouble("heavy-mode-weight", 0.0);
+  if (config.heavy_mode_weight < 0.0 || config.heavy_mode_weight >= 1.0) {
+    std::fprintf(stderr, "--heavy-mode-weight must be in [0, 1)\n");
+    return 2;
+  }
   ApplyBuildThreads(flags);
 
   const Collection collection = GenerateCollection(config);
@@ -156,6 +183,8 @@ int CmdBuild(const Flags& flags) {
 
   const size_t chunk_size =
       static_cast<size_t>(flags.GetInt("chunk-size", 1000));
+  const size_t max_chunk_pop =
+      static_cast<size_t>(flags.GetInt("max-chunk-pop", 0));
   const std::string kind = flags.Get("chunker", "sr");
 
   std::unique_ptr<Chunker> chunker;
@@ -168,6 +197,12 @@ int CmdBuild(const Flags& flags) {
     config.num_clusters =
         std::max<size_t>(1, collection->size() / chunk_size);
     chunker = std::make_unique<KMeansChunker>(config);
+  } else if (kind == "balanced-kmeans" || kind == "bkm") {
+    BalancedKMeansConfig config;
+    config.base.num_clusters =
+        std::max<size_t>(1, collection->size() / chunk_size);
+    config.max_population = max_chunk_pop;
+    chunker = std::make_unique<BalancedKMeansChunker>(config);
   } else if (kind == "birch") {
     BirchConfig config;
     config.max_subclusters =
@@ -184,6 +219,17 @@ int CmdBuild(const Flags& flags) {
 
   auto chunking = chunker->FormChunks(*collection);
   if (!chunking.ok()) return Fail(chunking.status());
+  // The balanced chunker already honors the bound during assignment; for
+  // every other chunker a requested bound is applied post hoc.
+  if (max_chunk_pop > 0 && kind != "balanced-kmeans" && kind != "bkm") {
+    RebalanceOptions options;
+    options.max_population = max_chunk_pop;
+    auto rebalanced =
+        RebalanceChunking(std::move(chunking).value(), *collection, options);
+    if (!rebalanced.ok()) return Fail(rebalanced.status());
+    chunking = std::move(rebalanced);
+    std::printf("rebalanced to max population %zu\n", max_chunk_pop);
+  }
   auto index =
       ChunkIndex::Build(*collection, *chunking, Env::Posix(),
                         ChunkIndexPaths::ForBase(flags.Get("out", "")));
@@ -193,6 +239,7 @@ int CmdBuild(const Flags& flags) {
               index->num_chunks(),
               static_cast<size_t>(index->total_descriptors()),
               chunking->outliers.size(), chunker->name().c_str());
+  std::printf("populations: %s\n", chunking->Populations().ToString().c_str());
   PrintBuildStats();
   return 0;
 }
@@ -206,10 +253,8 @@ int CmdInfo(const Flags& flags) {
                                 ChunkIndexPaths::ForBase(flags.Get("index", "")));
   if (!index.ok()) return Fail(index.status());
 
-  SampleStats sizes;
   uint64_t pages = 0;
   for (const auto& entry : index->entries()) {
-    sizes.Add(static_cast<double>(entry.location.num_descriptors));
     pages += entry.location.num_pages;
   }
   std::printf("chunks:            %zu\n", index->num_chunks());
@@ -218,8 +263,8 @@ int CmdInfo(const Flags& flags) {
   std::printf("pages:             %llu (%.1f MiB padded)\n",
               static_cast<unsigned long long>(pages),
               static_cast<double>(pages) * kPageSize / (1024.0 * 1024.0));
-  std::printf("chunk size:        min %.0f / mean %.0f / p95 %.0f / max %.0f\n",
-              sizes.Min(), sizes.Mean(), sizes.Percentile(95), sizes.Max());
+  std::printf("populations:       %s\n",
+              index->populations().ToString().c_str());
   return 0;
 }
 
@@ -495,11 +540,98 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+// Sweeps chunk budgets over an existing index and reports delivered recall
+// vs the per-query latency distribution (p50/p95/p99, model and wall clock)
+// — the quality-vs-p99 axis of the tail-latency experiment, for whatever
+// index the user built (any --chunker, any --max-chunk-pop). --json writes
+// the single-series BENCH_tail.json document; --max-chunk-pop declares the
+// population bound recorded with the series (and checked against the
+// index), it does not rebuild anything.
+int CmdTail(const Flags& flags) {
+  if (!flags.Has("collection") || !flags.Has("index")) {
+    std::fprintf(stderr, "tail requires --collection and --index\n");
+    return 2;
+  }
+  auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
+  if (!collection.ok()) return Fail(collection.status());
+  auto index = ChunkIndex::Open(
+      Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")));
+  if (!index.ok()) return Fail(index.status());
+
+  const size_t num_queries = std::min<size_t>(
+      static_cast<size_t>(flags.GetInt("queries", 200)), collection->size());
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  const size_t max_chunk_pop =
+      static_cast<size_t>(flags.GetInt("max-chunk-pop", 0));
+  if (max_chunk_pop > 0) {
+    if (const Status valid =
+            index->Validate(static_cast<uint32_t>(max_chunk_pop));
+        !valid.ok()) {
+      return Fail(valid);
+    }
+  }
+
+  std::vector<size_t> budgets;
+  {
+    std::stringstream list(flags.Get("budgets", "1,2,4,8,0"));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (!item.empty()) {
+        budgets.push_back(static_cast<size_t>(std::stoull(item)));
+      }
+    }
+  }
+  if (budgets.empty()) {
+    std::fprintf(stderr, "--budgets needs at least one entry (0 = exact)\n");
+    return 2;
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  const Workload workload = MakeDatasetQueries(*collection, num_queries, &rng);
+  const GroundTruth truth = GroundTruth::Compute(*collection, workload, k);
+
+  MethodContext context;
+  context.collection = &*collection;
+  context.index = &*index;
+  context.prefetch = PrefetchFromFlag(flags.GetInt("prefetch-depth", -1));
+  const std::string method_name = flags.Get("method", "chunked");
+  auto method = MethodRegistry::Global().Create(method_name, context,
+                                                flags.Get("method-params", ""));
+  if (!method.ok()) return Fail(method.status());
+  if (const Status prepared = (*method)->Prepare(); !prepared.ok()) {
+    return Fail(prepared);
+  }
+  std::printf("method: %s\n", (*method)->Describe().c_str());
+
+  auto points = RunTailSweep(**method, workload, &truth, k, budgets, threads);
+  if (!points.ok()) return Fail(points.status());
+
+  TailSeries series;
+  series.label = flags.Get("label", method_name);
+  series.populations = index->populations();
+  series.population_bound = max_chunk_pop;
+  series.points = std::move(points).value();
+
+  PrintTailTable(std::cout, "quality vs tail latency", {series});
+  if (flags.Has("json")) {
+    const std::string path = flags.Get("json", "BENCH_tail.json");
+    std::ofstream json(path);
+    if (!json) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    WriteTailJson(json, {series});
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: qvt_tool <generate|build|info|methods|search|batch> "
-                 "[--flag value]...\n");
+                 "usage: qvt_tool <generate|build|info|tail|methods|search|"
+                 "batch> [--flag value]...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -507,6 +639,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "info") return CmdInfo(flags);
+  if (command == "tail") return CmdTail(flags);
   if (command == "methods") return CmdMethods(flags);
   if (command == "search") return CmdSearch(flags);
   if (command == "batch") return CmdBatch(flags);

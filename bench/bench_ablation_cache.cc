@@ -23,8 +23,8 @@ void Run(const ExperimentConfig& config) {
   const Workload& workload = suite->dq();
   const uint64_t index_pages = [&] {
     uint64_t pages = 0;
-    for (const auto& entry : v.index.entries()) {
-      pages += entry.location.num_pages;
+    for (const ChunkLocation& loc : v.index.locations()) {
+      pages += loc.num_pages;
     }
     return pages;
   }();

@@ -17,8 +17,8 @@ namespace {
 std::vector<uint32_t> LargestChunks(const ChunkIndex& index, size_t count) {
   std::vector<uint32_t> sizes;
   sizes.reserve(index.num_chunks());
-  for (const auto& entry : index.entries()) {
-    sizes.push_back(entry.location.num_descriptors);
+  for (const ChunkLocation& loc : index.locations()) {
+    sizes.push_back(loc.num_descriptors);
   }
   std::sort(sizes.rbegin(), sizes.rend());
   sizes.resize(std::min(count, sizes.size()));

@@ -79,8 +79,8 @@ int main() {
     if (!index.ok()) return 1;
 
     size_t largest = 0;
-    for (const auto& entry : index->entries()) {
-      largest = std::max<size_t>(largest, entry.location.num_descriptors);
+    for (const ChunkLocation& loc : index->locations()) {
+      largest = std::max<size_t>(largest, loc.num_descriptors);
     }
 
     Searcher searcher(&*index, DiskCostModel());

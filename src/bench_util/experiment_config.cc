@@ -22,8 +22,10 @@ uint64_t ExperimentConfig::Fingerprint() const {
   // change so stale on-disk suite caches are rebuilt rather than trusted
   // (v2: k-NN distance ties are broken by descriptor id; v3: generator
   // draws each image from its own RNG stream and build-path reductions use
-  // fixed shard order, both of which re-baseline the cached artifacts).
-  uint64_t h = 0x5eed0003ULL;
+  // fixed shard order, both of which re-baseline the cached artifacts;
+  // v4: index files moved to the versioned "QVTIDX01" column format —
+  // headerless v0 caches are unreadable and must be rebuilt).
+  uint64_t h = 0x5eed0004ULL;
   h = MixU64(h, generator.dim);
   h = MixU64(h, generator.seed);
   h = MixU64(h, generator.num_images);

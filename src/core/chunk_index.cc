@@ -2,16 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "geometry/kernels.h"
 #include "geometry/sphere.h"
 #include "geometry/vec.h"
+#include "util/build_stats.h"
 #include "util/logging.h"
 
 namespace qvt {
 
 ChunkIndexPaths ChunkIndexPaths::ForBase(const std::string& base_path) {
   return ChunkIndexPaths{base_path + ".chunks", base_path + ".index"};
+}
+
+IndexOpenMode ResolveIndexOpenMode(IndexOpenMode mode) {
+  if (mode != IndexOpenMode::kAuto) return mode;
+  const char* env = std::getenv("QVT_MMAP");
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+       std::strcmp(env, "false") == 0)) {
+    return IndexOpenMode::kDeserialize;
+  }
+  return IndexOpenMode::kMmap;
 }
 
 StatusOr<ChunkIndex> ChunkIndex::Build(const Collection& collection,
@@ -49,92 +63,98 @@ StatusOr<ChunkIndex> ChunkIndex::Build(const Collection& collection,
   QVT_RETURN_IF_ERROR((*writer)->Close());
   QVT_RETURN_IF_ERROR(WriteIndexFile(env, paths.index_file, dim, entries));
 
-  auto reader = ChunkFileReader::Open(env, paths.chunk_file, dim);
-  if (!reader.ok()) return reader.status();
-  return ChunkIndex(std::move(entries), std::move(reader).value(), dim);
+  // Re-open from the published files rather than trusting in-memory state:
+  // the build result and a later open are the same bytes by construction.
+  return Open(env, paths, dim);
 }
 
 StatusOr<ChunkIndex> ChunkIndex::Open(Env* env, const ChunkIndexPaths& paths,
-                                      size_t dim) {
-  auto entries = ReadIndexFile(env, paths.index_file, dim);
-  if (!entries.ok()) return entries.status();
+                                      size_t dim, IndexOpenMode mode) {
+  mode = ResolveIndexOpenMode(mode);
+  const bool mapped = mode == IndexOpenMode::kMmap;
+  BuildPhaseTimer timer(mapped ? "index.open.mmap"
+                               : "index.open.deserialize");
+  auto view = OpenIndexFile(env, paths.index_file, dim, mapped);
+  if (!view.ok()) return view.status();
   auto reader = ChunkFileReader::Open(env, paths.chunk_file, dim);
   if (!reader.ok()) return reader.status();
-  return ChunkIndex(std::move(entries).value(), std::move(reader).value(),
-                    dim);
+  return ChunkIndex(std::move(view).value(), std::move(reader).value(),
+                    mapped);
 }
 
 uint64_t ChunkIndex::total_descriptors() const {
   uint64_t total = 0;
-  for (const auto& e : entries_) total += e.location.num_descriptors;
+  for (const ChunkLocation& loc : locations()) total += loc.num_descriptors;
   return total;
 }
 
 uint32_t ChunkIndex::max_chunk_descriptors() const {
   uint32_t max = 0;
-  for (const auto& e : entries_) {
-    max = std::max(max, e.location.num_descriptors);
+  for (const ChunkLocation& loc : locations()) {
+    max = std::max(max, loc.num_descriptors);
   }
   return max;
 }
 
 PopulationStats ChunkIndex::populations() const {
   std::vector<uint64_t> pops;
-  pops.reserve(entries_.size());
-  for (const auto& e : entries_) pops.push_back(e.location.num_descriptors);
+  pops.reserve(num_chunks());
+  for (const ChunkLocation& loc : locations()) {
+    pops.push_back(loc.num_descriptors);
+  }
   return PopulationStats::FromPopulations(pops);
 }
 
 std::string ChunkIndex::Describe() const {
-  return "chunk index: dim " + std::to_string(dim_) + ", " +
+  return "chunk index: dim " + std::to_string(dim()) + ", " +
          populations().ToString();
 }
 
 Status ChunkIndex::ReadChunk(size_t i, ChunkData* out) const {
-  if (i >= entries_.size()) {
+  if (i >= num_chunks()) {
     return Status::OutOfRange("chunk index out of range");
   }
-  return reader_->ReadChunk(entries_[i].location, out);
+  return reader_->ReadChunk(location(i), out);
 }
 
 Status ChunkIndex::Validate(uint32_t max_population) const {
+  QVT_RETURN_IF_ERROR(view_.VerifyCrc());
+  QVT_RETURN_IF_ERROR(view_.ValidateEntries());
   ChunkData chunk;
   std::vector<double> distances;
   uint64_t expected_page = 0;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    const ChunkIndexEntry& entry = entries_[i];
-    if (entry.location.num_descriptors == 0) {
+  for (size_t i = 0; i < num_chunks(); ++i) {
+    const ChunkLocation& loc = location(i);
+    if (loc.num_descriptors == 0) {
       return Status::Corruption("chunk " + std::to_string(i) +
                                 " is empty (a zero-row chunk still costs a "
                                 "probe and pages on every query that ranks "
                                 "it)");
     }
-    if (max_population > 0 &&
-        entry.location.num_descriptors > max_population) {
+    if (max_population > 0 && loc.num_descriptors > max_population) {
       return Status::Corruption(
           "chunk " + std::to_string(i) + " holds " +
-          std::to_string(entry.location.num_descriptors) +
+          std::to_string(loc.num_descriptors) +
           " descriptors, exceeding the declared population bound of " +
           std::to_string(max_population));
     }
-    if (entry.location.first_page != expected_page) {
+    if (loc.first_page != expected_page) {
       return Status::Corruption("chunk " + std::to_string(i) +
                                 " is not stored sequentially");
     }
-    expected_page += entry.location.num_pages;
+    expected_page += loc.num_pages;
 
     QVT_RETURN_IF_ERROR(ReadChunk(i, &chunk));
-    if (chunk.size() != entry.location.num_descriptors) {
+    if (chunk.size() != loc.num_descriptors) {
       return Status::Corruption("chunk " + std::to_string(i) +
                                 " descriptor count mismatch");
     }
     constexpr double kEps = 1e-3;
     distances.resize(chunk.size());
     kernels::BatchSquaredDistance(chunk.values.data(), chunk.size(),
-                                  chunk.dim, entry.bounds.center,
-                                  distances.data());
+                                  chunk.dim, centroid(i), distances.data());
     for (size_t d = 0; d < chunk.size(); ++d) {
-      if (std::sqrt(distances[d]) > entry.bounds.radius + kEps) {
+      if (std::sqrt(distances[d]) > radius(i) + kEps) {
         return Status::Corruption("descriptor outside chunk sphere in chunk " +
                                   std::to_string(i));
       }

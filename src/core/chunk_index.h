@@ -1,7 +1,6 @@
 #ifndef QVT_CORE_CHUNK_INDEX_H_
 #define QVT_CORE_CHUNK_INDEX_H_
 
-#include <algorithm>
 #include <memory>
 #include <span>
 #include <string>
@@ -11,7 +10,6 @@
 #include "descriptor/collection.h"
 #include "storage/chunk_file.h"
 #include "storage/index_file.h"
-#include "util/aligned.h"
 #include "util/env.h"
 #include "util/statusor.h"
 
@@ -26,38 +24,78 @@ struct ChunkIndexPaths {
   static ChunkIndexPaths ForBase(const std::string& base_path);
 };
 
+/// How ChunkIndex::Open gets at the index file's bytes.
+enum class IndexOpenMode {
+  kAuto,         ///< QVT_MMAP env var; mmap unless it says 0/off/false
+  kMmap,         ///< zero-copy mapping, O(1) open, no checksum scan
+  kDeserialize,  ///< read into memory, verify CRC + per-entry invariants
+};
+
+/// Resolves kAuto against the QVT_MMAP environment variable; returns the
+/// other modes unchanged.
+IndexOpenMode ResolveIndexOpenMode(IndexOpenMode mode);
+
 /// The two-file chunk index of §4.2: a chunk file holding the descriptors
 /// grouped by chunk (each chunk contiguous and padded to whole pages) and an
 /// index file with one entry per chunk — centroid coordinates, radius, and
 /// location — in chunk-file order.
+///
+/// The index file is the versioned column format of storage/index_file.h;
+/// all accessors below are spans into the opened IndexFileView, so an
+/// mmap-opened index holds no per-chunk heap state at all — centroids,
+/// radii, and locations are read straight from the mapping (shared, demand-
+/// paged), and a deserialize-opened index reads them from the verified
+/// in-memory copy. Search results are byte-identical either way.
 class ChunkIndex {
  public:
   /// Builds a chunk index from a chunking result: computes each chunk's
-  /// centroid and exact minimum bounding radius, writes both files, and
-  /// returns the opened index. `chunking.outliers` are simply not written.
+  /// centroid and exact minimum bounding radius, writes both files
+  /// (atomically — temp + rename), and returns the index re-opened from
+  /// what was written. `chunking.outliers` are simply not written.
   static StatusOr<ChunkIndex> Build(const Collection& collection,
                                     const ChunkingResult& chunking, Env* env,
                                     const ChunkIndexPaths& paths);
 
-  /// Opens an existing index.
+  /// Opens an existing index. Open time is charged to the BuildStats phase
+  /// "index.open.mmap" or "index.open.deserialize" by resolved mode.
   static StatusOr<ChunkIndex> Open(Env* env, const ChunkIndexPaths& paths,
-                                   size_t dim = kDescriptorDim);
+                                   size_t dim = kDescriptorDim,
+                                   IndexOpenMode mode = IndexOpenMode::kAuto);
 
   ChunkIndex(ChunkIndex&&) noexcept = default;
   ChunkIndex& operator=(ChunkIndex&&) noexcept = default;
 
-  size_t num_chunks() const { return entries_.size(); }
-  const std::vector<ChunkIndexEntry>& entries() const { return entries_; }
-  const ChunkIndexEntry& entry(size_t i) const { return entries_[i]; }
-  size_t dim() const { return dim_; }
+  size_t num_chunks() const { return view_.num_chunks(); }
+  size_t dim() const { return view_.dim(); }
+
+  /// Centroid of chunk `i` (row i of centroid_matrix()).
+  std::span<const float> centroid(size_t i) const {
+    return view_.centroids().subspan(i * dim(), dim());
+  }
+  /// Minimum bounding radius of chunk `i`.
+  double radius(size_t i) const { return view_.radii()[i]; }
+  /// Placement of chunk `i` in the chunk file.
+  const ChunkLocation& location(size_t i) const {
+    return view_.locations()[i];
+  }
+  std::span<const ChunkLocation> locations() const {
+    return view_.locations();
+  }
 
   /// All chunk centroids as one contiguous row-major num_chunks() x dim()
-  /// matrix (row i == entry(i).bounds.center), kKernelAlignment-aligned so
-  /// the batched distance kernels can rank every chunk in one call
-  /// (Searcher::RankChunks). Built once when the index is opened.
+  /// matrix (row i == centroid(i)), 64-byte-aligned (superset of the
+  /// kKernelAlignment contract) so the batched distance kernels can rank
+  /// every chunk in one call (Searcher::RankChunks).
   std::span<const float> centroid_matrix() const {
-    return {centroid_matrix_.data(), centroid_matrix_.size()};
+    return view_.centroids();
   }
+
+  /// True when the index bytes are a zero-copy view of a real file mapping.
+  bool mapped() const { return mapped_; }
+
+  /// Parsed on-disk header of the opened index file (format version,
+  /// section offsets) — surfaced for `qvt_tool info` and fsck.
+  const IndexFileHeader& file_header() const { return view_.header(); }
 
   /// Total descriptors stored across all chunks.
   uint64_t total_descriptors() const;
@@ -77,30 +115,22 @@ class ChunkIndex {
   /// Reads chunk `i` into `*out`.
   Status ReadChunk(size_t i, ChunkData* out) const;
 
-  /// Verifies that every chunk's contents lie within its index entry's
-  /// sphere, that locations are consistent, and that no chunk is empty (an
-  /// empty chunk silently inflates probe counts with zero-row scans).
-  /// `max_population` > 0 additionally rejects any chunk more populous
-  /// than the declared bound — the check a balance-constrained index is
-  /// held to. Expensive; for tests.
+  /// Verifies the index file's CRC, then that every chunk's contents lie
+  /// within its index entry's sphere, that locations are consistent, and
+  /// that no chunk is empty (an empty chunk silently inflates probe counts
+  /// with zero-row scans). `max_population` > 0 additionally rejects any
+  /// chunk more populous than the declared bound — the check a balance-
+  /// constrained index is held to. Expensive; for tests and fsck.
   Status Validate(uint32_t max_population = 0) const;
 
  private:
-  ChunkIndex(std::vector<ChunkIndexEntry> entries,
-             std::unique_ptr<ChunkFileReader> reader, size_t dim)
-      : entries_(std::move(entries)), reader_(std::move(reader)), dim_(dim) {
-    centroid_matrix_.resize(entries_.size() * dim_);
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      const auto& center = entries_[i].bounds.center;
-      std::copy(center.begin(), center.end(),
-                centroid_matrix_.data() + i * dim_);
-    }
-  }
+  ChunkIndex(IndexFileView view, std::unique_ptr<ChunkFileReader> reader,
+             bool mapped)
+      : view_(std::move(view)), reader_(std::move(reader)), mapped_(mapped) {}
 
-  std::vector<ChunkIndexEntry> entries_;
+  IndexFileView view_;
   std::unique_ptr<ChunkFileReader> reader_;
-  size_t dim_;
-  AlignedVector<float> centroid_matrix_;
+  bool mapped_;
 };
 
 }  // namespace qvt

@@ -27,7 +27,7 @@ Searcher::Searcher(const ChunkIndex* index, const DiskCostModel& cost_model,
           return index->ReadChunk(chunk_id, out);
         },
         [index](uint32_t chunk_id) {
-          return index->entry(chunk_id).location.num_pages;
+          return index->location(chunk_id).num_pages;
         },
         cache, prefetch);
   }
@@ -73,7 +73,7 @@ int64_t Searcher::RankChunks(std::span<const float> query,
     const uint32_t chunk_id = scratch.rank_order[r];
     const double lower_bound =
         std::max(0.0, scratch.centroid_distance[chunk_id] -
-                          index_->entry(chunk_id).bounds.radius);
+                          index_->radius(chunk_id));
     scratch.suffix_min_bound[r] =
         std::min(scratch.suffix_min_bound[r + 1], lower_bound);
   }
@@ -90,7 +90,7 @@ Status Searcher::FetchChunk(uint32_t chunk_id, SearchScratch& scratch,
     // out of the returned handle — no post-scan Put, no copy.
     bool was_hit = false;
     QVT_RETURN_IF_ERROR(cache_->GetOrLoad(
-        chunk_id, index_->entry(chunk_id).location.num_pages,
+        chunk_id, index_->location(chunk_id).num_pages,
         [&](ChunkData* out) { return index_->ReadChunk(chunk_id, out); },
         cache_ref, &was_hit));
     *data = cache_ref->get();
@@ -156,7 +156,7 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
     }
 
     const uint32_t chunk_id = s.rank_order[r];
-    const ChunkIndexEntry& entry = index_->entry(chunk_id);
+    const ChunkLocation& loc = index_->location(chunk_id);
 
     std::shared_ptr<const ChunkData> cache_ref;
     const ChunkData* data = nullptr;
@@ -189,25 +189,25 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
     ++result.chunks_read;
     result.descriptors_processed += data->size();
     result.largest_chunk_descriptors = std::max(
-        result.largest_chunk_descriptors, entry.location.num_descriptors);
+        result.largest_chunk_descriptors, loc.num_descriptors);
     if (cache_ != nullptr) {
       from_cache ? ++result.cache_hits : ++result.cache_misses;
     }
-    if (!from_cache) result.pages_read += entry.location.num_pages;
+    if (!from_cache) result.pages_read += loc.num_pages;
     // Cache hits skip the disk entirely: CPU cost only.
     model_micros +=
         from_cache
-            ? cost_model_.ChunkCpuMicros(entry.location.num_descriptors)
-            : cost_model_.ChunkTotalMicros(entry.location.num_pages,
-                                           entry.location.num_descriptors);
+            ? cost_model_.ChunkCpuMicros(loc.num_descriptors)
+            : cost_model_.ChunkTotalMicros(loc.num_pages,
+                                           loc.num_descriptors);
     timeline.AddChunk(
-        from_cache ? 0 : cost_model_.ChunkIoMicros(entry.location.num_pages),
-        cost_model_.ChunkCpuMicros(entry.location.num_descriptors));
+        from_cache ? 0 : cost_model_.ChunkIoMicros(loc.num_pages),
+        cost_model_.ChunkCpuMicros(loc.num_descriptors));
 
     if (observer) {
       SearchProgress progress;
       progress.chunks_read = result.chunks_read;
-      progress.chunk_descriptors = entry.location.num_descriptors;
+      progress.chunk_descriptors = loc.num_descriptors;
       progress.descriptors_processed = result.descriptors_processed;
       progress.model_elapsed_micros = model_micros;
       progress.wall_elapsed_micros = stopwatch.ElapsedMicros();
@@ -264,8 +264,7 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     s.fetch_order.clear();
     for (size_t r = 0; r < num_chunks; ++r) {
       const uint32_t chunk_id = s.rank_order[r];
-      if (s.centroid_distance[chunk_id] -
-              index_->entry(chunk_id).bounds.radius <=
+      if (s.centroid_distance[chunk_id] - index_->radius(chunk_id) <=
           radius) {
         s.fetch_order.push_back(chunk_id);
       }
@@ -294,8 +293,8 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     // Skip chunks whose own bound proves they cannot intersect the ball
     // (cheap: the ranking is already computed; no I/O is charged).
     const uint32_t chunk_id = s.rank_order[r];
-    const ChunkIndexEntry& entry = index_->entry(chunk_id);
-    if (s.centroid_distance[chunk_id] - entry.bounds.radius > radius) {
+    const ChunkLocation& loc = index_->location(chunk_id);
+    if (s.centroid_distance[chunk_id] - index_->radius(chunk_id) > radius) {
       continue;
     }
 
@@ -326,20 +325,20 @@ StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,
     ++result.chunks_read;
     result.descriptors_processed += data->size();
     result.largest_chunk_descriptors = std::max(
-        result.largest_chunk_descriptors, entry.location.num_descriptors);
+        result.largest_chunk_descriptors, loc.num_descriptors);
     if (cache_ != nullptr) {
       from_cache ? ++result.cache_hits : ++result.cache_misses;
     }
-    if (!from_cache) result.pages_read += entry.location.num_pages;
+    if (!from_cache) result.pages_read += loc.num_pages;
     // Same accounting as Search(): resident chunks cost CPU only.
     model_micros +=
         from_cache
-            ? cost_model_.ChunkCpuMicros(entry.location.num_descriptors)
-            : cost_model_.ChunkTotalMicros(entry.location.num_pages,
-                                           entry.location.num_descriptors);
+            ? cost_model_.ChunkCpuMicros(loc.num_descriptors)
+            : cost_model_.ChunkTotalMicros(loc.num_pages,
+                                           loc.num_descriptors);
     timeline.AddChunk(
-        from_cache ? 0 : cost_model_.ChunkIoMicros(entry.location.num_pages),
-        cost_model_.ChunkCpuMicros(entry.location.num_descriptors));
+        from_cache ? 0 : cost_model_.ChunkIoMicros(loc.num_pages),
+        cost_model_.ChunkCpuMicros(loc.num_descriptors));
   }
   if (stop.kind == StopRule::Kind::kExact) result.exact = true;
   if (stream != nullptr) result.prefetch = stream->Finish();

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <queue>
 
 #include "geometry/vec.h"
+#include "srtree/static_sr_tree.h"
+#include "storage/format.h"
 #include "util/build_stats.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
@@ -700,6 +703,193 @@ Status SrTree::Validate() const {
     return Status::Corruption("root count mismatch");
   }
   return ValidateNode(root_, summary);
+}
+
+// ---------------------------------------------------------------------------
+// Static serialization ("QVTSRT01"; layout in srtree/static_sr_tree.h)
+// ---------------------------------------------------------------------------
+
+Status SrTree::SaveStatic(Env* env, const std::string& path) const {
+  if (root_ == kNoNode) {
+    return Status::InvalidArgument("refusing to save an empty tree: " + path);
+  }
+  const uint32_t dim = static_cast<uint32_t>(collection_->dim());
+
+  // Level-order (BFS) remap: the file's node i is the i-th node of a
+  // breadth-first walk from the root, so node 0 is the root and every
+  // parent precedes its children.
+  std::vector<uint32_t> bfs_order;       // file id -> nodes_ id
+  std::vector<uint32_t> file_id(nodes_.size(), kNoNode);
+  bfs_order.push_back(root_);
+  file_id[root_] = 0;
+  for (size_t head = 0; head < bfs_order.size(); ++head) {
+    const Node& n = nodes_[bfs_order[head]];
+    if (n.is_leaf) continue;
+    for (const Entry& e : n.entries) {
+      file_id[e.child] = static_cast<uint32_t>(bfs_order.size());
+      bfs_order.push_back(e.child);
+    }
+  }
+
+  SrTreeFileHeader h;
+  h.version = kSrTreeFormatVersion;
+  h.dim = dim;
+  h.num_nodes = bfs_order.size();
+  h.num_points = num_points_;
+  h.leaf_capacity = static_cast<uint32_t>(config_.leaf_capacity);
+  h.internal_fanout = static_cast<uint32_t>(config_.internal_fanout);
+  h.min_fill = config_.min_fill;
+  for (const uint32_t old_id : bfs_order) {
+    h.num_entries += nodes_[old_id].entries.size();
+    if (nodes_[old_id].is_leaf) ++h.num_leaves;
+  }
+
+  auto writer = FormatWriter::Create(env, path, kSrTreeMagic);
+  if (!writer.ok()) return writer.status();
+
+  uint8_t header[kFormatHeaderBytes] = {};
+  std::memcpy(header + 0, &kSrTreeMagic, 8);
+  std::memcpy(header + 8, &h.version, 4);
+  std::memcpy(header + 12, &h.dim, 4);
+  std::memcpy(header + 16, &h.num_nodes, 8);
+  std::memcpy(header + 24, &h.num_entries, 8);
+  std::memcpy(header + 32, &h.num_leaves, 8);
+  std::memcpy(header + 40, &h.num_points, 8);
+  std::memcpy(header + 48, &h.leaf_capacity, 4);
+  std::memcpy(header + 52, &h.internal_fanout, 4);
+  std::memcpy(header + 56, &h.min_fill, 8);
+  QVT_RETURN_IF_ERROR(writer->Append(header, sizeof(header)));
+
+  // Node section: entry ranges are assigned by the same walk that writes
+  // the entry section below, so they line up by construction.
+  QVT_RETURN_IF_ERROR(writer->BeginSection().status());
+  uint64_t next_entry = 0;
+  for (const uint32_t old_id : bfs_order) {
+    const Node& n = nodes_[old_id];
+    uint8_t record[kSrTreeNodeBytes] = {};
+    const uint32_t is_leaf = n.is_leaf ? 1 : 0;
+    const uint32_t parent =
+        n.parent == kNoNode ? kSrTreeNoNode : file_id[n.parent];
+    const uint64_t num_entries = n.entries.size();
+    std::memcpy(record + 0, &is_leaf, 4);
+    std::memcpy(record + 4, &parent, 4);
+    std::memcpy(record + 8, &next_entry, 8);
+    std::memcpy(record + 16, &num_entries, 8);
+    QVT_RETURN_IF_ERROR(writer->Append(record, sizeof(record)));
+    next_entry += num_entries;
+  }
+
+  // Entry section, contiguous per node in BFS node order.
+  QVT_RETURN_IF_ERROR(writer->BeginSection().status());
+  std::vector<uint8_t> record(SrTreeEntryBytes(dim));
+  for (const uint32_t old_id : bfs_order) {
+    const Node& n = nodes_[old_id];
+    for (const Entry& e : n.entries) {
+      uint8_t* p = record.data();
+      std::memcpy(p, e.centroid.data(), dim * sizeof(float));
+      std::memcpy(p + 4 * dim, e.rect.min.data(), dim * sizeof(float));
+      std::memcpy(p + 8 * dim, e.rect.max.data(), dim * sizeof(float));
+      std::memcpy(p + 12 * dim, &e.radius, 8);
+      const uint64_t count = e.count;
+      const uint64_t position = e.position;
+      const uint32_t child =
+          n.is_leaf ? kSrTreeNoNode : file_id[e.child];
+      const uint32_t reserved = 0;
+      std::memcpy(p + 12 * dim + 8, &count, 8);
+      std::memcpy(p + 12 * dim + 16, &position, 8);
+      std::memcpy(p + 12 * dim + 24, &child, 4);
+      std::memcpy(p + 12 * dim + 28, &reserved, 4);
+      QVT_RETURN_IF_ERROR(writer->Append(record.data(), record.size()));
+    }
+  }
+
+  // Leaf directory in LeafPartitions (DFS left-to-right = chunk) order —
+  // BFS visits leaves by depth, so chunk order needs its own section.
+  QVT_RETURN_IF_ERROR(writer->BeginSection().status());
+  std::vector<uint32_t> dfs{root_};
+  while (!dfs.empty()) {
+    const uint32_t node_id = dfs.back();
+    dfs.pop_back();
+    const Node& n = nodes_[node_id];
+    if (n.is_leaf) {
+      uint8_t dir_record[kSrTreeLeafDirBytes] = {};
+      std::memcpy(dir_record, &file_id[node_id], 4);
+      QVT_RETURN_IF_ERROR(writer->Append(dir_record, sizeof(dir_record)));
+    } else {
+      for (size_t i = n.entries.size(); i-- > 0;) {
+        dfs.push_back(n.entries[i].child);
+      }
+    }
+  }
+
+  QVT_CHECK(writer->offset() == SrTreeFileLayout::For(h).footer_off);
+  return writer->Finish();
+}
+
+StatusOr<SrTree> SrTree::LoadStatic(const Collection* collection, Env* env,
+                                    const std::string& path) {
+  // The deserializing open runs the CRC and structural checks, so the
+  // rebuild below can trust record contents (links, ranges, counts).
+  auto view = StaticSrTree::Open(env, path, /*mapped=*/false);
+  if (!view.ok()) return view.status();
+  const SrTreeFileHeader& h = view->header();
+  if (collection->dim() != h.dim) {
+    return Status::Corruption("tree dim " + std::to_string(h.dim) +
+                              " does not match collection dim " +
+                              std::to_string(collection->dim()) + " in " +
+                              path);
+  }
+  // The SrTree constructor QVT_CHECKs its config; screen a corrupt header
+  // into a Status instead of an abort.
+  if (h.leaf_capacity < 2 || h.internal_fanout < 2 || !(h.min_fill > 0.0) ||
+      h.min_fill > 0.5) {
+    return Status::Corruption("invalid tree config in " + path);
+  }
+
+  SrTreeConfig config;
+  config.leaf_capacity = h.leaf_capacity;
+  config.internal_fanout = h.internal_fanout;
+  config.min_fill = h.min_fill;
+  SrTree tree(collection, config);
+  tree.num_points_ = h.num_points;
+  tree.root_ = 0;
+  tree.nodes_.resize(h.num_nodes);
+  const std::vector<std::vector<size_t>> partitions = view->LeafPartitions();
+  size_t num_positions = 0;
+  for (const auto& p : partitions) num_positions += p.size();
+  if (num_positions != h.num_points) {
+    return Status::Corruption("leaf directory points mismatch in " + path);
+  }
+
+  for (uint64_t i = 0; i < h.num_nodes; ++i) {
+    // Decode through the same record accessors the zero-copy view uses.
+    const auto dir = view->node(i);
+    Node& node = tree.nodes_[i];
+    node.is_leaf = dir.is_leaf;
+    node.parent = dir.parent == kSrTreeNoNode ? kNoNode : dir.parent;
+    node.entries.resize(dir.num_entries);
+    for (uint64_t j = 0; j < dir.num_entries; ++j) {
+      const uint64_t e = dir.first_entry + j;
+      Entry& entry = node.entries[j];
+      const auto centroid = view->entry_centroid(e);
+      entry.centroid.assign(centroid.begin(), centroid.end());
+      entry.radius = view->entry_radius(e);
+      const auto lo = view->entry_rect_lo(e);
+      const auto hi = view->entry_rect_hi(e);
+      entry.rect = Rect(std::vector<float>(lo.begin(), lo.end()),
+                        std::vector<float>(hi.begin(), hi.end()));
+      entry.count = view->entry_count(e);
+      entry.position = view->entry_position(e);
+      const uint32_t child = view->entry_child(e);
+      entry.child = child == kSrTreeNoNode ? kNoNode : child;
+      if (node.is_leaf && entry.position >= collection->size()) {
+        return Status::Corruption("leaf position " +
+                                  std::to_string(entry.position) +
+                                  " outside collection in " + path);
+      }
+    }
+  }
+  return tree;
 }
 
 }  // namespace qvt

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "descriptor/collection.h"
 #include "geometry/rect.h"
 #include "geometry/sphere.h"
+#include "util/env.h"
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace qvt {
 
@@ -90,6 +93,19 @@ class SrTree {
   std::vector<std::vector<size_t>> LeafPartitions() const;
 
   SrTreeStats Stats() const;
+
+  /// Serializes the tree to the versioned static format "QVTSRT01"
+  /// (level-order node array, fixed-size sphere/rect entry records, and a
+  /// leaf->chunk directory in LeafPartitions order; layout documented in
+  /// srtree/static_sr_tree.h). Written atomically (temp + rename). Empty
+  /// trees are rejected.
+  Status SaveStatic(Env* env, const std::string& path) const;
+
+  /// Reconstructs a tree from a file written by SaveStatic. `collection`
+  /// must be the collection the tree was built over (positions index into
+  /// it). Searches on the loaded tree are bit-identical to the saved one.
+  static StatusOr<SrTree> LoadStatic(const Collection* collection, Env* env,
+                                     const std::string& path);
 
   /// Verifies structural invariants (bounding volumes cover all points,
   /// counts consistent, fanout respected). Returns OK or a description of

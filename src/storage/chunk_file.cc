@@ -81,10 +81,12 @@ StatusOr<std::unique_ptr<ChunkFileReader>> ChunkFileReader::Open(
   auto file = env->NewRandomAccessFile(path);
   if (!file.ok()) return file.status();
   if ((*file)->Size() % kPageSize != 0) {
-    return Status::Corruption("chunk file is not page aligned: " + path);
+    return Status::Corruption(
+        "chunk file is not page aligned: " + path + " (size " +
+        std::to_string((*file)->Size()) + ")");
   }
   return std::unique_ptr<ChunkFileReader>(
-      new ChunkFileReader(std::move(file).value(), dim));
+      new ChunkFileReader(std::move(file).value(), path, dim));
 }
 
 Status ChunkFileReader::ReadChunk(const ChunkLocation& location,
@@ -96,7 +98,16 @@ Status ChunkFileReader::ReadChunk(const ChunkLocation& location,
   const uint64_t payload =
       static_cast<uint64_t>(location.num_descriptors) * record_bytes;
   if (payload > bytes) {
-    return Status::Corruption("chunk location payload exceeds extent");
+    return Status::Corruption("chunk payload exceeds extent in " + path_ +
+                              " at offset " + std::to_string(offset));
+  }
+  // Page-denominated compare so a hostile first_page cannot overflow the
+  // byte math above.
+  if (location.first_page > file_pages() ||
+      location.num_pages > file_pages() - location.first_page) {
+    return Status::Corruption("chunk extent past end of " + path_ +
+                              " (first_page " +
+                              std::to_string(location.first_page) + ")");
   }
   // Per-thread so concurrent readers never share the decode buffer, while
   // serial search loops still reuse one allocation across chunks.

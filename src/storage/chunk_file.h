@@ -25,6 +25,12 @@ struct ChunkLocation {
   bool operator==(const ChunkLocation&) const = default;
 };
 
+// ChunkLocation records are stored verbatim in the chunk-index directory
+// section and read back by casting mapped bytes, so the layout is part of
+// the on-disk format: three packed little-endian words, no padding.
+static_assert(sizeof(ChunkLocation) ==
+              sizeof(uint64_t) + 2 * sizeof(uint32_t));
+
 /// The descriptors of one chunk, materialized in memory after a read.
 ///
 /// Alignment contract: `values` is a flat row-major matrix whose base
@@ -95,10 +101,12 @@ class ChunkFileReader {
   size_t dim() const { return dim_; }
 
  private:
-  ChunkFileReader(std::unique_ptr<RandomAccessFile> file, size_t dim)
-      : file_(std::move(file)), dim_(dim) {}
+  ChunkFileReader(std::unique_ptr<RandomAccessFile> file, std::string path,
+                  size_t dim)
+      : file_(std::move(file)), path_(std::move(path)), dim_(dim) {}
 
   std::unique_ptr<RandomAccessFile> file_;
+  std::string path_;
   size_t dim_;
 };
 

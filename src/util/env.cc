@@ -1,8 +1,13 @@
 #include "util/env.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/logging.h"
@@ -86,6 +91,26 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   std::string path_;
 };
 
+// A real mmap. The descriptor is closed immediately after mapping (the
+// mapping keeps the pages alive); munmap on destruction.
+class PosixMmapFile final : public MemoryMappedFile {
+ public:
+  PosixMmapFile(void* base, size_t size) : base_(base), size_(size) {}
+
+  ~PosixMmapFile() override {
+    if (base_ != nullptr) ::munmap(base_, size_);
+  }
+
+  const uint8_t* data() const override {
+    return static_cast<const uint8_t*>(base_);
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  void* base_;
+  size_t size_;
+};
+
 class PosixEnv final : public Env {
  public:
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -118,30 +143,103 @@ class PosixEnv final : public Env {
 
   Status DeleteFile(const std::string& path) override {
     if (std::remove(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
       return Status::IoError("cannot delete: " + path);
     }
     return Status::OK();
   }
 
   StatusOr<uint64_t> GetFileSize(const std::string& path) override {
-    FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) return Status::NotFound("no such file: " + path);
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    std::fclose(f);
-    if (size < 0) return Status::IoError("ftell failed: " + path);
-    return static_cast<uint64_t>(size);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError("cannot stat: " + path);
+    }
+    return static_cast<uint64_t>(st.st_size);
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    // std::rename is POSIX rename(2): atomic, replaces an existing `to`.
     if (std::rename(from.c_str(), to.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("cannot rename, no such file: " + from);
+      }
       return Status::IoError("cannot rename " + from + " to " + to);
     }
     return Status::OK();
   }
+
+  StatusOr<std::unique_ptr<MemoryMappedFile>> NewMemoryMappedFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError("cannot open for mmap: " + path);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IoError("cannot stat: " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap(0) is EINVAL; an empty mapping needs no pages.
+      ::close(fd);
+      return std::unique_ptr<MemoryMappedFile>(new PosixMmapFile(nullptr, 0));
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping holds its own reference to the pages
+    if (base == MAP_FAILED) {
+      return Status::IoError("mmap failed: " + path);
+    }
+    return std::unique_ptr<MemoryMappedFile>(new PosixMmapFile(base, size));
+  }
+};
+
+// Byte-copy mmap emulation used by every env without a real mapping:
+// an owned buffer aligned to 64 bytes so file-offset-derived alignment
+// guarantees hold exactly as they would for a page-aligned mapping.
+class HeapMappedFile final : public MemoryMappedFile {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  static std::unique_ptr<HeapMappedFile> Allocate(size_t size) {
+    uint8_t* base = nullptr;
+    if (size > 0) {
+      // aligned_alloc requires the size to be a multiple of the alignment.
+      const size_t padded = (size + kAlignment - 1) / kAlignment * kAlignment;
+      base = static_cast<uint8_t*>(std::aligned_alloc(kAlignment, padded));
+      QVT_CHECK(base != nullptr);
+    }
+    return std::unique_ptr<HeapMappedFile>(new HeapMappedFile(base, size));
+  }
+
+  ~HeapMappedFile() override { std::free(base_); }
+
+  const uint8_t* data() const override { return base_; }
+  size_t size() const override { return size_; }
+  uint8_t* mutable_data() { return base_; }
+
+ private:
+  HeapMappedFile(uint8_t* base, size_t size) : base_(base), size_(size) {}
+
+  uint8_t* base_;
+  size_t size_;
 };
 
 }  // namespace
+
+StatusOr<std::unique_ptr<MemoryMappedFile>> Env::NewMemoryMappedFile(
+    const std::string& path) {
+  auto file = NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  auto mapped = HeapMappedFile::Allocate((*file)->Size());
+  if (mapped->size() > 0) {
+    QVT_RETURN_IF_ERROR(
+        (*file)->Read(0, mapped->size(), mapped->mutable_data()));
+  }
+  return std::unique_ptr<MemoryMappedFile>(std::move(mapped));
+}
 
 Env* Env::Posix() {
   static PosixEnv* env = new PosixEnv();
@@ -355,6 +453,16 @@ StatusOr<std::unique_ptr<RandomAccessFile>> IoStatsEnv::NewRandomAccessFile(
   ++stats_->files_opened;
   return std::unique_ptr<RandomAccessFile>(
       new CountingRandomAccessFile(std::move(file).value(), stats_));
+}
+
+StatusOr<std::unique_ptr<MemoryMappedFile>> IoStatsEnv::NewMemoryMappedFile(
+    const std::string& path) {
+  auto mapped = target_->NewMemoryMappedFile(path);
+  if (!mapped.ok()) return mapped.status();
+  // Counted as one open; page faults through the mapping are invisible to
+  // the wrapper, so no read bytes are attributed here.
+  ++stats_->files_opened;
+  return mapped;
 }
 
 // ---------------------------------------------------------------------------

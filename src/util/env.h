@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,8 +42,27 @@ class RandomAccessFile {
   virtual uint64_t Size() const = 0;
 };
 
+/// Read-only view of a whole file's bytes, alive as long as this object.
+/// PosixEnv backs it with a real mmap (open is O(1), pages fault in on
+/// demand and are shareable across processes); other envs emulate it with a
+/// byte copy into an owned buffer. Either way data() is aligned to at least
+/// 64 bytes, so alignment guarantees derived from file offsets hold for the
+/// emulated mapping too.
+class MemoryMappedFile {
+ public:
+  virtual ~MemoryMappedFile() = default;
+
+  virtual const uint8_t* data() const = 0;
+  virtual size_t size() const = 0;
+  std::span<const uint8_t> bytes() const { return {data(), size()}; }
+};
+
 /// Minimal filesystem abstraction. PosixEnv hits the real filesystem;
 /// MemEnv keeps files in memory for hermetic tests.
+///
+/// Error-code contract (identical across implementations, covered by
+/// util_env_test): operations on a missing path return NotFound;
+/// RenameFile atomically replaces an existing destination.
 class Env {
  public:
   virtual ~Env() = default;
@@ -59,6 +79,14 @@ class Env {
   /// the publish step of write-temp-then-rename update protocols.
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
+
+  /// Maps the whole file at `path` read-only. The base override copies the
+  /// bytes into an owned 64-byte-aligned buffer; PosixEnv overrides it with
+  /// a true mmap. The mapping snapshots the open — later writes or deletes
+  /// through the env do not invalidate it (MemEnv copies; POSIX keeps
+  /// unlinked mapped pages alive).
+  virtual StatusOr<std::unique_ptr<MemoryMappedFile>> NewMemoryMappedFile(
+      const std::string& path);
 
   /// Process-wide real-filesystem environment. Never deleted.
   static Env* Posix();
@@ -136,6 +164,8 @@ class IoStatsEnv final : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override {
     return target_->RenameFile(from, to);
   }
+  StatusOr<std::unique_ptr<MemoryMappedFile>> NewMemoryMappedFile(
+      const std::string& path) override;
 
  private:
   Env* target_;

@@ -78,9 +78,9 @@ TEST_F(IndexSuiteTest, SrChunksAreUniform) {
   for (SizeClass size_class : kAllSizeClasses) {
     const IndexVariant& sr = suite_->variant(Strategy::kSrTree, size_class);
     uint32_t min = UINT32_MAX, max = 0;
-    for (const auto& entry : sr.index.entries()) {
-      min = std::min(min, entry.location.num_descriptors);
-      max = std::max(max, entry.location.num_descriptors);
+    for (const ChunkLocation& loc : sr.index.locations()) {
+      min = std::min(min, loc.num_descriptors);
+      max = std::max(max, loc.num_descriptors);
     }
     EXPECT_LE(max, 2u * std::max(1u, min)) << sr.Label();
   }

@@ -1,5 +1,8 @@
 #include "core/chunk_index.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "cluster/round_robin.h"
@@ -48,11 +51,61 @@ TEST(ChunkIndexTest, OpenMatchesBuild) {
   ASSERT_TRUE(opened.ok());
   ASSERT_EQ(opened->num_chunks(), built->num_chunks());
   for (size_t i = 0; i < opened->num_chunks(); ++i) {
-    EXPECT_EQ(opened->entry(i).location, built->entry(i).location);
-    EXPECT_DOUBLE_EQ(opened->entry(i).bounds.radius,
-                     built->entry(i).bounds.radius);
+    EXPECT_EQ(opened->location(i), built->location(i));
+    EXPECT_DOUBLE_EQ(opened->radius(i), built->radius(i));
   }
   EXPECT_TRUE(opened->Validate().ok());
+}
+
+// The zero-copy mapped open and the deserializing open must expose exactly
+// the same index: same header, and byte-identical centroid / radius /
+// location columns.
+TEST(ChunkIndexTest, MmapAndDeserializeOpensAreByteIdentical) {
+  MemEnv env;
+  const Collection c = TestCollection();
+  SrTreeChunker chunker(80);
+  auto chunking = chunker.FormChunks(c);
+  ASSERT_TRUE(chunking.ok());
+  const ChunkIndexPaths paths = ChunkIndexPaths::ForBase("idx");
+  ASSERT_TRUE(ChunkIndex::Build(c, *chunking, &env, paths).ok());
+
+  auto mapped =
+      ChunkIndex::Open(&env, paths, kDescriptorDim, IndexOpenMode::kMmap);
+  ASSERT_TRUE(mapped.ok());
+  auto copied = ChunkIndex::Open(&env, paths, kDescriptorDim,
+                                 IndexOpenMode::kDeserialize);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_TRUE(mapped->mapped());
+  EXPECT_FALSE(copied->mapped());
+
+  ASSERT_EQ(mapped->num_chunks(), copied->num_chunks());
+  ASSERT_EQ(mapped->dim(), copied->dim());
+  const auto a = mapped->centroid_matrix();
+  const auto b = copied->centroid_matrix();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size_bytes()), 0);
+  for (size_t i = 0; i < mapped->num_chunks(); ++i) {
+    EXPECT_EQ(mapped->radius(i), copied->radius(i));
+    EXPECT_EQ(mapped->location(i), copied->location(i));
+  }
+  // Both satisfy the kernel alignment contract and full validation.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % 32, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % 32, 0u);
+  EXPECT_TRUE(mapped->Validate().ok());
+  EXPECT_TRUE(copied->Validate().ok());
+}
+
+TEST(ChunkIndexTest, ResolveOpenModeHonorsQvtMmap) {
+  EXPECT_EQ(ResolveIndexOpenMode(IndexOpenMode::kMmap), IndexOpenMode::kMmap);
+  EXPECT_EQ(ResolveIndexOpenMode(IndexOpenMode::kDeserialize),
+            IndexOpenMode::kDeserialize);
+  ::setenv("QVT_MMAP", "0", 1);
+  EXPECT_EQ(ResolveIndexOpenMode(IndexOpenMode::kAuto),
+            IndexOpenMode::kDeserialize);
+  ::setenv("QVT_MMAP", "1", 1);
+  EXPECT_EQ(ResolveIndexOpenMode(IndexOpenMode::kAuto), IndexOpenMode::kMmap);
+  ::unsetenv("QVT_MMAP");
+  EXPECT_EQ(ResolveIndexOpenMode(IndexOpenMode::kAuto), IndexOpenMode::kMmap);
 }
 
 TEST(ChunkIndexTest, OutliersAreExcluded) {
@@ -84,12 +137,12 @@ TEST(ChunkIndexTest, EntriesHaveExactMinimumBoundingRadius) {
     ASSERT_TRUE(index->ReadChunk(i, &chunk).ok());
     double max_dist = 0;
     for (size_t d = 0; d < chunk.size(); ++d) {
-      max_dist = std::max(
-          max_dist, vec::Distance(index->entry(i).bounds.center,
-                                  chunk.Vector(d)));
+      max_dist =
+          std::max(max_dist, vec::Distance(index->centroid(i),
+                                           chunk.Vector(d)));
     }
     // Radius is tight: equals the farthest member distance.
-    EXPECT_NEAR(index->entry(i).bounds.radius, max_dist, 1e-4);
+    EXPECT_NEAR(index->radius(i), max_dist, 1e-4);
   }
 }
 

@@ -1,0 +1,149 @@
+// Satellite of the versioned on-disk format: every registered search method
+// must return byte-identical neighbors AND identical telemetry counters
+// whether its index was opened zero-copy (mmap) or through the
+// deserializing path — concurrently, via BatchSearcher, so a TSan build
+// also proves the shared mapped view is race-free across worker threads.
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/srtree_chunker.h"
+#include "core/batch_searcher.h"
+#include "core/chunk_index.h"
+#include "core/search_method.h"
+#include "descriptor/generator.h"
+#include "descriptor/workload.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace qvt {
+namespace {
+
+struct OpenModeFixture {
+  MemEnv env;
+  Collection collection;
+  std::optional<ChunkIndex> mapped;
+  std::optional<ChunkIndex> deserialized;
+  Workload workload;
+
+  OpenModeFixture() {
+    GeneratorConfig config;
+    config.num_images = 40;
+    config.descriptors_per_image = 25;
+    config.num_modes = 8;
+    config.seed = 29;
+    collection = GenerateCollection(config);
+    SrTreeChunker chunker(90);
+    auto chunking = chunker.FormChunks(collection);
+    QVT_CHECK(chunking.ok());
+    const ChunkIndexPaths paths = ChunkIndexPaths::ForBase("idx");
+    QVT_CHECK(ChunkIndex::Build(collection, *chunking, &env, paths).ok());
+
+    auto via_map =
+        ChunkIndex::Open(&env, paths, kDescriptorDim, IndexOpenMode::kMmap);
+    QVT_CHECK(via_map.ok());
+    mapped.emplace(std::move(via_map).value());
+    auto via_copy = ChunkIndex::Open(&env, paths, kDescriptorDim,
+                                     IndexOpenMode::kDeserialize);
+    QVT_CHECK(via_copy.ok());
+    deserialized.emplace(std::move(via_copy).value());
+
+    Rng rng(31);
+    workload = MakeDatasetQueries(collection, 24, &rng);
+  }
+
+  MethodContext Context(const ChunkIndex* index) const {
+    MethodContext context;
+    context.collection = &collection;
+    context.index = index;
+    return context;
+  }
+};
+
+void ExpectIdenticalBatches(const BatchSearchResult& a,
+                            const BatchSearchResult& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << label;
+  for (size_t q = 0; q < a.results.size(); ++q) {
+    const MethodResult& ra = a.results[q];
+    const MethodResult& rb = b.results[q];
+    ASSERT_EQ(ra.neighbors.size(), rb.neighbors.size())
+        << label << " query " << q;
+    for (size_t i = 0; i < ra.neighbors.size(); ++i) {
+      EXPECT_EQ(ra.neighbors[i].id, rb.neighbors[i].id)
+          << label << " query " << q << " rank " << i;
+      // Bitwise, not approximate: both opens read the same stored floats.
+      EXPECT_EQ(std::memcmp(&ra.neighbors[i].distance,
+                            &rb.neighbors[i].distance, sizeof(double)),
+                0)
+          << label << " query " << q << " rank " << i;
+    }
+    const QueryTelemetry& ta = ra.telemetry;
+    const QueryTelemetry& tb = rb.telemetry;
+    EXPECT_EQ(ta.probes, tb.probes) << label << " query " << q;
+    EXPECT_EQ(ta.index_entries_scanned, tb.index_entries_scanned)
+        << label << " query " << q;
+    EXPECT_EQ(ta.candidates_examined, tb.candidates_examined)
+        << label << " query " << q;
+    EXPECT_EQ(ta.descriptors_scanned, tb.descriptors_scanned)
+        << label << " query " << q;
+    EXPECT_EQ(ta.bytes_read, tb.bytes_read) << label << " query " << q;
+    EXPECT_EQ(ta.chunks_read, tb.chunks_read) << label << " query " << q;
+    EXPECT_EQ(ta.exact, tb.exact) << label << " query " << q;
+  }
+}
+
+TEST(OpenModeIdentityTest, AllMethodsIdenticalAcrossOpenModesConcurrently) {
+  const OpenModeFixture fx;
+  ASSERT_TRUE(fx.mapped->mapped());
+  ASSERT_FALSE(fx.deserialized->mapped());
+
+  for (const MethodInfo& info : MethodRegistry::Global().List()) {
+    SCOPED_TRACE(info.name);
+    auto method_mapped =
+        MethodRegistry::Global().Create(info.name, fx.Context(&*fx.mapped));
+    ASSERT_TRUE(method_mapped.ok());
+    ASSERT_TRUE((*method_mapped)->Prepare().ok());
+    auto method_copy = MethodRegistry::Global().Create(
+        info.name, fx.Context(&*fx.deserialized));
+    ASSERT_TRUE(method_copy.ok());
+    ASSERT_TRUE((*method_copy)->Prepare().ok());
+
+    // 4 worker threads hammer the shared (mapped) view concurrently.
+    BatchSearcher batch_mapped(method_mapped->get(), 4);
+    BatchSearcher batch_copy(method_copy->get(), 4);
+    auto a = batch_mapped.SearchAll(fx.workload, 10, StopRule::Exact());
+    ASSERT_TRUE(a.ok());
+    auto b = batch_copy.SearchAll(fx.workload, 10, StopRule::Exact());
+    ASSERT_TRUE(b.ok());
+    ExpectIdenticalBatches(*a, *b, info.name);
+  }
+}
+
+// The chunked method under an approximate budget touches the radius and
+// location columns on the pruning path — cover that too.
+TEST(OpenModeIdentityTest, ChunkedBudgetedSearchIdenticalAcrossOpenModes) {
+  const OpenModeFixture fx;
+  auto method_mapped =
+      MethodRegistry::Global().Create("chunked", fx.Context(&*fx.mapped));
+  ASSERT_TRUE(method_mapped.ok());
+  ASSERT_TRUE((*method_mapped)->Prepare().ok());
+  auto method_copy =
+      MethodRegistry::Global().Create("chunked", fx.Context(&*fx.deserialized));
+  ASSERT_TRUE(method_copy.ok());
+  ASSERT_TRUE((*method_copy)->Prepare().ok());
+
+  BatchSearcher batch_mapped(method_mapped->get(), 4);
+  BatchSearcher batch_copy(method_copy->get(), 4);
+  auto a = batch_mapped.SearchAll(fx.workload, 10, StopRule::MaxChunks(2));
+  ASSERT_TRUE(a.ok());
+  auto b = batch_copy.SearchAll(fx.workload, 10, StopRule::MaxChunks(2));
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalBatches(*a, *b, "chunked budget 2");
+}
+
+}  // namespace
+}  // namespace qvt

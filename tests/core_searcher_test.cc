@@ -417,7 +417,7 @@ TEST(SearcherTest, RankChunksMatchesScalarCentroidReference) {
     std::vector<uint32_t> order(num_chunks);
     for (size_t i = 0; i < num_chunks; ++i) {
       order[i] = static_cast<uint32_t>(i);
-      reference[i] = vec::Distance(query, fx.index->entry(i).bounds.center);
+      reference[i] = vec::Distance(query, fx.index->centroid(i));
     }
     std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
       if (reference[a] != reference[b]) return reference[a] < reference[b];

@@ -6,8 +6,9 @@
 //   qvt_tool build    --collection col.desc --out idx
 //                     [--chunker sr|rr|kmeans|balanced-kmeans|birch|bag]
 //                     [--chunk-size 1000] [--max-chunk-pop 0]
-//                     [--build-threads N]
-//   qvt_tool info     --index idx
+//                     [--build-threads N] [--tree-out tree.srt]
+//   qvt_tool info     --index idx [--mmap 0|1]
+//   qvt_tool fsck     [--index idx] [--tree tree.srt] [--max-chunk-pop 0]
 //   qvt_tool tail     --collection col.desc --index idx [--queries 200]
 //                     [--k 10] [--budgets 1,2,4,8,0] [--threads 1]
 //                     [--seed 7] [--max-chunk-pop 0] [--label chunked]
@@ -43,6 +44,17 @@
 // pipeline); its default also honors the QVT_PREFETCH_DEPTH environment
 // variable. Results are bit-identical at every depth.
 //
+// --mmap 1 forces the zero-copy mapped index open, --mmap 0 the
+// deserializing open (CRC + per-entry checks up front); without the flag
+// the QVT_MMAP environment variable decides (default: mapped). Results
+// are byte-identical either way.
+//
+// fsck runs every offline integrity check the open paths split between
+// them: envelope + header geometry, the full-file CRC, per-entry
+// invariants, and each chunk payload against its index sphere (--tree
+// additionally checks a static SR-tree file's structure). Defects are
+// reported with file path and byte offset; exit 1, never an abort.
+//
 // --build-threads sets how many threads generation and index construction
 // use (default: QVT_BUILD_THREADS, else hardware concurrency). Artifacts
 // are bit-identical at every thread count; a per-phase wall-time ledger is
@@ -51,6 +63,7 @@
 // The collection file uses the paper's 100-byte record format, so indexes
 // built here interoperate with every library API.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -79,6 +92,7 @@
 #include "core/searcher.h"
 #include "descriptor/generator.h"
 #include "descriptor/workload.h"
+#include "srtree/static_sr_tree.h"
 #include "storage/chunk_cache.h"
 #include "util/build_stats.h"
 #include "util/parallel_for.h"
@@ -126,6 +140,14 @@ class Flags {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Shared --mmap handling: flag wins (1 = mapped, 0 = deserializing),
+/// else kAuto defers to the QVT_MMAP environment variable.
+IndexOpenMode OpenModeFromFlags(const Flags& flags) {
+  if (!flags.Has("mmap")) return IndexOpenMode::kAuto;
+  return flags.GetInt("mmap", 1) != 0 ? IndexOpenMode::kMmap
+                                      : IndexOpenMode::kDeserialize;
 }
 
 /// Applies --build-threads (when present) and resets the phase ledger so the
@@ -230,6 +252,25 @@ int CmdBuild(const Flags& flags) {
     chunking = std::move(rebalanced);
     std::printf("rebalanced to max population %zu\n", max_chunk_pop);
   }
+  // --tree-out additionally persists the static SR-tree (the structure the
+  // sr chunker derives its leaves from) in the "QVTSRT01" format, so fsck
+  // and the static search path have a file to work with.
+  if (flags.Has("tree-out")) {
+    if (kind != "sr") {
+      std::fprintf(stderr, "--tree-out requires --chunker sr\n");
+      return 2;
+    }
+    SrTreeConfig tree_config;
+    tree_config.leaf_capacity = chunk_size;
+    SrTree tree(&*collection, tree_config);
+    tree.BuildStatic();
+    const std::string tree_path = flags.Get("tree-out", "");
+    if (const Status saved = tree.SaveStatic(Env::Posix(), tree_path);
+        !saved.ok()) {
+      return Fail(saved);
+    }
+    std::printf("wrote static SR-tree to %s\n", tree_path.c_str());
+  }
   auto index =
       ChunkIndex::Build(*collection, *chunking, Env::Posix(),
                         ChunkIndexPaths::ForBase(flags.Get("out", "")));
@@ -249,14 +290,31 @@ int CmdInfo(const Flags& flags) {
     std::fprintf(stderr, "info requires --index\n");
     return 2;
   }
-  auto index = ChunkIndex::Open(Env::Posix(),
-                                ChunkIndexPaths::ForBase(flags.Get("index", "")));
+  const auto open_start = std::chrono::steady_clock::now();
+  auto index = ChunkIndex::Open(
+      Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
+      kDescriptorDim, OpenModeFromFlags(flags));
+  const double open_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - open_start)
+          .count();
   if (!index.ok()) return Fail(index.status());
 
   uint64_t pages = 0;
-  for (const auto& entry : index->entries()) {
-    pages += entry.location.num_pages;
+  for (const ChunkLocation& loc : index->locations()) {
+    pages += loc.num_pages;
   }
+  const IndexFileHeader& h = index->file_header();
+  std::printf("format:            QVTIDX v%u, dim %u, sections at "
+              "%llu/%llu/%llu, footer at %llu\n",
+              h.version, h.dim,
+              static_cast<unsigned long long>(h.centroids_off),
+              static_cast<unsigned long long>(h.radii_off),
+              static_cast<unsigned long long>(h.directory_off),
+              static_cast<unsigned long long>(h.footer_off));
+  std::printf("open:              %.3f ms (%s)\n", open_micros / 1000.0,
+              index->mapped() ? "mmap, zero-copy"
+                              : "deserialize, CRC verified");
   std::printf("chunks:            %zu\n", index->num_chunks());
   std::printf("descriptors:       %llu\n",
               static_cast<unsigned long long>(index->total_descriptors()));
@@ -266,6 +324,57 @@ int CmdInfo(const Flags& flags) {
   std::printf("populations:       %s\n",
               index->populations().ToString().c_str());
   return 0;
+}
+
+// Offline integrity check: runs every validation the open paths split
+// between them — envelope + header geometry, the full-file CRC, per-entry
+// invariants, and each chunk payload against its index sphere. --tree
+// additionally checks a static SR-tree file (CRC + structural links).
+// Defects print as "error: <what> in <path> at offset <n>"; exit 1.
+int CmdFsck(const Flags& flags) {
+  if (!flags.Has("index") && !flags.Has("tree")) {
+    std::fprintf(stderr, "fsck requires --index and/or --tree\n");
+    return 2;
+  }
+  int failures = 0;
+  if (flags.Has("index")) {
+    // The deserializing open already verifies envelope, CRC, and entry
+    // invariants; Validate re-reads every chunk against its sphere.
+    auto index = ChunkIndex::Open(
+        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
+        kDescriptorDim, IndexOpenMode::kDeserialize);
+    Status verdict = index.ok() ? index->Validate(static_cast<uint32_t>(
+                                      flags.GetInt("max-chunk-pop", 0)))
+                                : index.status();
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "fsck: index %s: %s\n",
+                   flags.Get("index", "").c_str(),
+                   verdict.ToString().c_str());
+      ++failures;
+    } else {
+      std::printf("fsck: index %s: OK (%zu chunks, dim %zu, format v%u)\n",
+                  flags.Get("index", "").c_str(), index->num_chunks(),
+                  index->dim(), index->file_header().version);
+    }
+  }
+  if (flags.Has("tree")) {
+    auto tree =
+        StaticSrTree::Open(Env::Posix(), flags.Get("tree", ""),
+                           /*mapped=*/false);  // deserializing open = CRC +
+                                               // structural validation
+    if (!tree.ok()) {
+      std::fprintf(stderr, "fsck: tree %s: %s\n", flags.Get("tree", "").c_str(),
+                   tree.status().ToString().c_str());
+      ++failures;
+    } else {
+      std::printf("fsck: tree %s: OK (%zu nodes, %zu leaves, %zu points, "
+                  "format v%u)\n",
+                  flags.Get("tree", "").c_str(), tree->num_nodes(),
+                  tree->num_leaves(), tree->num_points(),
+                  tree->header().version);
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 // Lists every method in the registry with its capability flags.
@@ -315,7 +424,8 @@ int CmdSearch(const Flags& flags) {
   std::optional<StatusOr<ChunkIndex>> index;
   if (flags.Has("index")) {
     index.emplace(ChunkIndex::Open(
-        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", ""))));
+        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
+        kDescriptorDim, OpenModeFromFlags(flags)));
     if (!index->ok()) return Fail(index->status());
   }
 
@@ -390,7 +500,8 @@ int CmdBatch(const Flags& flags) {
   std::optional<StatusOr<ChunkIndex>> index;
   if (flags.Has("index")) {
     index.emplace(ChunkIndex::Open(
-        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", ""))));
+        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
+        kDescriptorDim, OpenModeFromFlags(flags)));
     if (!index->ok()) return Fail(index->status());
   }
 
@@ -555,7 +666,8 @@ int CmdTail(const Flags& flags) {
   auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
   if (!collection.ok()) return Fail(collection.status());
   auto index = ChunkIndex::Open(
-      Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")));
+      Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
+      kDescriptorDim, OpenModeFromFlags(flags));
   if (!index.ok()) return Fail(index.status());
 
   const size_t num_queries = std::min<size_t>(
@@ -630,8 +742,8 @@ int CmdTail(const Flags& flags) {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: qvt_tool <generate|build|info|tail|methods|search|"
-                 "batch> [--flag value]...\n");
+                 "usage: qvt_tool <generate|build|info|fsck|tail|methods|"
+                 "search|batch> [--flag value]...\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -639,6 +751,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "info") return CmdInfo(flags);
+  if (command == "fsck") return CmdFsck(flags);
   if (command == "tail") return CmdTail(flags);
   if (command == "methods") return CmdMethods(flags);
   if (command == "search") return CmdSearch(flags);

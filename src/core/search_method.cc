@@ -10,6 +10,7 @@
 #include "core/exact_scan.h"
 #include "core/lsh.h"
 #include "core/medrank.h"
+#include "core/pq_method.h"
 #include "core/psphere.h"
 #include "core/va_file.h"
 #include "descriptor/types.h"
@@ -79,6 +80,13 @@ StatusOr<double> MethodOptions::GetDouble(const std::string& key,
                                    "' is not a number");
   }
   return value;
+}
+
+StatusOr<std::string> MethodOptions::GetString(const std::string& key,
+                                               std::string default_value) {
+  auto raw = Raw(key);
+  if (!raw.ok()) return default_value;
+  return *raw;
 }
 
 Status MethodOptions::CheckAllConsumed() const {
@@ -640,6 +648,8 @@ MethodRegistry BuildGlobalRegistry() {
         return std::unique_ptr<SearchMethod>(
             new PSphereMethod(context, config));
       });
+
+  RegisterPqMethod(registry);
 
   return registry;
 }

@@ -45,14 +45,17 @@ struct MethodCapabilities {
 };
 
 /// Everything a method factory may draw on. Borrowed pointers must outlive
-/// the constructed method. `index` is only needed by the chunked method;
-/// every other method works from `collection` alone.
+/// the constructed method. `index` is only needed by the chunked method and
+/// the pq method's chunk-file rerank; `env` only by methods that open their
+/// own files (pq with a `file=` parameter); every other method works from
+/// `collection` alone.
 struct MethodContext {
   const Collection* collection = nullptr;
   const ChunkIndex* index = nullptr;
   DiskCostModel cost_model;
   ChunkCache* cache = nullptr;
   PrefetcherOptions prefetch;
+  Env* env = nullptr;
 };
 
 /// String-keyed method parameters ("num_tables=8,seed=42"). Getters record
@@ -68,6 +71,8 @@ class MethodOptions {
   StatusOr<size_t> GetSize(const std::string& key, size_t default_value);
   StatusOr<double> GetDouble(const std::string& key, double default_value);
   StatusOr<uint64_t> GetUint64(const std::string& key, uint64_t default_value);
+  StatusOr<std::string> GetString(const std::string& key,
+                                  std::string default_value);
 
   /// OK when every supplied key was consumed by a getter; InvalidArgument
   /// naming the leftovers otherwise.
@@ -144,9 +149,10 @@ using MethodFactory = std::function<StatusOr<std::unique_ptr<SearchMethod>>(
 /// `searcher` must outlive the returned method.
 std::unique_ptr<SearchMethod> WrapSearcher(const Searcher* searcher);
 
-/// Name -> factory map for search methods. The six built-ins ("chunked",
-/// "exact-scan", "lsh", "va-file", "medrank", "psphere") self-register into
-/// Global(); tools and benches construct any method from a config string.
+/// Name -> factory map for search methods. The seven built-ins ("chunked",
+/// "exact-scan", "lsh", "va-file", "medrank", "psphere", "pq") self-register
+/// into Global(); tools and benches construct any method from a config
+/// string.
 class MethodRegistry {
  public:
   /// The process-wide registry, with all built-ins registered.

@@ -92,6 +92,58 @@ void ScaledRowsScalar(const double* const* rows, const double* scales,
   }
 }
 
+void AdcScalar(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+               const double* table, double threshold, double* out) {
+  if (threshold == kInf) {
+    size_t i = 0;
+    // Four independent accumulator chains: a single row's lookup-add chain
+    // is latency-bound, so the unroll is what lets the scalar scan stream
+    // codes near load throughput. Each row remains its own ascending-s
+    // reduction — bit-identical to the one-row loop below.
+    for (; i + 4 <= count; i += 4) {
+      const uint8_t* c0 = codes + i * m;
+      const uint8_t* c1 = c0 + m;
+      const uint8_t* c2 = c1 + m;
+      const uint8_t* c3 = c2 + m;
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      const double* t = table;
+      for (size_t s = 0; s < m; ++s, t += ksub) {
+        a0 += t[c0[s]];
+        a1 += t[c1[s]];
+        a2 += t[c2[s]];
+        a3 += t[c3[s]];
+      }
+      out[i] = a0;
+      out[i + 1] = a1;
+      out[i + 2] = a2;
+      out[i + 3] = a3;
+    }
+    for (; i < count; ++i) {
+      const uint8_t* c = codes + i * m;
+      double acc = 0.0;
+      const double* t = table;
+      for (size_t s = 0; s < m; ++s, t += ksub) acc += t[c[s]];
+      out[i] = acc;
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t* c = codes + i * m;
+    double acc = 0.0;
+    size_t s = 0;
+    bool abandoned = false;
+    while (s < m) {
+      const size_t stop = std::min(m, s + kAdcAbandonStride);
+      for (; s < stop; ++s) acc += table[s * ksub + c[s]];
+      if (s < m && acc > threshold) {
+        abandoned = true;
+        break;
+      }
+    }
+    out[i] = abandoned ? kAbandoned : acc;
+  }
+}
+
 #if defined(__x86_64__) || defined(_M_X64)
 
 namespace {
@@ -214,6 +266,52 @@ void ScaledRowsSse2(const double* const* rows, const double* scales,
   }
 }
 
+void AdcSse2(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double threshold, double* out) {
+  const bool abandon = threshold != kInf;
+  const __m128d thr = _mm_set1_pd(threshold);
+  size_t i = 0;
+  // Four rows per block as two lane pairs; table entries come in through
+  // scalar loads (the indices are data-dependent), the adds run per lane in
+  // ascending-s order like the scalar reference.
+  for (; i + 4 <= count; i += 4) {
+    const uint8_t* c0 = codes + i * m;
+    const uint8_t* c1 = c0 + m;
+    const uint8_t* c2 = c1 + m;
+    const uint8_t* c3 = c2 + m;
+    __m128d acc01 = _mm_setzero_pd();
+    __m128d acc23 = _mm_setzero_pd();
+    size_t s = 0;
+    bool abandoned = false;
+    while (s < m) {
+      const size_t stop = abandon ? std::min(m, s + kAdcAbandonStride) : m;
+      const double* t = table + s * ksub;
+      for (; s < stop; ++s, t += ksub) {
+        acc01 = _mm_add_pd(acc01, _mm_set_pd(t[c1[s]], t[c0[s]]));
+        acc23 = _mm_add_pd(acc23, _mm_set_pd(t[c3[s]], t[c2[s]]));
+      }
+      if (abandon && s < m &&
+          (_mm_movemask_pd(_mm_cmpgt_pd(acc01, thr)) &
+           _mm_movemask_pd(_mm_cmpgt_pd(acc23, thr))) == 0x3) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (abandoned) {
+      out[i] = kAbandoned;
+      out[i + 1] = kAbandoned;
+      out[i + 2] = kAbandoned;
+      out[i + 3] = kAbandoned;
+    } else {
+      _mm_storeu_pd(out + i, acc01);
+      _mm_storeu_pd(out + i + 2, acc23);
+    }
+  }
+  if (i < count) {
+    AdcScalar(codes + i * m, count - i, m, ksub, table, threshold, out + i);
+  }
+}
+
 #endif  // x86-64
 
 #if defined(__aarch64__)
@@ -328,6 +426,56 @@ void ScaledRowsNeon(const double* const* rows, const double* scales,
   }
 }
 
+void AdcNeon(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double threshold, double* out) {
+  const bool abandon = threshold != kInf;
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const uint8_t* c0 = codes + i * m;
+    const uint8_t* c1 = c0 + m;
+    const uint8_t* c2 = c1 + m;
+    const uint8_t* c3 = c2 + m;
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    size_t s = 0;
+    bool abandoned = false;
+    while (s < m) {
+      const size_t stop = abandon ? std::min(m, s + kAdcAbandonStride) : m;
+      const double* t = table + s * ksub;
+      for (; s < stop; ++s, t += ksub) {
+        float64x2_t v01 = vdupq_n_f64(t[c0[s]]);
+        v01 = vsetq_lane_f64(t[c1[s]], v01, 1);
+        acc01 = vaddq_f64(acc01, v01);
+        float64x2_t v23 = vdupq_n_f64(t[c2[s]]);
+        v23 = vsetq_lane_f64(t[c3[s]], v23, 1);
+        acc23 = vaddq_f64(acc23, v23);
+      }
+      if (abandon && s < m) {
+        const uint64x2_t o01 = vcgtq_f64(acc01, thr);
+        const uint64x2_t o23 = vcgtq_f64(acc23, thr);
+        if (vgetq_lane_u64(o01, 0) != 0 && vgetq_lane_u64(o01, 1) != 0 &&
+            vgetq_lane_u64(o23, 0) != 0 && vgetq_lane_u64(o23, 1) != 0) {
+          abandoned = true;
+          break;
+        }
+      }
+    }
+    if (abandoned) {
+      out[i] = kAbandoned;
+      out[i + 1] = kAbandoned;
+      out[i + 2] = kAbandoned;
+      out[i + 3] = kAbandoned;
+    } else {
+      vst1q_f64(out + i, acc01);
+      vst1q_f64(out + i + 2, acc23);
+    }
+  }
+  if (i < count) {
+    AdcScalar(codes + i * m, count - i, m, ksub, table, threshold, out + i);
+  }
+}
+
 #endif  // aarch64
 
 }  // namespace internal
@@ -347,19 +495,24 @@ struct KernelOps {
                  const double*, double*);
   void (*scaled_rows)(const double* const*, const double*, size_t, size_t,
                       const double*, double*);
+  void (*adc)(const uint8_t*, size_t, size_t, size_t, const double*, double,
+              double*);
 };
 
 constexpr KernelOps kScalarOps = {&ContigScalar, &GatherScalar,
-                                  &ScaledRowsScalar};
+                                  &ScaledRowsScalar, &internal::AdcScalar};
 #if defined(__x86_64__) || defined(_M_X64)
 constexpr KernelOps kSse2Ops = {&internal::ContigSse2, &internal::GatherSse2,
-                                &internal::ScaledRowsSse2};
+                                &internal::ScaledRowsSse2,
+                                &internal::AdcSse2};
 constexpr KernelOps kAvx2Ops = {&internal::ContigAvx2, &internal::GatherAvx2,
-                                &internal::ScaledRowsAvx2};
+                                &internal::ScaledRowsAvx2,
+                                &internal::AdcAvx2};
 #endif
 #if defined(__aarch64__)
 constexpr KernelOps kNeonOps = {&internal::ContigNeon, &internal::GatherNeon,
-                                &internal::ScaledRowsNeon};
+                                &internal::ScaledRowsNeon,
+                                &internal::AdcNeon};
 #endif
 
 const KernelOps& OpsFor(Backend backend) {
@@ -533,6 +686,29 @@ void ScaledRowsSquaredDistance(const double* const* rows,
   QVT_DCHECK(query.size() == dim);
   OpsFor(ActiveBackend())
       .scaled_rows(rows, scales, count, dim, query.data(), out);
+}
+
+void BuildAdcTable(const float* codebooks, size_t m, size_t ksub,
+                   size_t sub_dim, std::span<const float> query,
+                   double* table) {
+  QVT_DCHECK(query.size() == m * sub_dim);
+  const double* q = WidenQuery(query);
+  const KernelOps& ops = OpsFor(ActiveBackend());
+  for (size_t s = 0; s < m; ++s) {
+    ops.contig(codebooks + s * ksub * sub_dim, ksub, sub_dim,
+               q + s * sub_dim, kInf, table + s * ksub);
+  }
+}
+
+void AdcScan(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double* out) {
+  OpsFor(ActiveBackend()).adc(codes, count, m, ksub, table, kInf, out);
+}
+
+void AdcScanAbandon(const uint8_t* codes, size_t count, size_t m,
+                    size_t ksub, const double* table, double threshold,
+                    double* out) {
+  OpsFor(ActiveBackend()).adc(codes, count, m, ksub, table, threshold, out);
 }
 
 double AbandonThreshold(double distance) {

@@ -98,6 +98,46 @@ void ScaledRowsSquaredDistance(const double* const* rows,
                                const double* scales, size_t count, size_t dim,
                                std::span<const double> query, double* out);
 
+// --- Packed-code ADC kernels (the product-quantization first pass) --------
+//
+// `codes` holds `count` rows of `m` uint8 codebook indices (one byte per
+// subspace). `table` is a per-query asymmetric-distance table, row-major
+// m x ksub doubles: table[s * ksub + c] is the squared distance from the
+// query's s-th subvector to entry c of subspace s's codebook. Each kernel
+// computes
+//
+//     out[i] = sum_s table[s * ksub + codes[i * m + s]]
+//
+// with the terms accumulated in ascending-s order, one lane per row — the
+// same fixed-reduction discipline as the float kernels above, so scalar,
+// SSE2, AVX2 and NEON produce bit-identical doubles.
+
+/// Fills `table` (m * ksub doubles) from `codebooks`, the concatenated
+/// row-major subspace codebooks (m * ksub * sub_dim floats; subspace s's
+/// entry c is row s * ksub + c). One batched squared-distance sweep per
+/// subspace on the active backend; entries are bit-identical across
+/// backends by the contract above. `query` holds m * sub_dim floats.
+void BuildAdcTable(const float* codebooks, size_t m, size_t ksub,
+                   size_t sub_dim, std::span<const float> query,
+                   double* table);
+
+/// Plain ADC scan over `count` packed code rows.
+void AdcScan(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double* out);
+
+/// Early-abandoning ADC scan. Table entries are squared distances, hence
+/// non-negative, and floating-point addition of non-negative terms is
+/// monotone non-decreasing — so a running sum that strictly exceeds
+/// `threshold` proves the completed sum would too, exactly, with no
+/// inflation needed (unlike AbandonThreshold's margin for the sqrt path).
+/// Pruned rows get kAbandoned; completed rows are bit-identical to AdcScan.
+/// Which rows get pruned is backend-specific (SIMD backends only prune when
+/// every lane of a block is over), exactly as with
+/// BatchSquaredDistanceAbandon. threshold = +inf disables pruning.
+void AdcScanAbandon(const uint8_t* codes, size_t count, size_t m,
+                    size_t ksub, const double* table, double threshold,
+                    double* out);
+
 /// Conservative squared-space abandon threshold for a bound expressed as a
 /// (post-sqrt) distance: slightly inflated so that `running > threshold`
 /// proves `sqrt(final) > distance` despite the squaring and sqrt roundings

@@ -200,6 +200,50 @@ QVT_TARGET_AVX2 void ScaledRowsAvx2(const double* const* rows,
   }
 }
 
+QVT_TARGET_AVX2 void AdcAvx2(const uint8_t* codes, size_t count, size_t m,
+                             size_t ksub, const double* table,
+                             double threshold, double* out) {
+  const bool abandon = threshold != kInf;
+  const __m256d thr = _mm256_set1_pd(threshold);
+  size_t i = 0;
+  // Eight rows per block as two 4-lane accumulators. The indices are
+  // data-dependent, so table entries come in through scalar loads packed
+  // lane-wise; each lane still adds its entries in ascending-s order,
+  // bit-identical to AdcScalar.
+  for (; i + 8 <= count; i += 8) {
+    const uint8_t* c = codes + i * m;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    size_t s = 0;
+    bool abandoned = false;
+    while (s < m) {
+      const size_t stop = abandon ? std::min(m, s + kAdcAbandonStride) : m;
+      const double* t = table + s * ksub;
+      for (; s < stop; ++s, t += ksub) {
+        acc_lo = _mm256_add_pd(
+            acc_lo, _mm256_set_pd(t[c[3 * m + s]], t[c[2 * m + s]],
+                                  t[c[m + s]], t[c[s]]));
+        acc_hi = _mm256_add_pd(
+            acc_hi, _mm256_set_pd(t[c[7 * m + s]], t[c[6 * m + s]],
+                                  t[c[5 * m + s]], t[c[4 * m + s]]));
+      }
+      if (abandon && s < m && AllOver(acc_lo, thr) && AllOver(acc_hi, thr)) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (abandoned) {
+      for (size_t j = 0; j < 8; ++j) out[i + j] = kAbandonedValue;
+    } else {
+      _mm256_storeu_pd(out + i, acc_lo);
+      _mm256_storeu_pd(out + i + 4, acc_hi);
+    }
+  }
+  if (i < count) {
+    AdcScalar(codes + i * m, count - i, m, ksub, table, threshold, out + i);
+  }
+}
+
 }  // namespace internal
 }  // namespace kernels
 }  // namespace qvt

@@ -17,6 +17,11 @@ namespace internal {
 /// kAbandonStride-dimension boundaries.
 inline constexpr size_t kAbandonStride = 8;
 
+/// ADC scans check at kAdcAbandonStride-subspace boundaries: one table
+/// lookup covers sub_dim dimensions, so the stride is tighter than the
+/// per-dimension kAbandonStride.
+inline constexpr size_t kAdcAbandonStride = 4;
+
 // --- Portable scalar reference (always available) -------------------------
 void ContigScalar(const float* base, size_t count, size_t dim,
                   const double* query, double threshold, double* out);
@@ -25,6 +30,8 @@ void GatherScalar(const float* base, size_t dim, const uint32_t* positions,
 void ScaledRowsScalar(const double* const* rows, const double* scales,
                       size_t count, size_t dim, const double* query,
                       double* out);
+void AdcScalar(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+               const double* table, double threshold, double* out);
 
 // --- SSE2 (x86-64 baseline), defined in kernels.cc ------------------------
 #if defined(__x86_64__) || defined(_M_X64)
@@ -35,6 +42,8 @@ void GatherSse2(const float* base, size_t dim, const uint32_t* positions,
 void ScaledRowsSse2(const double* const* rows, const double* scales,
                     size_t count, size_t dim, const double* query,
                     double* out);
+void AdcSse2(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double threshold, double* out);
 
 // --- AVX2 (runtime-detected), defined in kernels_avx2.cc ------------------
 void ContigAvx2(const float* base, size_t count, size_t dim,
@@ -44,6 +53,8 @@ void GatherAvx2(const float* base, size_t dim, const uint32_t* positions,
 void ScaledRowsAvx2(const double* const* rows, const double* scales,
                     size_t count, size_t dim, const double* query,
                     double* out);
+void AdcAvx2(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double threshold, double* out);
 #endif  // x86-64
 
 // --- NEON (aarch64 baseline), defined in kernels.cc -----------------------
@@ -55,6 +66,8 @@ void GatherNeon(const float* base, size_t dim, const uint32_t* positions,
 void ScaledRowsNeon(const double* const* rows, const double* scales,
                     size_t count, size_t dim, const double* query,
                     double* out);
+void AdcNeon(const uint8_t* codes, size_t count, size_t m, size_t ksub,
+             const double* table, double threshold, double* out);
 #endif  // aarch64
 
 }  // namespace internal

@@ -98,14 +98,14 @@ void ExpectSameCounters(const QueryTelemetry& a, const QueryTelemetry& b) {
 
 // --- registry ---------------------------------------------------------------
 
-TEST(MethodRegistryTest, ListsAllSixBuiltins) {
+TEST(MethodRegistryTest, ListsAllSevenBuiltins) {
   const MethodRegistry& registry = MethodRegistry::Global();
-  for (const char* name :
-       {"chunked", "exact-scan", "lsh", "va-file", "medrank", "psphere"}) {
+  for (const char* name : {"chunked", "exact-scan", "lsh", "va-file",
+                           "medrank", "psphere", "pq"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
   }
   const std::vector<MethodInfo> infos = registry.List();
-  EXPECT_EQ(infos.size(), 6u);
+  EXPECT_EQ(infos.size(), 7u);
   for (size_t i = 1; i < infos.size(); ++i) {
     EXPECT_LT(infos[i - 1].name, infos[i].name);  // sorted listing
   }

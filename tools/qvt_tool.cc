@@ -7,8 +7,12 @@
 //                     [--chunker sr|rr|kmeans|balanced-kmeans|birch|bag]
 //                     [--chunk-size 1000] [--max-chunk-pop 0]
 //                     [--build-threads N] [--tree-out tree.srt]
-//   qvt_tool info     --index idx [--mmap 0|1]
-//   qvt_tool fsck     [--index idx] [--tree tree.srt] [--max-chunk-pop 0]
+//                     [--pq-out codes.pqc] [--pq-m 8] [--pq-ksub 256]
+//                     [--pq-iters 25] [--pq-seed 7]
+//   qvt_tool info     --index idx [--mmap 0|1] [--pq codes.pqc]
+//                     [--cache-pages 0]
+//   qvt_tool fsck     [--index idx] [--tree tree.srt] [--pq codes.pqc]
+//                     [--max-chunk-pop 0]
 //   qvt_tool tail     --collection col.desc --index idx [--queries 200]
 //                     [--k 10] [--budgets 1,2,4,8,0] [--threads 1]
 //                     [--seed 7] [--max-chunk-pop 0] [--label chunked]
@@ -32,9 +36,15 @@
 // reports delivered recall vs the p50/p95/p99 latency distribution,
 // optionally writing the BENCH_tail.json document.
 //
+// build --pq-out additionally trains per-subspace product-quantization
+// codebooks on the collection, encodes every descriptor to m bytes, and
+// writes the "QVTPQC01" compressed-collection file — the in-memory first
+// pass of --method pq (pass it as file=codes.pqc in --method-params, or
+// let pq train at Prepare). info --pq and fsck --pq inspect/verify one.
+//
 // --method picks any search method registered in MethodRegistry ("methods"
 // lists them): chunked (the paper's §4.3 searcher; needs --index),
-// exact-scan, lsh, va-file, medrank, psphere. --method-params passes
+// exact-scan, lsh, va-file, medrank, psphere, pq. --method-params passes
 // comma-separated key=value options to the method's factory; unknown keys
 // are rejected. --check-recall R computes exact-scan ground truth for the
 // sampled workload and fails (exit 1) when mean recall@k drops below R —
@@ -81,6 +91,7 @@
 #include "cluster/balanced_kmeans.h"
 #include "cluster/birch.h"
 #include "cluster/kmeans.h"
+#include "cluster/pq.h"
 #include "cluster/rebalance.h"
 #include "cluster/round_robin.h"
 #include "cluster/srtree_chunker.h"
@@ -94,6 +105,7 @@
 #include "descriptor/workload.h"
 #include "srtree/static_sr_tree.h"
 #include "storage/chunk_cache.h"
+#include "storage/pq_file.h"
 #include "util/build_stats.h"
 #include "util/parallel_for.h"
 #include "util/random.h"
@@ -281,6 +293,34 @@ int CmdBuild(const Flags& flags) {
               static_cast<size_t>(index->total_descriptors()),
               chunking->outliers.size(), chunker->name().c_str());
   std::printf("populations: %s\n", chunking->Populations().ToString().c_str());
+  // --pq-out: train + encode the compressed in-memory first pass alongside
+  // the chunk index, into the "QVTPQC01" file --method pq can open.
+  if (flags.Has("pq-out")) {
+    PqConfig pq_config;
+    pq_config.m = static_cast<size_t>(flags.GetInt("pq-m", 8));
+    pq_config.ksub = static_cast<size_t>(flags.GetInt("pq-ksub", 256));
+    pq_config.max_iterations =
+        static_cast<size_t>(flags.GetInt("pq-iters", 25));
+    pq_config.seed = static_cast<uint64_t>(flags.GetInt("pq-seed", 7));
+    auto codebook = TrainPq(*collection, pq_config);
+    if (!codebook.ok()) return Fail(codebook.status());
+    auto codes = PqEncode(*collection, *codebook);
+    if (!codes.ok()) return Fail(codes.status());
+    const std::string pq_path = flags.Get("pq-out", "");
+    if (const Status written =
+            WritePqFile(Env::Posix(), pq_path, codebook->dim, codebook->m,
+                        codebook->ksub, codebook->centroids, *codes,
+                        collection->Ids());
+        !written.ok()) {
+      return Fail(written);
+    }
+    std::printf("wrote pq codes to %s: m=%zu x ksub=%zu, %zu bytes/row "
+                "(%.1fx smaller than %zu-byte records)\n",
+                pq_path.c_str(), codebook->m, codebook->ksub, codebook->m,
+                static_cast<double>(DescriptorRecordBytes(codebook->dim)) /
+                    static_cast<double>(codebook->m),
+                DescriptorRecordBytes(codebook->dim));
+  }
   PrintBuildStats();
   return 0;
 }
@@ -323,6 +363,42 @@ int CmdInfo(const Flags& flags) {
               static_cast<double>(pages) * kPageSize / (1024.0 * 1024.0));
   std::printf("populations:       %s\n",
               index->populations().ToString().c_str());
+
+  // Per-method resident memory: what each first pass keeps in RAM while
+  // answering queries (the chunk payload itself stays on disk).
+  const size_t n = index->num_chunks();
+  const size_t centroid_bytes = n * index->dim() * sizeof(float);
+  const size_t radii_bytes = n * sizeof(double);
+  const size_t directory_bytes = n * sizeof(ChunkLocation);
+  std::printf("resident memory:\n");
+  std::printf("  chunked:         %.1f KiB (centroid matrix %.1f KiB, "
+              "radii %.1f KiB, directory %.1f KiB)\n",
+              (centroid_bytes + radii_bytes + directory_bytes) / 1024.0,
+              centroid_bytes / 1024.0, radii_bytes / 1024.0,
+              directory_bytes / 1024.0);
+  if (flags.Has("pq")) {
+    auto pq = OpenPqFile(Env::Posix(), flags.Get("pq", ""), 0,
+                         /*mapped=*/false);
+    if (!pq.ok()) return Fail(pq.status());
+    const size_t codebook_bytes = pq->codebooks().size() * sizeof(float);
+    const size_t code_bytes = pq->codes().size();
+    const size_t id_bytes = pq->ids().size() * sizeof(uint32_t);
+    std::printf("  pq:              %.1f KiB (codebooks %.1f KiB, codes "
+                "%.1f KiB at %zu B/row, ids %.1f KiB) — QVTPQC v%u, "
+                "m=%zu x ksub=%zu, %llu rows\n",
+                (codebook_bytes + code_bytes + id_bytes) / 1024.0,
+                codebook_bytes / 1024.0, code_bytes / 1024.0, pq->m(),
+                id_bytes / 1024.0, pq->header().version, pq->m(),
+                pq->ksub(),
+                static_cast<unsigned long long>(pq->num_vectors()));
+  }
+  const uint64_t cache_pages =
+      static_cast<uint64_t>(flags.GetInt("cache-pages", 0));
+  if (cache_pages > 0) {
+    std::printf("  chunk cache:     %.1f KiB capacity (%llu pages x %zu B)\n",
+                static_cast<double>(cache_pages) * kPageSize / 1024.0,
+                static_cast<unsigned long long>(cache_pages), kPageSize);
+  }
   return 0;
 }
 
@@ -332,8 +408,8 @@ int CmdInfo(const Flags& flags) {
 // additionally checks a static SR-tree file (CRC + structural links).
 // Defects print as "error: <what> in <path> at offset <n>"; exit 1.
 int CmdFsck(const Flags& flags) {
-  if (!flags.Has("index") && !flags.Has("tree")) {
-    std::fprintf(stderr, "fsck requires --index and/or --tree\n");
+  if (!flags.Has("index") && !flags.Has("tree") && !flags.Has("pq")) {
+    std::fprintf(stderr, "fsck requires --index, --tree, and/or --pq\n");
     return 2;
   }
   int failures = 0;
@@ -372,6 +448,23 @@ int CmdFsck(const Flags& flags) {
                   flags.Get("tree", "").c_str(), tree->num_nodes(),
                   tree->num_leaves(), tree->num_points(),
                   tree->header().version);
+    }
+  }
+  if (flags.Has("pq")) {
+    // The deserializing open verifies envelope geometry, the full-file CRC,
+    // and per-entry invariants (finite codebooks, every code < ksub).
+    auto pq = OpenPqFile(Env::Posix(), flags.Get("pq", ""), 0,
+                         /*mapped=*/false);
+    if (!pq.ok()) {
+      std::fprintf(stderr, "fsck: pq %s: %s\n", flags.Get("pq", "").c_str(),
+                   pq.status().ToString().c_str());
+      ++failures;
+    } else {
+      std::printf("fsck: pq %s: OK (m=%zu x ksub=%zu, dim %zu, %llu rows, "
+                  "format v%u)\n",
+                  flags.Get("pq", "").c_str(), pq->m(), pq->ksub(), pq->dim(),
+                  static_cast<unsigned long long>(pq->num_vectors()),
+                  pq->header().version);
     }
   }
   return failures == 0 ? 0 : 1;
@@ -442,6 +535,7 @@ int CmdSearch(const Flags& flags) {
   context.collection = &*collection;
   context.index = index.has_value() ? &**index : nullptr;
   context.prefetch = PrefetchFromFlag(flags.GetInt("prefetch-depth", -1));
+  context.env = Env::Posix();
   auto method = MethodRegistry::Global().Create(
       flags.Get("method", "chunked"), context, flags.Get("method-params", ""));
   if (!method.ok()) return Fail(method.status());
@@ -535,6 +629,7 @@ int CmdBatch(const Flags& flags) {
   context.index = index.has_value() ? &**index : nullptr;
   context.cache = cache.get();
   context.prefetch = prefetch;
+  context.env = Env::Posix();
   const std::string method_params = flags.Get("method-params", "");
   auto method = MethodRegistry::Global().Create(method_name, context,
                                                 method_params);
@@ -707,6 +802,7 @@ int CmdTail(const Flags& flags) {
   context.collection = &*collection;
   context.index = &*index;
   context.prefetch = PrefetchFromFlag(flags.GetInt("prefetch-depth", -1));
+  context.env = Env::Posix();
   const std::string method_name = flags.Get("method", "chunked");
   auto method = MethodRegistry::Global().Create(method_name, context,
                                                 flags.Get("method-params", ""));

@@ -2,7 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "util/clock.h"
@@ -36,15 +40,30 @@ LatencyPercentiles Percentiles(const std::vector<MethodResult>& results,
   return LatencyPercentiles::FromStats(stats);
 }
 
+/// QVT_SHARED_SCAN=0|off|false forces query-major execution everywhere a
+/// BatchSearcher would otherwise coalesce — the operational escape hatch,
+/// mirroring QVT_SIMD / QVT_PREFETCH_DEPTH.
+bool SharedScanEnvEnabled() {
+  const char* env = std::getenv("QVT_SHARED_SCAN");
+  if (env == nullptr) return true;
+  const std::string_view value(env);
+  return value != "0" && value != "off" && value != "false";
+}
+
 }  // namespace
 
-BatchSearcher::BatchSearcher(const SearchMethod* method, size_t num_threads)
-    : method_(method), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+BatchSearcher::BatchSearcher(const SearchMethod* method, size_t num_threads,
+                             bool shared_scan)
+    : method_(method),
+      num_threads_(num_threads == 0 ? 1 : num_threads),
+      shared_scan_(shared_scan) {}
 
-BatchSearcher::BatchSearcher(const Searcher* searcher, size_t num_threads)
+BatchSearcher::BatchSearcher(const Searcher* searcher, size_t num_threads,
+                             bool shared_scan)
     : owned_method_(WrapSearcher(searcher)),
       method_(owned_method_.get()),
-      num_threads_(num_threads == 0 ? 1 : num_threads) {}
+      num_threads_(num_threads == 0 ? 1 : num_threads),
+      shared_scan_(shared_scan) {}
 
 StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
     const Workload& queries, size_t k, const StopRule& stop) const {
@@ -56,7 +75,38 @@ StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
   WallClock wall;
   Stopwatch stopwatch(&wall);
 
-  if (num_threads_ == 1 || n <= 1) {
+  if (shared_scan_ && n > 1 && method_->SupportsSharedScan() &&
+      SharedScanEnvEnabled()) {
+    // Chunk-major execution: dedup identical query vectors (byte-wise, so
+    // only true replays coalesce), run the distinct ones through the
+    // method's shared executor, fan duplicate answers back out in input
+    // order. Followers copy the leader's MethodResult verbatim — same
+    // neighbors, same as-if-alone telemetry.
+    std::vector<std::span<const float>> unique;
+    std::vector<size_t> owner(n);
+    std::unordered_map<std::string_view, size_t> seen;
+    unique.reserve(n);
+    seen.reserve(n);
+    for (size_t q = 0; q < n; ++q) {
+      const std::span<const float> query = queries.Query(q);
+      const std::string_view key(
+          reinterpret_cast<const char*>(query.data()),
+          query.size() * sizeof(float));
+      const auto [it, inserted] = seen.try_emplace(key, unique.size());
+      if (inserted) {
+        unique.push_back(query);
+      } else {
+        ++batch.shared.dedup_hits;
+      }
+      owner[q] = it->second;
+    }
+    auto shared_results =
+        method_->SearchShared(unique, k, stop, num_threads_, &batch.shared);
+    if (!shared_results.ok()) return shared_results.status();
+    for (size_t q = 0; q < n; ++q) {
+      batch.results[q] = (*shared_results)[owner[q]];
+    }
+  } else if (num_threads_ == 1 || n <= 1) {
     // Serial fast path: same loop a caller would write around Search(),
     // preserving the paper's single-stream methodology exactly.
     for (size_t q = 0; q < n; ++q) {
@@ -96,6 +146,10 @@ StatusOr<BatchSearchResult> BatchSearcher::SearchAll(
     batch.totals += r.telemetry;
     if (r.telemetry.exact) ++batch.exact_queries;
   }
+  // Chunk-major batches run merged prefetch streams whose counters live in
+  // the shared ledger (per-query records stay zero); fold them into the
+  // batch totals so the prefetch ledger balances in either mode.
+  batch.totals.prefetch += batch.shared.prefetch;
   return batch;
 }
 

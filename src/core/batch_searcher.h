@@ -55,8 +55,13 @@ struct BatchSearchResult {
   /// All zero for methods without a disk model.
   LatencyPercentiles model;
   /// Sum of the per-query QueryTelemetry records (timers and counters; the
-  /// unified schema every method emits).
+  /// unified schema every method emits). Includes the shared executor's
+  /// merged prefetch-stream counters when the batch ran chunk-major (the
+  /// per-query records keep theirs at zero in that mode).
   QueryTelemetry totals;
+  /// Coalescing ledger of the chunk-major shared-scan executor; all zero
+  /// (enabled = false) when the batch ran query-major.
+  SharedScanStats shared;
   /// Queries whose answer the method proved exact.
   size_t exact_queries = 0;
   size_t num_threads = 1;
@@ -78,15 +83,27 @@ struct BatchSearchResult {
 /// more threads, per-query neighbors and telemetry counters are still
 /// deterministic (all per-query state is private; ties are broken by
 /// descriptor id); only wall-clock figures vary run to run.
+/// Execution mode: when the method supports shared scans (chunked, pq) and
+/// the batch has more than one query, SearchAll runs chunk-major by default
+/// — all queries' chunk schedules are merged so every chunk is fetched,
+/// decoded, and swept once for all the queries that want it, through the
+/// fused multi-query kernels. Identical query vectors are deduplicated
+/// first (one plan and scan, results fanned back out). Per-query results
+/// are bit-identical to the query-major path; only wall-clock attribution
+/// and (with a shared ChunkCache) cache verdicts differ, exactly as they
+/// already do between thread counts. Pass `shared_scan = false` or set
+/// QVT_SHARED_SCAN=0 in the environment to force query-major execution.
 class BatchSearcher {
  public:
   /// `method` is borrowed and must outlive the batch searcher.
-  BatchSearcher(const SearchMethod* method, size_t num_threads);
+  BatchSearcher(const SearchMethod* method, size_t num_threads,
+                bool shared_scan = true);
 
   /// Convenience: wraps a borrowed chunked `searcher` in the unified
   /// adapter (owned by this BatchSearcher). Behaves exactly like the
   /// pre-unification BatchSearcher over a Searcher.
-  BatchSearcher(const Searcher* searcher, size_t num_threads);
+  BatchSearcher(const Searcher* searcher, size_t num_threads,
+                bool shared_scan = true);
 
   /// Runs every query of `queries` for its k nearest neighbors under `stop`.
   /// Fails with the first per-query error, if any.
@@ -99,6 +116,7 @@ class BatchSearcher {
   std::unique_ptr<SearchMethod> owned_method_;  ///< legacy Searcher ctor only
   const SearchMethod* method_;
   size_t num_threads_;
+  bool shared_scan_;
 };
 
 }  // namespace qvt

@@ -63,6 +63,19 @@ class PqMethod final : public SearchMethod {
   StatusOr<MethodResult> Search(std::span<const float> query, size_t k,
                                 const StopRule& stop) const override;
 
+  bool SupportsSharedScan() const override { return true; }
+
+  /// Chunk-major batched execution: one fused pass over the packed codes
+  /// drives every query's ADC filter (the MultiQueryAdcScanAbandon kernel,
+  /// per-query thresholds), and the rerank fetches the union of the
+  /// queries' candidate chunks once each. Per-query neighbors and counters
+  /// are bit-identical to Search() per query; `stats` accumulates the
+  /// batch's coalescing ledger.
+  StatusOr<std::vector<MethodResult>> SearchShared(
+      std::span<const std::span<const float>> queries, size_t k,
+      const StopRule& stop, size_t num_threads,
+      SharedScanStats* stats) const override;
+
   /// Bytes of RAM the prepared first pass holds resident (codebooks +
   /// packed codes + id sidecar + rerank routing table). For `qvt_tool
   /// info`'s footprint report.

@@ -118,6 +118,13 @@ StatusOr<MethodResult> SearchMethod::SearchRange(std::span<const float>,
                                " does not support range search");
 }
 
+StatusOr<std::vector<MethodResult>> SearchMethod::SearchShared(
+    std::span<const std::span<const float>>, size_t, const StopRule&, size_t,
+    SharedScanStats*) const {
+  return Status::Unimplemented(std::string(name()) +
+                               " does not support shared scans");
+}
+
 namespace {
 
 Status RequirePrepared(bool prepared, std::string_view name) {
@@ -192,6 +199,22 @@ class ChunkedMethod final : public SearchMethod {
         SearchResult raw,
         searcher_->SearchRange(query, radius, stop, &scratch));
     return Convert(std::move(raw));
+  }
+
+  bool SupportsSharedScan() const override { return true; }
+
+  StatusOr<std::vector<MethodResult>> SearchShared(
+      std::span<const std::span<const float>> queries, size_t k,
+      const StopRule& stop, size_t num_threads,
+      SharedScanStats* stats) const override {
+    QVT_RETURN_IF_ERROR(RequirePrepared(prepared_, name()));
+    QVT_ASSIGN_OR_RETURN(
+        std::vector<SearchResult> raw,
+        searcher_->SearchShared(queries, k, stop, num_threads, stats));
+    std::vector<MethodResult> results;
+    results.reserve(raw.size());
+    for (SearchResult& r : raw) results.push_back(Convert(std::move(r)));
+    return results;
   }
 
  private:

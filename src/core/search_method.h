@@ -126,6 +126,24 @@ class SearchMethod {
                                              double radius,
                                              const StopRule& stop) const;
 
+  /// True when this method implements SearchShared — chunk-major batched
+  /// execution where one pass over each storage unit serves many queries
+  /// (the chunked searcher and the pq ADC scan). BatchSearcher consults
+  /// this to pick the execution mode; methods that return false simply run
+  /// query-major.
+  virtual bool SupportsSharedScan() const { return false; }
+
+  /// Answers all `queries` (k neighbors each, under `stop`) through the
+  /// method's shared-scan executor. Per-query results are bit-identical to
+  /// Search() per query — same neighbors, same exact verdicts, same
+  /// as-if-alone counters and model clocks (see DESIGN.md "Chunk-major
+  /// batched execution"); `stats`, when non-null, accumulates the batch's
+  /// coalescing ledger. Default: Unimplemented (check SupportsSharedScan).
+  virtual StatusOr<std::vector<MethodResult>> SearchShared(
+      std::span<const std::span<const float>> queries, size_t k,
+      const StopRule& stop, size_t num_threads,
+      SharedScanStats* stats) const;
+
  protected:
   /// Shared guard: OK iff `stop` is the plain exact rule. Methods that do
   /// not interpret stop rules call this first.

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "geometry/kernels.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace qvt {
 
@@ -232,6 +235,355 @@ StatusOr<SearchResult> Searcher::Search(std::span<const float> query,
   result.rank_model_micros = rank_model_micros;
   result.rank_wall_micros = rank_wall_micros;
   return result;
+}
+
+namespace {
+
+/// Private state of one query inside a shared-scan batch. Everything that
+/// evolves during the scan — result set, stop-rule inputs, accounting — is
+/// per-query, so queries co-scanning one chunk never share mutable state.
+struct SharedQueryState {
+  std::span<const float> query;
+  std::vector<double> wide_query;  ///< pre-widened for the fused kernels
+  SearchScratch scratch;
+  std::optional<KnnResultSet> result_set;
+  SearchResult result;
+  int64_t model_micros = 0;  ///< as-if-alone serial model clock
+  int64_t wall_micros = 0;   ///< fair-share wall attribution
+  /// (io, cpu) model charge of the chunk at each rank position, indexed by
+  /// rank. The schedule may visit chunks out of rank order (kMaxChunks mode
+  /// sorts by chunk id), so overlapped-timeline replay happens at finalize,
+  /// in rank order — making model_overlapped_micros identical to the
+  /// per-query path's in-order accumulation.
+  std::vector<std::pair<int64_t, int64_t>> charges;
+  size_t next_rank = 0;  ///< next rank position to demand (round mode)
+};
+
+/// One (query, rank position) pair attached to a scheduled chunk.
+struct ChunkAttachment {
+  SharedQueryState* state;
+  size_t rank;
+};
+
+/// Reusable pointer arrays for one sweep worker. Hoisted out of the
+/// per-chunk sweep: the executor visits thousands of chunks per batch and
+/// three heap allocations per chunk would rival the scan itself.
+struct SweepScratch {
+  std::vector<const double*> queries;
+  std::vector<double*> outs;
+  std::vector<double> thresholds;
+};
+
+/// Sweeps one fetched chunk for all attached queries through the fused
+/// multi-query kernel: kScanBlock row blocks, per-query abandon thresholds
+/// recomputed from each query's own result set between blocks — the exact
+/// per-query (threshold, completed rows) sequence of Searcher::Search, so
+/// each query's result-set evolution is bit-identical to running alone.
+void SweepChunkForQueries(const ChunkData& data,
+                          std::span<const ChunkAttachment> atts,
+                          SweepScratch& sweep) {
+  const size_t dim = data.dim;
+  const size_t nq = atts.size();
+  sweep.queries.resize(nq);
+  sweep.outs.resize(nq);
+  sweep.thresholds.resize(nq);
+  const double** queries = sweep.queries.data();
+  double** outs = sweep.outs.data();
+  double* thresholds = sweep.thresholds.data();
+  for (size_t j = 0; j < nq; ++j) {
+    SharedQueryState& q = *atts[j].state;
+    queries[j] = q.wide_query.data();
+    outs[j] = q.scratch.distances.data();
+  }
+  for (size_t b = 0; b < data.size(); b += kScanBlock) {
+    const size_t bn = std::min(kScanBlock, data.size() - b);
+    for (size_t j = 0; j < nq; ++j) {
+      thresholds[j] = kernels::AbandonThreshold(
+          atts[j].state->result_set->KthDistance());
+    }
+    kernels::MultiQueryBatchSquaredDistanceAbandon(
+        data.values.data() + b * dim, bn, dim, queries, thresholds, nq,
+        outs);
+    for (size_t j = 0; j < nq; ++j) {
+      KnnResultSet& result_set = *atts[j].state->result_set;
+      const double* sq = outs[j];
+      for (size_t i = 0; i < bn; ++i) {
+        if (sq[i] == kernels::kAbandoned) continue;
+        result_set.Insert(data.ids[b + i], std::sqrt(sq[i]));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<SearchResult>> Searcher::SearchShared(
+    std::span<const std::span<const float>> queries, size_t k,
+    const StopRule& stop, size_t num_threads,
+    SharedScanStats* shared) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  for (const auto& query : queries) {
+    if (query.size() != index_->dim()) {
+      return Status::InvalidArgument("query dimensionality mismatch");
+    }
+  }
+  const size_t num_chunks = index_->num_chunks();
+  const size_t nq = queries.size();
+
+  WallClock wall;
+
+  // --- Plan: rank every query's chunks up front (§4.3 step 1). ------------
+  std::vector<SharedQueryState> states(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    SharedQueryState& q = states[i];
+    q.query = queries[i];
+    Stopwatch plan_watch(&wall);
+    q.model_micros = RankChunks(q.query, q.scratch);
+    q.result.rank_model_micros = q.model_micros;
+    q.result.rank_wall_micros = plan_watch.ElapsedMicros();
+    q.wall_micros = q.result.rank_wall_micros;
+    q.result_set.emplace(k);
+    q.scratch.distances.resize(kScanBlock);  // sweep output, reserved once
+    q.wide_query.resize(q.query.size());
+    for (size_t d = 0; d < q.query.size(); ++d) {
+      q.wide_query[d] = static_cast<double>(q.query[d]);
+    }
+  }
+  if (shared != nullptr) {
+    shared->enabled = true;
+    shared->queries += nq;
+  }
+
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1 && nq > 1) pool.emplace(num_threads);
+  SearchScratch fetch_scratch;  // backs cache-less synchronous fetches
+  // One sweep scratch per worker, reused across every chunk and schedule.
+  std::vector<SweepScratch> sweeps(pool.has_value() ? pool->num_threads()
+                                                    : 1);
+
+  // Fetches and sweeps one schedule: the distinct chunk ids in `order`,
+  // each swept once for its attached queries — chunk ci's attachments are
+  // atts[range_end[ci-1] .. range_end[ci]). Per-attachment accounting is
+  // "as-if-alone": every attached query is charged the chunk's full model
+  // cost under the shared fetch's cache verdict — the same verdict the
+  // query-major path would see given the same cache state.
+  auto process = [&](const std::vector<uint32_t>& order,
+                     const std::vector<size_t>& range_end,
+                     const std::vector<ChunkAttachment>& flat_atts)
+      -> Status {
+    std::unique_ptr<PrefetchStream> stream;
+    if (prefetcher_ != nullptr) stream = prefetcher_->NewStream(order);
+    Status status = Status::OK();
+    Stopwatch sweep_watch(&wall);
+    int64_t last_micros = 0;
+    for (size_t ci = 0; ci < order.size(); ++ci) {
+      const uint32_t chunk_id = order[ci];
+      const ChunkLocation& loc = index_->location(chunk_id);
+
+      std::shared_ptr<const ChunkData> cache_ref;
+      const ChunkData* data = nullptr;
+      bool from_cache = false;
+      status = stream != nullptr
+                   ? stream->Next(&cache_ref, &data, &from_cache)
+                   : FetchChunk(chunk_id, fetch_scratch, &cache_ref, &data,
+                                &from_cache);
+      if (!status.ok()) break;
+
+      const size_t att_begin = ci == 0 ? 0 : range_end[ci - 1];
+      const std::span<const ChunkAttachment> atts =
+          std::span<const ChunkAttachment>(flat_atts)
+              .subspan(att_begin, range_end[ci] - att_begin);
+      if (pool.has_value() && atts.size() > 1) {
+        // Per-query state is disjoint, so splitting the attachment list
+        // into contiguous ranges is safe and results are independent of
+        // the thread count and of task completion order.
+        const size_t tasks = std::min(pool->num_threads(), atts.size());
+        for (size_t t = 0; t < tasks; ++t) {
+          const size_t begin = atts.size() * t / tasks;
+          const size_t end = atts.size() * (t + 1) / tasks;
+          pool->Submit([&sweeps, &atts, data, begin, end, t] {
+            SweepChunkForQueries(*data, atts.subspan(begin, end - begin),
+                                 sweeps[t]);
+          });
+        }
+        pool->Wait();
+      } else {
+        SweepChunkForQueries(*data, atts, sweeps.front());
+      }
+
+      const int64_t io_micros = cost_model_.ChunkIoMicros(loc.num_pages);
+      const int64_t cpu_micros =
+          cost_model_.ChunkCpuMicros(loc.num_descriptors);
+      // One clock read per chunk: the share is the delta since the
+      // previous chunk finished (fetch + sweep), split evenly.
+      const int64_t now_micros = sweep_watch.ElapsedMicros();
+      const int64_t wall_share = (now_micros - last_micros) /
+                                 static_cast<int64_t>(atts.size());
+      last_micros = now_micros;
+      for (const ChunkAttachment& att : atts) {
+        SharedQueryState& q = *att.state;
+        SearchResult& r = q.result;
+        ++r.chunks_read;
+        r.descriptors_processed += data->size();
+        r.largest_chunk_descriptors =
+            std::max(r.largest_chunk_descriptors, loc.num_descriptors);
+        if (cache_ != nullptr) {
+          from_cache ? ++r.cache_hits : ++r.cache_misses;
+        }
+        if (!from_cache) r.pages_read += loc.num_pages;
+        q.model_micros +=
+            from_cache ? cpu_micros
+                       : cost_model_.ChunkTotalMicros(loc.num_pages,
+                                                      loc.num_descriptors);
+        const std::pair<int64_t, int64_t> charge{from_cache ? 0 : io_micros,
+                                                 cpu_micros};
+        if (q.charges.size() > att.rank) {
+          q.charges[att.rank] = charge;
+        } else {
+          q.charges.push_back(charge);  // round mode pushes in rank order
+        }
+        q.wall_micros += wall_share;
+      }
+      if (shared != nullptr) {
+        ++shared->chunk_fetches;
+        shared->chunk_attachments += atts.size();
+        shared->rows_fetched += data->size();
+        shared->rows_scan_shared +=
+            static_cast<uint64_t>(atts.size() - 1) * data->size();
+        ++shared->coscan_histogram[SharedScanStats::HistogramBucket(
+            atts.size())];
+      }
+    }
+    if (stream != nullptr) {
+      const PrefetchStats stats = stream->Finish();
+      if (shared != nullptr) shared->prefetch += stats;
+    }
+    return status;
+  };
+
+  // Turns a flat (chunk id, attachment) demand list into the grouped
+  // (order, range_end, attachments) arrays process() consumes. The
+  // schedule is sorted by the best (lowest) rank any attached query gave
+  // the chunk, ties by chunk id: results are order-independent (the result
+  // set's (distance, id) ordering fixes the final top-k), but
+  // early-abandon thresholds are not — sweeping everyone's best-ranked
+  // chunks first tightens every query's k-th distance almost as fast as
+  // its private rank order would, keeping the pruning power of the
+  // per-query path. Deterministic: the key is derived from the
+  // (deterministic) plans, never from timing.
+  std::vector<size_t> best_rank;  // per chunk id; reused across rounds
+  auto run_schedule =
+      [&](std::vector<std::pair<uint32_t, ChunkAttachment>>& demands)
+      -> Status {
+    best_rank.assign(num_chunks, static_cast<size_t>(-1));
+    for (const auto& [chunk_id, att] : demands) {
+      best_rank[chunk_id] = std::min(best_rank[chunk_id], att.rank);
+    }
+    // Stable: attachments of one chunk keep query-submission order.
+    std::stable_sort(demands.begin(), demands.end(),
+                     [&](const auto& a, const auto& b) {
+                       if (best_rank[a.first] != best_rank[b.first]) {
+                         return best_rank[a.first] < best_rank[b.first];
+                       }
+                       return a.first < b.first;
+                     });
+    std::vector<uint32_t> order;
+    std::vector<size_t> range_end;
+    std::vector<ChunkAttachment> atts;
+    atts.reserve(demands.size());
+    for (const auto& [chunk_id, att] : demands) {
+      if (order.empty() || order.back() != chunk_id) {
+        order.push_back(chunk_id);
+        range_end.push_back(atts.size());
+      }
+      atts.push_back(att);
+      range_end.back() = atts.size();
+    }
+    return process(order, range_end, atts);
+  };
+
+  if (stop.kind == StopRule::Kind::kMaxChunks) {
+    // The scanned set is statically known: each query reads exactly its
+    // first max_chunks ranked chunks, so the whole batch is one schedule
+    // over the distinct demanded chunks — each fetched and decoded once no
+    // matter how many queries want it. Scanning out of rank order is safe:
+    // the result set's (distance, id) ordering makes the final top-k
+    // independent of insertion order, and rank-indexed charge replay
+    // restores the modeled timeline (see DESIGN.md).
+    const size_t budget = std::min(stop.max_chunks, num_chunks);
+    std::vector<std::pair<uint32_t, ChunkAttachment>> demands;
+    demands.reserve(nq * budget);
+    for (SharedQueryState& q : states) {
+      q.charges.resize(budget);
+      for (size_t r = 0; r < budget; ++r) {
+        demands.emplace_back(q.scratch.rank_order[r],
+                             ChunkAttachment{&q, r});
+      }
+    }
+    QVT_RETURN_IF_ERROR(run_schedule(demands));
+  } else {
+    // Exact / epsilon / time-budget stops depend on evolving per-query
+    // state, so the schedule is rebuilt in rounds: every live query
+    // re-checks its stop rule exactly where the per-query loop would (at
+    // its own next rank position, against its own result set and model
+    // clock), detaches if it fires, else demands its next ranked chunk;
+    // one round's demands coalesce into one ascending-chunk-id pass. Each
+    // query's chunks are still visited in exact rank order across rounds,
+    // so its (threshold, chunk, model-clock) sequence matches the
+    // per-query path step for step.
+    std::vector<SharedQueryState*> live;
+    live.reserve(nq);
+    for (SharedQueryState& q : states) live.push_back(&q);
+    while (!live.empty()) {
+      std::vector<std::pair<uint32_t, ChunkAttachment>> demands;
+      demands.reserve(live.size());
+      std::vector<SharedQueryState*> still_live;
+      still_live.reserve(live.size());
+      for (SharedQueryState* q : live) {
+        const size_t r = q->next_rank;
+        if (r == num_chunks) {
+          // Scanned every chunk: exact by construction.
+          if (stop.kind == StopRule::Kind::kExact) q->result.exact = true;
+          continue;
+        }
+        if (stop.kind == StopRule::Kind::kTimeBudget &&
+            q->model_micros >= stop.budget_micros) {
+          continue;
+        }
+        if (stop.kind == StopRule::Kind::kExact && q->result_set->full() &&
+            q->scratch.suffix_min_bound[r] * (1.0 + stop.epsilon) >
+                q->result_set->KthDistance()) {
+          q->result.exact = stop.epsilon == 0.0;
+          continue;
+        }
+        demands.emplace_back(q->scratch.rank_order[r],
+                             ChunkAttachment{q, r});
+        q->next_rank = r + 1;
+        still_live.push_back(q);
+      }
+      live = std::move(still_live);
+      if (demands.empty()) break;
+      QVT_RETURN_IF_ERROR(run_schedule(demands));
+    }
+  }
+
+  // --- Finalize: replay charges in rank order, assemble results. ----------
+  std::vector<SearchResult> results;
+  results.reserve(nq);
+  for (SharedQueryState& q : states) {
+    OverlappedScanTimeline timeline(
+        prefetcher_ != nullptr ? prefetcher_->depth() : 0,
+        q.result.rank_model_micros);
+    for (size_t r = 0; r < q.result.chunks_read; ++r) {
+      timeline.AddChunk(q.charges[r].first, q.charges[r].second);
+    }
+    q.result.neighbors = q.result_set->Sorted();
+    q.result.model_elapsed_micros = q.model_micros;
+    q.result.model_overlapped_micros = timeline.ElapsedMicros();
+    q.result.wall_elapsed_micros = q.wall_micros;
+    results.push_back(std::move(q.result));
+  }
+  return results;
 }
 
 StatusOr<SearchResult> Searcher::SearchRange(std::span<const float> query,

@@ -8,6 +8,7 @@
 
 #include "core/chunk_index.h"
 #include "core/result_set.h"
+#include "core/telemetry.h"
 #include "storage/chunk_cache.h"
 #include "storage/disk_cost_model.h"
 #include "storage/prefetcher.h"
@@ -156,6 +157,36 @@ class Searcher {
                                 const StopRule& stop,
                                 const SearchObserver& observer = nullptr,
                                 SearchScratch* scratch = nullptr) const;
+
+  /// Chunk-major batched execution of `queries` (all for the k nearest
+  /// neighbors under `stop`): every query's chunk rank order is planned up
+  /// front, demands are grouped into a chunk -> pending-queries schedule,
+  /// and each scheduled chunk is fetched and decoded once, then swept once
+  /// for all attached queries through the fused multi-query kernels. Each
+  /// query keeps its own result set, scratch, stop-rule state, and
+  /// accounting, and detaches from the schedule the moment its stop rule
+  /// fires, so per-query results — neighbors, chunks_read, descriptors,
+  /// exact verdicts, and (cache-less) modeled times — are bit-identical to
+  /// Search() run per query (see DESIGN.md "Chunk-major batched
+  /// execution"). With a shared ChunkCache the one fetch per chunk makes
+  /// cache verdicts (and hence modeled times) differ from the query-major
+  /// interleaving, exactly as concurrent query-major batches already do.
+  ///
+  /// Under kMaxChunks the whole scanned set is known statically and the
+  /// schedule is a single pass over the distinct demanded chunks; the other
+  /// stop rules re-plan round-by-round (every live query demands its next
+  /// ranked chunk, demands are coalesced, stop rules are re-checked between
+  /// rounds). `num_threads` > 1 splits each chunk's attached queries across
+  /// a thread pool (per-query state is disjoint, so results do not depend
+  /// on the thread count). `shared`, when non-null, accumulates the batch's
+  /// coalescing ledger. Per-query wall times are fair-share attributions
+  /// (plan measured per query; each chunk's fetch+scan wall split evenly
+  /// across its attached queries); per-query prefetch counters stay zero —
+  /// the merged streams report through `shared->prefetch`.
+  StatusOr<std::vector<SearchResult>> SearchShared(
+      std::span<const std::span<const float>> queries, size_t k,
+      const StopRule& stop, size_t num_threads = 1,
+      SharedScanStats* shared = nullptr) const;
 
   /// Range (epsilon-neighbor) search: every stored descriptor within
   /// `radius` of `query`, ascending by distance — the query type of the BAG

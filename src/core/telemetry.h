@@ -23,6 +23,70 @@ struct StageTimes {
   }
 };
 
+/// Batch-level ledger of the chunk-major shared-scan executor: how much
+/// fetch/decode and scan work coalescing queries onto one chunk pass saved,
+/// compared to every query fetching and sweeping its chunks alone. Owned by
+/// the batch (the per-query QueryTelemetry stays "as-if-alone" so per-query
+/// records remain comparable across execution modes); all zero when the
+/// batch ran query-major.
+struct SharedScanStats {
+  /// True when the batch actually executed chunk-major.
+  bool enabled = false;
+  /// Queries that went through the shared executor (after dedup).
+  uint64_t queries = 0;
+  /// Duplicate queries answered by copying an identical query's result
+  /// instead of planning and scanning again (replayed-trace workloads).
+  uint64_t dedup_hits = 0;
+  /// Distinct chunk fetch+decode operations the schedule performed.
+  uint64_t chunk_fetches = 0;
+  /// (chunk, query) scan pairs served. attachments - fetches is the number
+  /// of fetch+decodes coalesced away versus the query-major path.
+  uint64_t chunk_attachments = 0;
+  /// Rows materialized once by the shared fetches (sum of chunk populations
+  /// over chunk_fetches).
+  uint64_t rows_fetched = 0;
+  /// Row passes served out of an already-hot shared sweep: each chunk (or
+  /// in-memory code block) scanned for n queries contributes (n - 1) x rows.
+  /// The decode/memory-traffic work the fused kernels amortize.
+  uint64_t rows_scan_shared = 0;
+  /// coscan_histogram[b] counts chunks scanned for n attached queries with
+  /// floor(log2(n)) == b (bucket 0: alone, 1: 2-3 queries, ..., last bucket
+  /// merges everything >= 128).
+  static constexpr size_t kHistogramBuckets = 8;
+  uint64_t coscan_histogram[kHistogramBuckets] = {};
+  /// Counters of the merged rank-order prefetch streams (one schedule for
+  /// the whole batch instead of one stream per query).
+  PrefetchStats prefetch;
+
+  uint64_t chunks_coalesced() const {
+    return chunk_attachments - chunk_fetches;
+  }
+
+  static size_t HistogramBucket(uint64_t coscanned) {
+    size_t b = 0;
+    while (coscanned > 1 && b + 1 < kHistogramBuckets) {
+      coscanned >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  SharedScanStats& operator+=(const SharedScanStats& other) {
+    enabled = enabled || other.enabled;
+    queries += other.queries;
+    dedup_hits += other.dedup_hits;
+    chunk_fetches += other.chunk_fetches;
+    chunk_attachments += other.chunk_attachments;
+    rows_fetched += other.rows_fetched;
+    rows_scan_shared += other.rows_scan_shared;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      coscan_histogram[b] += other.coscan_histogram[b];
+    }
+    prefetch += other.prefetch;
+    return *this;
+  }
+};
+
 /// The unified per-query measurement record every SearchMethod emits — the
 /// one schema BatchSearcher and the bench runner aggregate, replacing the
 /// former per-method stats structs (LshStats, VaFileStats, MedrankStats,

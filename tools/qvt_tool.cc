@@ -25,7 +25,7 @@
 //                     [--k 10] [--threads 1] [--max-chunks 0] [--seed 7]
 //                     [--cache-pages 0] [--verify 0] [--prefetch-depth 4]
 //                     [--method chunked] [--method-params "key=val,..."]
-//                     [--check-recall 0.0]
+//                     [--check-recall 0.0] [--shared-scan on|off]
 //
 // build --chunker balanced-kmeans enforces a per-chunk population bound
 // during assignment (--max-chunk-pop, or a 1.05x fair-share bound when 0);
@@ -53,6 +53,13 @@
 // --prefetch-depth sets the chunk read-ahead window (0 disables the
 // pipeline); its default also honors the QVT_PREFETCH_DEPTH environment
 // variable. Results are bit-identical at every depth.
+//
+// batch --shared-scan on (the default; QVT_SHARED_SCAN=0 overrides to off)
+// runs methods that support it (chunked, pq) chunk-major: the queries'
+// chunk schedules are merged, each chunk is fetched and decoded once for
+// all the queries that want it, and identical query vectors share one
+// plan and scan. Results are bit-identical to --shared-scan off; the
+// report adds the coalescing ledger.
 //
 // --mmap 1 forces the zero-copy mapped index open, --mmap 0 the
 // deserializing open (CRC + per-entry checks up front); without the flag
@@ -573,12 +580,13 @@ int CmdSearch(const Flags& flags) {
 
 // Runs a sampled query workload through the concurrent batch engine, via
 // any registered --method (default: the paper's chunked searcher).
-// --threads=1 (the default) is bit-identical to looping the method's Search
-// serially, so figure-reproduction runs stay on the paper's methodology;
-// higher thread counts report throughput and tail latency. --verify 1
-// re-runs the batch serially (prefetch off, fresh cache) and cross-checks
-// neighbors per query. --check-recall R scores the batch against exact-scan
-// ground truth and fails below the threshold.
+// Methods that support it run chunk-major by default (--shared-scan off or
+// QVT_SHARED_SCAN=0 forces query-major); results are bit-identical either
+// way, so figure-reproduction runs stay on the paper's methodology.
+// --verify 1 re-runs the batch serially (query-major, prefetch off, fresh
+// cache) and cross-checks neighbors per query — covering concurrency,
+// prefetching, AND the shared-scan executor. --check-recall R scores the
+// batch against exact-scan ground truth and fails below the threshold.
 int CmdBatch(const Flags& flags) {
   const std::string method_name = flags.Get("method", "chunked");
   if (!flags.Has("collection")) {
@@ -639,7 +647,13 @@ int CmdBatch(const Flags& flags) {
   }
   std::printf("method: %s\n", (*method)->Describe().c_str());
 
-  BatchSearcher batch_searcher(method->get(), threads);
+  const std::string shared_flag = flags.Get("shared-scan", "on");
+  if (shared_flag != "on" && shared_flag != "off") {
+    std::fprintf(stderr, "--shared-scan must be on or off\n");
+    return 2;
+  }
+  BatchSearcher batch_searcher(method->get(), threads,
+                               /*shared_scan=*/shared_flag == "on");
   auto batch = batch_searcher.SearchAll(workload, k, stop);
   if (!batch.ok()) return Fail(batch.status());
 
@@ -681,6 +695,31 @@ int CmdBatch(const Flags& flags) {
                 static_cast<unsigned long long>(stats.evictions),
                 static_cast<unsigned long long>(stats.single_flight_waits));
   }
+  if (batch->shared.enabled) {
+    const SharedScanStats& s = batch->shared;
+    std::printf("shared scan: %llu distinct queries, %llu dedup hit(s)\n",
+                static_cast<unsigned long long>(s.queries),
+                static_cast<unsigned long long>(s.dedup_hits));
+    std::printf("  chunk fetches: %llu for %llu attachments "
+                "(%llu fetch+decodes coalesced, %.1f%% saved)\n",
+                static_cast<unsigned long long>(s.chunk_fetches),
+                static_cast<unsigned long long>(s.chunk_attachments),
+                static_cast<unsigned long long>(s.chunks_coalesced()),
+                s.chunk_attachments > 0
+                    ? 100.0 * static_cast<double>(s.chunks_coalesced()) /
+                          static_cast<double>(s.chunk_attachments)
+                    : 0.0);
+    std::printf("  rows: %llu fetched once, %llu co-scanned row passes\n",
+                static_cast<unsigned long long>(s.rows_fetched),
+                static_cast<unsigned long long>(s.rows_scan_shared));
+    std::printf("  co-scan histogram (queries/chunk):");
+    for (size_t b = 0; b < SharedScanStats::kHistogramBuckets; ++b) {
+      if (s.coscan_histogram[b] == 0) continue;
+      std::printf(" [%zu+]=%llu", static_cast<size_t>(1) << b,
+                  static_cast<unsigned long long>(s.coscan_histogram[b]));
+    }
+    std::printf("\n");
+  }
 
   if (flags.GetInt("verify", 0) != 0) {
     // A fresh method instance for the serial pass with a fresh cache, so
@@ -700,7 +739,9 @@ int CmdBatch(const Flags& flags) {
     if (const Status prepared = (*serial_method)->Prepare(); !prepared.ok()) {
       return Fail(prepared);
     }
-    BatchSearcher serial(serial_method->get(), 1);
+    // Query-major, shared scans off: the reference is the plain per-query
+    // loop, so --verify also covers the chunk-major executor.
+    BatchSearcher serial(serial_method->get(), 1, /*shared_scan=*/false);
     auto reference = serial.SearchAll(workload, k, stop);
     if (!reference.ok()) return Fail(reference.status());
     size_t mismatches = 0;

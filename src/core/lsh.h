@@ -45,6 +45,17 @@ class LshIndex {
 
   double bucket_width() const { return config_.bucket_width; }
 
+  /// Bytes of RAM the built tables hold resident (projection directions,
+  /// offsets, and the sorted (key, position) bucket entries per table).
+  size_t ResidentBytes() const {
+    size_t bytes = (directions_.size() + offsets_.size()) * sizeof(float);
+    for (const Table& table : tables_) {
+      bytes +=
+          table.sorted_entries.size() * sizeof(std::pair<uint64_t, uint32_t>);
+    }
+    return bytes;
+  }
+
  private:
   LshIndex(const Collection* collection, const LshConfig& config)
       : collection_(collection), config_(config) {}

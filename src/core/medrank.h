@@ -49,6 +49,15 @@ class MedrankIndex {
 
   size_t num_lines() const { return config_.num_lines; }
 
+  /// Bytes of RAM the built lines hold resident (directions plus the sorted
+  /// position and projection-value lists per line).
+  size_t ResidentBytes() const {
+    size_t bytes = directions_.size() * sizeof(float);
+    for (const auto& p : sorted_positions_) bytes += p.size() * sizeof(uint32_t);
+    for (const auto& v : sorted_values_) bytes += v.size() * sizeof(float);
+    return bytes;
+  }
+
  private:
   MedrankIndex(const Collection* collection, const MedrankConfig& config)
       : collection_(collection), config_(config) {}

@@ -16,6 +16,7 @@
 #include "storage/page.h"
 #include "util/build_stats.h"
 #include "util/clock.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace qvt {
@@ -665,7 +666,7 @@ Status PqMethod::RerankFromCollection(std::span<const float> query,
 }
 
 void RegisterPqMethod(MethodRegistry& registry) {
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"pq",
        "product-quantization compressed first pass: SIMD ADC scan over "
        "packed in-memory codes, exact rerank of the top R through the "
@@ -704,7 +705,7 @@ void RegisterPqMethod(MethodRegistry& registry) {
         }
         return std::unique_ptr<SearchMethod>(
             new PqMethod(context, std::move(config)));
-      });
+      }));
 }
 
 }  // namespace qvt

@@ -79,7 +79,7 @@ class PqMethod final : public SearchMethod {
   /// Bytes of RAM the prepared first pass holds resident (codebooks +
   /// packed codes + id sidecar + rerank routing table). For `qvt_tool
   /// info`'s footprint report.
-  size_t ResidentBytes() const;
+  size_t ResidentBytes() const override;
 
  private:
   Status PrepareCompressed();

@@ -47,6 +47,14 @@ class PSphereTree {
   /// Total stored vectors across spheres / collection size (>= 1).
   double ReplicationFactor() const;
 
+  /// Bytes of RAM the built spheres hold resident (centers plus the
+  /// replicated member position lists).
+  size_t ResidentBytes() const {
+    size_t bytes = centers_.size() * sizeof(float);
+    for (const auto& m : members_) bytes += m.size() * sizeof(uint32_t);
+    return bytes;
+  }
+
  private:
   PSphereTree(const Collection* collection, size_t dim)
       : collection_(collection), dim_(dim) {}

@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 
+#include "cluster/balanced_kmeans.h"
 #include "core/exact_scan.h"
 #include "core/lsh.h"
 #include "core/medrank.h"
@@ -15,8 +16,10 @@
 #include "core/va_file.h"
 #include "descriptor/types.h"
 #include "geometry/vec.h"
+#include "storage/index_file.h"
 #include "storage/page.h"
 #include "util/clock.h"
+#include "util/logging.h"
 
 namespace qvt {
 
@@ -217,6 +220,12 @@ class ChunkedMethod final : public SearchMethod {
     return results;
   }
 
+  size_t ResidentBytes() const override {
+    // Only the index entries stay resident (centroids, radii, locations);
+    // chunk payloads live on disk and pass through the cache.
+    return index_->num_chunks() * IndexEntryBytes(index_->dim());
+  }
+
  private:
   MethodResult Convert(SearchResult raw) const {
     MethodResult result;
@@ -372,6 +381,10 @@ class LshMethod final : public SearchMethod {
     return result;
   }
 
+  size_t ResidentBytes() const override {
+    return index_.has_value() ? index_->ResidentBytes() : 0;
+  }
+
  private:
   const Collection* collection_;
   LshConfig config_;
@@ -425,6 +438,10 @@ class VaFileMethod final : public SearchMethod {
     return result;
   }
 
+  size_t ResidentBytes() const override {
+    return va_.has_value() ? va_->ResidentBytes() : 0;
+  }
+
  private:
   const Collection* collection_;
   VaFileConfig config_;
@@ -471,6 +488,10 @@ class MedrankMethod final : public SearchMethod {
     // id) like every other method.
     SortNeighbors(&result.neighbors);
     return result;
+  }
+
+  size_t ResidentBytes() const override {
+    return index_.has_value() ? index_->ResidentBytes() : 0;
   }
 
  private:
@@ -524,6 +545,10 @@ class PSphereMethod final : public SearchMethod {
     return result;
   }
 
+  size_t ResidentBytes() const override {
+    return tree_.has_value() ? tree_->ResidentBytes() : 0;
+  }
+
  private:
   const Collection* collection_;
   PSphereConfig config_;
@@ -539,10 +564,58 @@ Status RequireCollection(const MethodContext& context,
                                  " requires a collection in the context");
 }
 
+/// Shard builder of the chunked method: cluster the subset with the
+/// balance-constrained k-means of PR 6 (so merge-built shards cannot
+/// reintroduce the giant-chunk tail pathology), write the chunk + index
+/// files under context.artifact_base, and open the searcher over them. On
+/// reuse the files are opened as-is (mmap per context.open_mode /
+/// QVT_MMAP). Deterministic at any QVT_BUILD_THREADS — the chunker and
+/// ChunkIndex::Build both are.
+StatusOr<MethodShard> BuildChunkedShard(const ShardBuildContext& context,
+                                        MethodOptions& options) {
+  if (context.env == nullptr || context.artifact_base.empty()) {
+    return Status::InvalidArgument(
+        "chunked shard build requires env and artifact_base");
+  }
+  const Collection& data = *context.data;
+  if (data.empty()) {
+    return Status::InvalidArgument(
+        "chunked shard build requires a non-empty subset");
+  }
+  MethodShard shard;
+  shard.data = context.data;
+  const ChunkIndexPaths paths = ChunkIndexPaths::ForBase(context.artifact_base);
+  if (context.reuse_artifacts) {
+    QVT_ASSIGN_OR_RETURN(
+        ChunkIndex index,
+        ChunkIndex::Open(context.env, paths, data.dim(), context.open_mode));
+    shard.index = std::make_unique<ChunkIndex>(std::move(index));
+  } else {
+    BalancedKMeansConfig config;
+    const size_t target = std::max<size_t>(1, context.target_chunk_size);
+    config.base.num_clusters = (data.size() + target - 1) / target;
+    BalancedKMeansChunker chunker(config);
+    QVT_ASSIGN_OR_RETURN(ChunkingResult chunking, chunker.FormChunks(data));
+    QVT_ASSIGN_OR_RETURN(ChunkIndex index,
+                         ChunkIndex::Build(data, chunking, context.env, paths));
+    shard.index = std::make_unique<ChunkIndex>(std::move(index));
+  }
+  MethodContext method_context;
+  method_context.collection = shard.data.get();
+  method_context.index = shard.index.get();
+  method_context.cost_model = context.cost_model;
+  method_context.cache = context.cache;
+  method_context.prefetch = context.prefetch;
+  method_context.env = context.env;
+  shard.method = std::make_unique<ChunkedMethod>(method_context);
+  (void)options;
+  return shard;
+}
+
 MethodRegistry BuildGlobalRegistry() {
   MethodRegistry registry;
 
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"chunked",
        "the paper's chunk-index searcher (§4.3): rank chunks by centroid "
        "distance, scan under a stop rule",
@@ -555,9 +628,10 @@ MethodRegistry BuildGlobalRegistry() {
               "chunked requires a chunk index in the context");
         }
         return std::unique_ptr<SearchMethod>(new ChunkedMethod(context));
-      });
+      },
+      BuildChunkedShard));
 
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"exact-scan",
        "exact sequential scan of the collection — the ground-truth "
        "reference (§5.4)",
@@ -567,9 +641,9 @@ MethodRegistry BuildGlobalRegistry() {
           -> StatusOr<std::unique_ptr<SearchMethod>> {
         QVT_RETURN_IF_ERROR(RequireCollection(context, "exact-scan"));
         return std::unique_ptr<SearchMethod>(new ExactScanMethod(context));
-      });
+      }));
 
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"lsh",
        "multi-table p-stable LSH (Gionis et al., VLDB'99; related work §6)",
        {/*exact=*/false, /*range_search=*/false, /*stop_rules=*/false,
@@ -593,9 +667,9 @@ MethodRegistry BuildGlobalRegistry() {
               "lsh requires num_tables >= 1 and hashes_per_table >= 1");
         }
         return std::unique_ptr<SearchMethod>(new LshMethod(context, config));
-      });
+      }));
 
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"va-file",
        "vector-approximation file (Weber et al., VLDB'98), optionally with "
        "the EDBT'00 refinement interrupt",
@@ -618,9 +692,9 @@ MethodRegistry BuildGlobalRegistry() {
             budget == 0 ? std::numeric_limits<size_t>::max() : budget;
         return std::unique_ptr<SearchMethod>(
             new VaFileMethod(context, config, max_refinements));
-      });
+      }));
 
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"medrank",
        "rank aggregation over random projection lines (Fagin et al., "
        "SIGMOD'03; related work §6)",
@@ -644,9 +718,9 @@ MethodRegistry BuildGlobalRegistry() {
         }
         return std::unique_ptr<SearchMethod>(
             new MedrankMethod(context, config));
-      });
+      }));
 
-  registry.Register(
+  QVT_CHECK_OK(registry.Register(
       {"psphere",
        "P-Sphere tree: replicated hyperspheres, one-sphere probe "
        "(Goldstein & Ramakrishnan, VLDB'00; related work §6)",
@@ -670,7 +744,7 @@ MethodRegistry BuildGlobalRegistry() {
         }
         return std::unique_ptr<SearchMethod>(
             new PSphereMethod(context, config));
-      });
+      }));
 
   RegisterPqMethod(registry);
 
@@ -690,14 +764,34 @@ MethodRegistry& MethodRegistry::Global() {
   return *registry;
 }
 
-void MethodRegistry::Register(MethodInfo info, MethodFactory factory) {
+Status MethodRegistry::Register(MethodInfo info, MethodFactory factory,
+                                ShardFactory shard_factory) {
+  if (info.name.empty()) {
+    return Status::InvalidArgument(
+        "method registration requires a non-empty name");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("method '" + info.name +
+                                   "' registered without a factory");
+  }
   const std::string name = info.name;
-  entries_[name] = Entry{std::move(info), std::move(factory)};
+  const auto [it, inserted] = entries_.try_emplace(
+      name,
+      Entry{std::move(info), std::move(factory), std::move(shard_factory)});
+  if (!inserted) {
+    return Status::AlreadyExists("method '" + name +
+                                 "' is already registered; registration "
+                                 "never overwrites an existing entry");
+  }
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<SearchMethod>> MethodRegistry::Create(
     const std::string& name, const MethodContext& context,
     std::string_view params) const {
+  if (name.empty()) {
+    return Status::InvalidArgument("method name must be non-empty");
+  }
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     std::string known;
@@ -713,6 +807,63 @@ StatusOr<std::unique_ptr<SearchMethod>> MethodRegistry::Create(
                        it->second.factory(context, options));
   QVT_RETURN_IF_ERROR(options.CheckAllConsumed());
   return method;
+}
+
+StatusOr<MethodInfo> MethodRegistry::Info(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("unknown search method '" + name +
+                            "' (registered: " + known + ")");
+  }
+  return it->second.info;
+}
+
+StatusOr<MethodShard> MethodRegistry::BuildShard(
+    const std::string& name, const ShardBuildContext& context,
+    std::string_view params) const {
+  if (name.empty()) {
+    return Status::InvalidArgument("method name must be non-empty");
+  }
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("unknown search method '" + name +
+                            "' (registered: " + known + ")");
+  }
+  if (context.data == nullptr) {
+    return Status::InvalidArgument("shard build requires a descriptor subset");
+  }
+  QVT_ASSIGN_OR_RETURN(MethodOptions options, MethodOptions::Parse(params));
+  MethodShard shard;
+  if (it->second.shard_factory != nullptr) {
+    QVT_ASSIGN_OR_RETURN(shard, it->second.shard_factory(context, options));
+  } else {
+    // Generic collection-only path: the method is constructed over the
+    // subset and does its whole build at Prepare, exactly as statically —
+    // which is what makes a compacted dynamic index answer bit-identically
+    // to a static build over the same rows.
+    MethodContext method_context;
+    method_context.collection = context.data.get();
+    method_context.cost_model = context.cost_model;
+    method_context.cache = context.cache;
+    method_context.prefetch = context.prefetch;
+    method_context.env = context.env;
+    QVT_ASSIGN_OR_RETURN(shard.method,
+                         it->second.factory(method_context, options));
+    shard.data = context.data;
+  }
+  QVT_RETURN_IF_ERROR(options.CheckAllConsumed());
+  QVT_RETURN_IF_ERROR(shard.method->Prepare());
+  return shard;
 }
 
 std::vector<MethodInfo> MethodRegistry::List() const {

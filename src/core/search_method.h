@@ -28,6 +28,9 @@ namespace qvt {
 struct MethodResult {
   std::vector<Neighbor> neighbors;
   QueryTelemetry telemetry;
+  /// Per-structure attribution when the answer was merged across a dynamic
+  /// index's buffer and shards; empty for static methods.
+  std::vector<ShardAttribution> shards;
 };
 
 /// Static capability flags of a search method, known without constructing
@@ -144,6 +147,12 @@ class SearchMethod {
       const StopRule& stop, size_t num_threads,
       SharedScanStats* stats) const;
 
+  /// Bytes of RAM the prepared method holds resident beyond the collection
+  /// itself (hash tables, sorted projections, centroids, packed codes, ...).
+  /// The footprint `qvt_tool info` reports per method. Default 0: the
+  /// method holds no auxiliary structures (exact scan).
+  virtual size_t ResidentBytes() const { return 0; }
+
  protected:
   /// Shared guard: OK iff `stop` is the plain exact rule. Methods that do
   /// not interpret stop rules call this first.
@@ -159,6 +168,45 @@ struct MethodInfo {
 
 using MethodFactory = std::function<StatusOr<std::unique_ptr<SearchMethod>>(
     const MethodContext& context, MethodOptions& options)>;
+
+/// Everything a shard build may draw on: the descriptor subset the shard is
+/// built over (shared ownership — the built method borrows it), plus the
+/// environment and path prefix for methods that materialize on-disk
+/// artifacts (the chunked method's chunk + index files).
+struct ShardBuildContext {
+  /// The rows of this shard, in their insertion order. Required.
+  std::shared_ptr<const Collection> data;
+  /// Filesystem for artifact-producing methods; may be null for the
+  /// memory-resident ones.
+  Env* env = nullptr;
+  /// Base path for this shard's on-disk artifacts (the chunked method
+  /// writes artifact_base + ".chunks" / ".index").
+  std::string artifact_base;
+  /// True to open artifacts already on disk (a reopened dynamic index)
+  /// instead of building them. The builder still verifies they exist.
+  bool reuse_artifacts = false;
+  /// Rows per chunk the chunked shard builder targets when clustering.
+  size_t target_chunk_size = 256;
+  DiskCostModel cost_model;
+  ChunkCache* cache = nullptr;
+  PrefetcherOptions prefetch;
+  /// How artifact files are opened (mmap / deserialize / QVT_MMAP auto).
+  IndexOpenMode open_mode = IndexOpenMode::kAuto;
+};
+
+/// A built shard: the descriptor subset it answers for, the optional chunk
+/// index artifact, and the Prepare()d method over them. The method borrows
+/// `data` and `index`, so a MethodShard must be moved as a unit.
+struct MethodShard {
+  std::shared_ptr<const Collection> data;
+  std::unique_ptr<ChunkIndex> index;  ///< engaged for artifact-backed methods
+  std::unique_ptr<SearchMethod> method;
+};
+
+/// Builds a MethodShard for one method over one descriptor subset. Entries
+/// without a custom factory use the registry's generic collection-only path.
+using ShardFactory = std::function<StatusOr<MethodShard>(
+    const ShardBuildContext& context, MethodOptions& options)>;
 
 /// Wraps an already-configured, borrowed Searcher in the unified "chunked"
 /// adapter — the same conversion the registry's "chunked" factory applies,
@@ -176,14 +224,33 @@ class MethodRegistry {
   /// The process-wide registry, with all built-ins registered.
   static MethodRegistry& Global();
 
-  /// Registers a method; overwrites a previous entry of the same name.
-  void Register(MethodInfo info, MethodFactory factory);
+  /// Registers a method. Fails with InvalidArgument on an empty name or a
+  /// null factory and AlreadyExists on a duplicate name — a second
+  /// registration never silently overwrites the first. `shard_factory` is
+  /// optional: methods that leave it null get the generic collection-only
+  /// shard build path in BuildShard.
+  Status Register(MethodInfo info, MethodFactory factory,
+                  ShardFactory shard_factory = nullptr);
 
   /// Constructs (but does not Prepare) the named method. `params` is a
-  /// comma-separated key=value list; unknown keys are rejected.
+  /// comma-separated key=value list; unknown keys are rejected. An empty or
+  /// unregistered name fails with a Status listing the registered names.
   StatusOr<std::unique_ptr<SearchMethod>> Create(
       const std::string& name, const MethodContext& context,
       std::string_view params = "") const;
+
+  /// The registry entry of the named method (NotFound when absent).
+  StatusOr<MethodInfo> Info(const std::string& name) const;
+
+  /// Builds a Prepare()d shard of the named method over context.data — the
+  /// shard-construction entry point the dynamic layer rebuilds merges
+  /// through. Methods with a custom ShardFactory (chunked: cluster the
+  /// subset, write chunk + index files under context.artifact_base) use
+  /// it; every other method is constructed over the subset alone and does
+  /// its build at Prepare, exactly as in the static path.
+  StatusOr<MethodShard> BuildShard(const std::string& name,
+                                   const ShardBuildContext& context,
+                                   std::string_view params = "") const;
 
   /// All registered methods, sorted by name.
   std::vector<MethodInfo> List() const;
@@ -196,6 +263,7 @@ class MethodRegistry {
   struct Entry {
     MethodInfo info;
     MethodFactory factory;
+    ShardFactory shard_factory;  ///< null: generic collection-only path
   };
   std::map<std::string, Entry> entries_;
 };

@@ -87,6 +87,26 @@ struct SharedScanStats {
   }
 };
 
+/// One structure's share of a dynamic-index query: which immutable shard
+/// (or the mutable write buffer) was searched, what it held, and what it
+/// contributed to the merged top-k. Emitted only by the dynamic layer —
+/// static methods leave MethodResult::shards empty.
+struct ShardAttribution {
+  /// `shard_id` value standing for the in-memory mutable buffer.
+  static constexpr uint32_t kMutableBuffer = 0xffffffffu;
+  uint32_t shard_id = 0;
+  /// Level of the shard in the extension structure (0 for the buffer).
+  uint32_t level = 0;
+  /// Rows the structure holds (live + not-yet-purged deleted rows).
+  uint64_t rows = 0;
+  /// How many of the final merged top-k neighbors this structure supplied.
+  uint64_t neighbors_contributed = 0;
+  /// Candidates this structure produced that were dropped as deleted.
+  uint64_t tombstones_filtered = 0;
+  /// This structure's share of the query wall time.
+  int64_t wall_micros = 0;
+};
+
 /// The unified per-query measurement record every SearchMethod emits — the
 /// one schema BatchSearcher and the bench runner aggregate, replacing the
 /// former per-method stats structs (LshStats, VaFileStats, MedrankStats,
@@ -142,6 +162,11 @@ struct QueryTelemetry {
   uint64_t max_probe_rows = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Dynamic-layer counters: structures consulted for this query (immutable
+  /// shards plus the mutable buffer when non-empty) and candidates dropped
+  /// by tombstone filtering. Zero for static methods.
+  uint64_t shards_searched = 0;
+  uint64_t tombstones_filtered = 0;
   PrefetchStats prefetch;
   /// True when the method proved no better neighbor exists.
   bool exact = false;
@@ -166,6 +191,8 @@ struct QueryTelemetry {
     max_probe_rows = std::max(max_probe_rows, other.max_probe_rows);
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    shards_searched += other.shards_searched;
+    tombstones_filtered += other.tombstones_filtered;
     prefetch += other.prefetch;
     return *this;
   }

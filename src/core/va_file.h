@@ -51,6 +51,12 @@ class VaFile {
   /// Bytes of the approximation array (the compression the VA-file buys).
   size_t ApproximationBytes() const { return codes_.size(); }
 
+  /// Bytes of RAM the built structure holds resident (grid boundaries plus
+  /// the cell-code array).
+  size_t ResidentBytes() const {
+    return boundaries_.size() * sizeof(float) + codes_.size();
+  }
+
  private:
   VaFile(const Collection* collection, const VaFileConfig& config)
       : collection_(collection), config_(config) {}

@@ -1,0 +1,166 @@
+#include "dynamic/extension.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qvt {
+
+uint64_t LevelCapacity(const ExtensionConfig& config, uint32_t level) {
+  // buffer_capacity * scale_factor^(level + 1), saturating: a dynamic index
+  // would need that many rows before the overflow could matter.
+  uint64_t capacity = std::max<uint64_t>(1, config.buffer_capacity);
+  const uint64_t scale = std::max<uint64_t>(2, config.scale_factor);
+  for (uint32_t l = 0; l <= level; ++l) {
+    if (capacity > UINT64_MAX / scale) return UINT64_MAX;
+    capacity *= scale;
+  }
+  return capacity;
+}
+
+std::shared_ptr<const TombstoneSet> TombstoneSet::Empty() {
+  static const std::shared_ptr<const TombstoneSet> empty =
+      std::make_shared<const TombstoneSet>();
+  return empty;
+}
+
+std::shared_ptr<const TombstoneSet> TombstoneSet::With(DescriptorId id,
+                                                       uint64_t seq) const {
+  std::vector<std::pair<DescriptorId, uint64_t>> entries = entries_;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const auto& entry, DescriptorId key) { return entry.first < key; });
+  if (it != entries.end() && it->first == id) {
+    // A newer tombstone kills a superset of what the older one killed.
+    it->second = std::max(it->second, seq);
+  } else {
+    entries.insert(it, {id, seq});
+  }
+  return std::make_shared<const TombstoneSet>(std::move(entries));
+}
+
+uint64_t TombstoneSet::SeqFor(DescriptorId id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& entry, DescriptorId key) { return entry.first < key; });
+  if (it != entries_.end() && it->first == id) return it->second;
+  return 0;
+}
+
+bool DynamicShard::ContainsId(DescriptorId id) const {
+  return std::binary_search(sorted_ids.begin(), sorted_ids.end(), id);
+}
+
+namespace {
+
+/// Shards of one level in ascending seq_floor order, with the level totals
+/// the planners trigger on.
+struct LevelGroup {
+  std::vector<ShardGeometry> shards;
+  uint64_t rows = 0;
+};
+
+std::map<uint32_t, LevelGroup> GroupByLevel(
+    const std::vector<ShardGeometry>& shards) {
+  std::map<uint32_t, LevelGroup> levels;
+  for (const ShardGeometry& shard : shards) {
+    LevelGroup& group = levels[shard.level];
+    group.shards.push_back(shard);
+    group.rows += shard.rows;
+  }
+  for (auto& [level, group] : levels) {
+    std::sort(group.shards.begin(), group.shards.end(),
+              [](const ShardGeometry& a, const ShardGeometry& b) {
+                return a.seq_floor < b.seq_floor;
+              });
+  }
+  return levels;
+}
+
+std::vector<MergeOp> PlanTiering(const ExtensionConfig& config,
+                                 std::vector<ShardGeometry> shards,
+                                 uint32_t next_id) {
+  std::vector<MergeOp> ops;
+  const size_t fan_in = std::max<size_t>(2, config.scale_factor);
+  // Simulate: whenever a level accumulates scale_factor shards, fold them
+  // all into one shard on the next level; repeat until quiescent.
+  while (true) {
+    std::map<uint32_t, LevelGroup> levels = GroupByLevel(shards);
+    const LevelGroup* overflow = nullptr;
+    uint32_t overflow_level = 0;
+    for (const auto& [level, group] : levels) {
+      if (group.shards.size() >= fan_in) {
+        overflow = &group;
+        overflow_level = level;
+        break;  // std::map iterates lowest level first
+      }
+    }
+    if (overflow == nullptr) return ops;
+    MergeOp op;
+    op.target_level = overflow_level + 1;
+    ShardGeometry merged{next_id++, op.target_level, 0, UINT64_MAX};
+    for (const ShardGeometry& shard : overflow->shards) {
+      op.source_shard_ids.push_back(shard.id);
+      merged.rows += shard.rows;
+      merged.seq_floor = std::min(merged.seq_floor, shard.seq_floor);
+    }
+    std::erase_if(shards, [&](const ShardGeometry& shard) {
+      return shard.level == overflow_level;
+    });
+    shards.push_back(merged);
+    ops.push_back(std::move(op));
+  }
+}
+
+std::vector<MergeOp> PlanLeveling(const ExtensionConfig& config,
+                                  std::vector<ShardGeometry> shards) {
+  // Leveling keeps at most one shard per level. One op per flush: gather
+  // the level-0 shards (the flush shard plus the consolidated occupant)
+  // and keep pulling in the next level's occupant until the total fits
+  // that level's capacity.
+  std::map<uint32_t, LevelGroup> levels = GroupByLevel(shards);
+  const auto it = levels.find(0);
+  if (it == levels.end()) return {};
+  MergeOp op;
+  uint64_t total = 0;
+  std::vector<ShardGeometry> sources = it->second.shards;
+  total = it->second.rows;
+  uint32_t target = 0;
+  // Stop at the first level whose capacity holds the gathered rows; deeper
+  // occupants hold strictly older rows and are left in place.
+  while (total > LevelCapacity(config, target)) {
+    ++target;
+    const auto next = levels.find(target);
+    if (next != levels.end()) {
+      for (const ShardGeometry& shard : next->second.shards) {
+        sources.push_back(shard);
+      }
+      total += next->second.rows;
+    }
+  }
+  if (sources.size() <= 1 && target == 0) return {};
+  std::sort(sources.begin(), sources.end(),
+            [](const ShardGeometry& a, const ShardGeometry& b) {
+              return a.seq_floor < b.seq_floor;
+            });
+  for (const ShardGeometry& shard : sources) {
+    op.source_shard_ids.push_back(shard.id);
+  }
+  op.target_level = target;
+  return {std::move(op)};
+}
+
+}  // namespace
+
+std::vector<MergeOp> PlanMergeCascade(const ExtensionConfig& config,
+                                      std::vector<ShardGeometry> shards) {
+  uint32_t next_id = 0;
+  for (const ShardGeometry& shard : shards) {
+    next_id = std::max(next_id, shard.id + 1);
+  }
+  if (config.policy == MergePolicy::kTiering) {
+    return PlanTiering(config, std::move(shards), next_id);
+  }
+  return PlanLeveling(config, std::move(shards));
+}
+
+}  // namespace qvt

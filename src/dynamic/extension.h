@@ -1,0 +1,139 @@
+#ifndef QVT_DYNAMIC_EXTENSION_H_
+#define QVT_DYNAMIC_EXTENSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/search_method.h"
+#include "descriptor/types.h"
+#include "dynamic/mutable_buffer.h"
+
+namespace qvt {
+
+/// How a full level is folded into the next one.
+enum class MergePolicy {
+  /// Up to `scale_factor` shards accumulate per level; when a level
+  /// overflows, all its shards merge into one shard on the next level.
+  /// Fewer rows rewritten per insert, more shards per query.
+  kTiering,
+  /// At most one shard per level; an overflowing shard merges with the
+  /// next level's occupant. More write amplification, fewest shards.
+  kLeveling,
+};
+
+/// Knobs of the extension structure (the Bentley-Saxe / LSM geometry).
+struct ExtensionConfig {
+  /// Rows the mutable buffer holds before a flush builds a level-0 shard.
+  size_t buffer_capacity = 1024;
+  /// Growth factor between levels: level L holds up to buffer_capacity *
+  /// scale_factor^(L+1) rows. Also the tiering fan-in. Must be >= 2.
+  size_t scale_factor = 4;
+  MergePolicy policy = MergePolicy::kTiering;
+};
+
+/// Row capacity of level `level` under `config`.
+uint64_t LevelCapacity(const ExtensionConfig& config, uint32_t level);
+
+/// An immutable set of (id, deletion seq) tombstones, shared by snapshot
+/// between versions. A row is dead iff the set holds its id with a seq
+/// greater than the row's own insertion seq — which is what lets a deleted
+/// id be re-inserted while both rows still physically coexist. Sorted by id
+/// for O(log n) lookup; sequence numbers start at 1, so 0 means "no
+/// tombstone".
+class TombstoneSet {
+ public:
+  TombstoneSet() = default;
+  /// `entries` must be sorted by id, ids unique.
+  explicit TombstoneSet(std::vector<std::pair<DescriptorId, uint64_t>> entries)
+      : entries_(std::move(entries)) {}
+
+  static std::shared_ptr<const TombstoneSet> Empty();
+
+  /// A new set that also kills `id` as of `seq`. If `id` already has a
+  /// tombstone the newer (larger) seq wins — it deletes a superset.
+  std::shared_ptr<const TombstoneSet> With(DescriptorId id,
+                                           uint64_t seq) const;
+
+  /// Deletion seq of `id`, or 0 when it has no tombstone.
+  uint64_t SeqFor(DescriptorId id) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<std::pair<DescriptorId, uint64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<DescriptorId, uint64_t>> entries_;  // sorted by id
+};
+
+/// One immutable shard of the extension structure: a descriptor subset
+/// frozen at some flush or merge, the Prepare()d method over it, and the
+/// bookkeeping that orders it against tombstones and sibling shards.
+struct DynamicShard {
+  /// Stable id; also names the shard's on-disk artifacts
+  /// ("<base>.shard-<id>[.desc|.chunks|.index]").
+  uint32_t id = 0;
+  uint32_t level = 0;
+  /// Seq allocated when the shard was built. Every tombstone with seq <
+  /// created_seq was physically applied during the build, so at query time
+  /// only tombstones with seq > created_seq can kill this shard's rows.
+  uint64_t created_seq = 0;
+  /// Minimum insertion seq of any row (the buffer's base_seq at flush,
+  /// carried through merges as the min over sources). Shards sorted by
+  /// seq_floor hold their rows in global insertion order — the invariant
+  /// that makes compaction reproduce the statically-built collection.
+  uint64_t seq_floor = 0;
+  std::string artifact_base;
+  /// The built method + its data (+ chunk index for artifact methods).
+  MethodShard built;
+  /// The shard's descriptor ids, sorted, for tombstone retention checks.
+  std::vector<DescriptorId> sorted_ids;
+
+  size_t rows() const { return built.data->size(); }
+  bool ContainsId(DescriptorId id) const;
+};
+
+/// An immutable snapshot of the whole dynamic index — what a query pins.
+/// Readers load the current version through an atomic shared_ptr and keep
+/// it alive for the duration of the query (epoch-based handoff); writers
+/// publish a successor version and never mutate a published one, except for
+/// the buffer's append-only committed counter, which has its own
+/// release/acquire protocol.
+struct DynamicVersion {
+  uint64_t epoch = 0;
+  std::shared_ptr<MutableBuffer> buffer;
+  /// Live shards sorted by ascending seq_floor (oldest rows first).
+  std::vector<std::shared_ptr<const DynamicShard>> shards;
+  std::shared_ptr<const TombstoneSet> tombstones;
+};
+
+/// One planned merge: fold the shards with these ids into a single new
+/// shard on `target_level`. Sources are given in ascending seq_floor order.
+struct MergeOp {
+  std::vector<uint32_t> source_shard_ids;
+  uint32_t target_level = 0;
+};
+
+/// Plans the merge cascade after a flush added a level-0 shard, purely from
+/// the (id, level, rows, seq_floor) geometry — separated from execution so
+/// the policy logic is unit-testable without building a single shard.
+/// `shards` is the post-flush shard list; returns the ops to execute in
+/// order. Row counts of not-yet-executed merges are estimated as the sum of
+/// their sources (an upper bound — tombstone purges only shrink them), so
+/// the plan is deterministic and at worst merges slightly eagerly.
+struct ShardGeometry {
+  uint32_t id = 0;
+  uint32_t level = 0;
+  uint64_t rows = 0;
+  uint64_t seq_floor = 0;
+};
+std::vector<MergeOp> PlanMergeCascade(const ExtensionConfig& config,
+                                      std::vector<ShardGeometry> shards);
+
+}  // namespace qvt
+
+#endif  // QVT_DYNAMIC_EXTENSION_H_

@@ -1,0 +1,71 @@
+#include "dynamic/mutable_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "descriptor/types.h"
+#include "geometry/kernels.h"
+#include "util/logging.h"
+
+namespace qvt {
+
+MutableBuffer::MutableBuffer(size_t dim, size_t capacity, uint64_t base_seq)
+    : dim_(dim),
+      capacity_(std::max<size_t>(1, capacity)),
+      base_seq_(base_seq),
+      data_(new float[capacity_ * dim_]),
+      ids_(new DescriptorId[capacity_]),
+      images_(new ImageId[capacity_]),
+      seqs_(new uint64_t[capacity_]) {
+  QVT_CHECK(dim_ > 0);
+}
+
+void MutableBuffer::Append(DescriptorId id, ImageId image, uint64_t seq,
+                           std::span<const float> values) {
+  const size_t row = committed_.load(std::memory_order_relaxed);
+  QVT_CHECK(row < capacity_) << "append into a full mutable buffer";
+  QVT_CHECK(values.size() == dim_);
+  std::copy(values.begin(), values.end(), data_.get() + row * dim_);
+  ids_[row] = id;
+  images_[row] = image;
+  seqs_[row] = seq;
+  // Publish: readers that acquire-load committed() >= row + 1 see the row's
+  // bytes complete.
+  committed_.store(row + 1, std::memory_order_release);
+}
+
+uint64_t MutableBuffer::Scan(std::span<const float> query, size_t rows,
+                             std::span<const uint64_t> tombstone_seqs,
+                             KnnResultSet* result,
+                             QueryTelemetry* telemetry) const {
+  QVT_CHECK(rows <= capacity_ && tombstone_seqs.size() >= rows);
+  uint64_t filtered = 0;
+  constexpr size_t kBlock = 256;
+  std::vector<double> distances(std::min(rows, kBlock));
+  for (size_t b = 0; b < rows; b += kBlock) {
+    const size_t bn = std::min(kBlock, rows - b);
+    const double threshold = kernels::AbandonThreshold(result->KthDistance());
+    kernels::BatchSquaredDistanceAbandon(data_.get() + b * dim_, bn, dim_,
+                                         query, threshold, distances.data());
+    for (size_t i = 0; i < bn; ++i) {
+      const size_t row = b + i;
+      if (tombstone_seqs[row] > seqs_[row]) {
+        ++filtered;
+        continue;
+      }
+      const double sq = distances[i];
+      if (sq == kernels::kAbandoned) continue;
+      result->Insert(ids_[row], std::sqrt(sq));
+    }
+  }
+  if (telemetry != nullptr) {
+    telemetry->candidates_examined += rows;
+    telemetry->descriptors_scanned += rows - filtered;
+    telemetry->bytes_read += (rows - filtered) * DescriptorRecordBytes(dim_);
+    telemetry->tombstones_filtered += filtered;
+  }
+  return filtered;
+}
+
+}  // namespace qvt

@@ -444,5 +444,113 @@ TEST(TieBreakTest, RebuiltInstancesAgreeOnTies) {
   }
 }
 
+
+TEST(MethodRegistryTest, RegisterRejectsEmptyNameNullFactoryAndDuplicates) {
+  MethodRegistry registry;
+  MethodInfo info;
+  info.name = "probe";
+  auto factory = [](const MethodContext&, MethodOptions&)
+      -> StatusOr<std::unique_ptr<SearchMethod>> {
+    return Status::Unimplemented("probe");
+  };
+
+  MethodInfo nameless = info;
+  nameless.name.clear();
+  EXPECT_TRUE(registry.Register(nameless, factory).IsInvalidArgument());
+  EXPECT_TRUE(registry.Register(info, nullptr).IsInvalidArgument());
+
+  ASSERT_TRUE(registry.Register(info, factory).ok());
+  // A duplicate never overwrites the existing entry.
+  const Status dup = registry.Register(info, factory);
+  EXPECT_TRUE(dup.IsAlreadyExists());
+  EXPECT_NE(dup.ToString().find("probe"), std::string::npos);
+  EXPECT_TRUE(registry.Contains("probe"));
+}
+
+TEST(MethodRegistryTest, EmptyNameLookupsFailCleanly) {
+  MethodContext context;
+  EXPECT_TRUE(
+      MethodRegistry::Global().Create("", context).status().IsInvalidArgument());
+  EXPECT_TRUE(MethodRegistry::Global().Info("").status().IsNotFound() ||
+              MethodRegistry::Global().Info("").status().IsInvalidArgument());
+  ShardBuildContext shard_context;
+  EXPECT_FALSE(MethodRegistry::Global().BuildShard("", shard_context).ok());
+}
+
+TEST(MethodRegistryTest, InfoReturnsCapabilitiesAndListsOnMiss) {
+  auto info = MethodRegistry::Global().Info("exact-scan");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->capabilities.exact);
+  const Status miss = MethodRegistry::Global().Info("nope").status();
+  EXPECT_TRUE(miss.IsNotFound());
+  // The error names the registered methods, so typos are self-diagnosing.
+  EXPECT_NE(miss.ToString().find("chunked"), std::string::npos);
+}
+
+TEST(SearchMethodTest, ResidentBytesReportedPerMethod) {
+  MethodFixture fixture;
+  MethodContext context = fixture.Context();
+  // Exact scan keeps no auxiliary structures (the virtual default).
+  auto exact = MethodRegistry::Global().Create("exact-scan", context);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE((*exact)->Prepare().ok());
+  EXPECT_EQ((*exact)->ResidentBytes(), 0u);
+  // Index-carrying methods report a positive footprint once prepared.
+  for (const char* name : {"chunked", "lsh", "va-file", "medrank", "psphere"}) {
+    auto method = MethodRegistry::Global().Create(name, context);
+    ASSERT_TRUE(method.ok()) << name;
+    ASSERT_TRUE((*method)->Prepare().ok()) << name;
+    EXPECT_GT((*method)->ResidentBytes(), 0u) << name;
+  }
+}
+
+TEST(ShardBuildTest, GenericPathBuildsAnyMethodOverASubset) {
+  MethodFixture fixture;
+  ShardBuildContext context;
+  context.data = std::make_shared<Collection>(fixture.collection);
+  context.env = &fixture.env;
+  context.artifact_base = "shard-generic";
+  for (const char* name : {"exact-scan", "lsh", "va-file", "medrank"}) {
+    auto shard = MethodRegistry::Global().BuildShard(name, context);
+    ASSERT_TRUE(shard.ok()) << name << ": " << shard.status().ToString();
+    EXPECT_EQ(shard->data.get(), context.data.get()) << name;
+    auto result =
+        shard->method->Search(fixture.collection.Vector(0), 3);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->neighbors[0].id, fixture.collection.Id(0)) << name;
+  }
+  // Null data is rejected before any factory runs.
+  ShardBuildContext empty;
+  empty.env = &fixture.env;
+  EXPECT_TRUE(MethodRegistry::Global()
+                  .BuildShard("exact-scan", empty)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ShardBuildTest, ChunkedShardBuildsAndReopensArtifacts) {
+  MethodFixture fixture;
+  ShardBuildContext context;
+  context.data = std::make_shared<Collection>(fixture.collection);
+  context.env = &fixture.env;
+  context.artifact_base = "shard-chunked";
+  context.target_chunk_size = 50;
+  auto built = MethodRegistry::Global().BuildShard("chunked", context);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_NE(built->index, nullptr);
+  EXPECT_EQ(built->index->total_descriptors(), fixture.collection.size());
+  auto first = built->method->Search(fixture.collection.Vector(5), 4);
+  ASSERT_TRUE(first.ok());
+
+  // Reopen from the artifacts the build wrote; answers are identical.
+  context.reuse_artifacts = true;
+  auto reopened = MethodRegistry::Global().BuildShard("chunked", context);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto second = reopened->method->Search(fixture.collection.Vector(5), 4);
+  ASSERT_TRUE(second.ok());
+  ExpectSameNeighbors(first->neighbors, second->neighbors);
+}
+
+
 }  // namespace
 }  // namespace qvt

@@ -1,0 +1,607 @@
+// End-to-end tests of the DynamicIndex wrapper: tombstone semantics,
+// static-vs-dynamic equivalence for every registered method, epoch handoff
+// under concurrent readers, shared-scan parity, and the registry wrapper.
+#include "dynamic/dynamic_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/batch_searcher.h"
+#include "descriptor/generator.h"
+#include "descriptor/workload.h"
+#include "util/logging.h"
+#include "util/parallel_for.h"
+
+namespace qvt {
+namespace {
+
+Collection SmallCollection(size_t n, uint64_t seed = 21) {
+  GeneratorConfig config;
+  config.num_images = n / 10 + 1;
+  config.descriptors_per_image = 10;
+  config.num_modes = 5;
+  config.seed = seed;
+  Collection generated = GenerateCollection(config);
+  QVT_CHECK(generated.size() >= n);
+  Collection out;
+  for (size_t i = 0; i < n; ++i) {
+    // Re-key to dense ids so the test controls the id space.
+    out.Append(static_cast<DescriptorId>(i), generated.Vector(i),
+               generated.Image(i));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> SmallQueries(const Collection& data,
+                                             size_t count) {
+  std::vector<std::vector<float>> queries;
+  for (size_t i = 0; i < count; ++i) {
+    const auto v = data.Vector((i * 37) % data.size());
+    std::vector<float> q(v.begin(), v.end());
+    q[0] += 0.25f * static_cast<float>(i % 3);  // off-grid but nearby
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+DynamicOptions SmallOptions(const std::string& method,
+                            const std::string& params = "",
+                            size_t buffer = 60, size_t scale = 3,
+                            MergePolicy policy = MergePolicy::kTiering) {
+  DynamicOptions options;
+  options.method = method;
+  options.method_params = params;
+  options.extension.buffer_capacity = buffer;
+  options.extension.scale_factor = scale;
+  options.extension.policy = policy;
+  options.target_chunk_size = 25;
+  return options;
+}
+
+/// Brute-force k-NN over a live-row map, with the (distance, id) tie-break.
+std::vector<Neighbor> BruteForce(
+    const std::map<DescriptorId, std::vector<float>>& live,
+    std::span<const float> query, size_t k) {
+  KnnResultSet set(k);
+  for (const auto& [id, values] : live) {
+    double sq = 0;
+    for (size_t d = 0; d < query.size(); ++d) {
+      // Widen before subtracting — the kernels' rounding contract.
+      const double diff = static_cast<double>(values[d]) -
+                          static_cast<double>(query[d]);
+      sq += diff * diff;
+    }
+    set.Insert(id, std::sqrt(sq));
+  }
+  return set.Sorted();
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance)
+        << label << " rank " << i;
+  }
+}
+
+TEST(DynamicIndexTest, InsertDeleteLifecycleAndErrors) {
+  MemEnv env;
+  Collection data = SmallCollection(50);
+  auto created = DynamicIndex::Create(&env, "dyn", SmallOptions("exact-scan"));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DynamicIndex& index = **created;
+
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+  }
+  EXPECT_EQ(index.live_rows(), 10u);
+
+  // Duplicate insert of a live id is rejected.
+  EXPECT_TRUE(index.Insert(data.Id(3), data.Vector(3)).IsAlreadyExists());
+  // Deleting a never-inserted id is NotFound.
+  EXPECT_TRUE(index.Delete(999).IsNotFound());
+
+  ASSERT_TRUE(index.Delete(data.Id(3)).ok());
+  EXPECT_EQ(index.live_rows(), 9u);
+  EXPECT_EQ(index.num_tombstones(), 1u);
+  // Double delete is NotFound.
+  EXPECT_TRUE(index.Delete(data.Id(3)).IsNotFound());
+
+  // Delete-then-reinsert: the id becomes live again with the new vector.
+  ASSERT_TRUE(index.Insert(data.Id(3), data.Vector(20)).ok());
+  EXPECT_EQ(index.live_rows(), 10u);
+  auto result = index.Search(data.Vector(20), 1, StopRule::Exact());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->neighbors.size(), 1u);
+  EXPECT_EQ(result->neighbors[0].id, data.Id(3));
+  EXPECT_DOUBLE_EQ(result->neighbors[0].distance, 0.0);
+
+  // Dimension mismatches fail loudly.
+  std::vector<float> short_vec(3, 0.0f);
+  EXPECT_TRUE(index.Insert(777, short_vec).IsInvalidArgument());
+  EXPECT_TRUE(index.Search(short_vec, 1, StopRule::Exact())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DynamicIndexTest, CreateRejectsBadConfigurations) {
+  MemEnv env;
+  EXPECT_TRUE(DynamicIndex::Create(&env, "dyn", SmallOptions("no-such-method"))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(DynamicIndex::Create(&env, "dyn", SmallOptions("dynamic"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DynamicIndex::Create(&env, "", SmallOptions("exact-scan"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      DynamicIndex::Create(nullptr, "dyn", SmallOptions("exact-scan"))
+          .status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(DynamicIndex::Open(&env, "missing").status().IsNotFound());
+}
+
+// A deleted row that already sits in a shard must stay filtered across
+// every merge boundary: the k-NN answer is identical before a flush, after
+// the flush, after cascaded merges, and after full compaction.
+TEST(DynamicIndexTest, TombstoneFilteringAcrossMergeBoundaries) {
+  MemEnv env;
+  Collection data = SmallCollection(300);
+  auto created = DynamicIndex::Create(
+      &env, "dyn", SmallOptions("exact-scan", "", /*buffer=*/40));
+  ASSERT_TRUE(created.ok());
+  DynamicIndex& index = **created;
+
+  std::map<DescriptorId, std::vector<float>> live;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+    live[data.Id(i)] = {data.Vector(i).begin(), data.Vector(i).end()};
+  }
+  ASSERT_GT(index.num_shards(), 1u);
+
+  // Delete rows that live in shards (anything outside the current buffer).
+  for (DescriptorId id = 0; id < 120; id += 5) {
+    ASSERT_TRUE(index.Delete(id).ok());
+    live.erase(id);
+  }
+  ASSERT_GT(index.num_tombstones(), 0u);
+
+  const auto queries = SmallQueries(data, 8);
+  const size_t k = 10;
+  std::vector<std::vector<Neighbor>> before;
+  for (const auto& q : queries) {
+    auto result = index.Search(q, k, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->telemetry.exact);
+    ExpectSameNeighbors(result->neighbors, BruteForce(live, q, k),
+                        "pre-flush vs brute force");
+    before.push_back(result->neighbors);
+  }
+
+  // Flush pushes the tombstones' work through a merge cascade...
+  ASSERT_TRUE(index.Flush().ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto result = index.Search(queries[i], k, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    ExpectSameNeighbors(result->neighbors, before[i], "post-flush");
+  }
+
+  // ...and compaction purges them entirely. Answers stay bit-identical.
+  ASSERT_TRUE(index.Compact().ok());
+  EXPECT_EQ(index.num_tombstones(), 0u);
+  EXPECT_EQ(index.num_shards(), 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto result = index.Search(queries[i], k, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    ExpectSameNeighbors(result->neighbors, before[i], "post-compaction");
+  }
+}
+
+struct MethodCase {
+  const char* method;
+  const char* params;
+};
+
+// The acceptance bar of this PR: for EVERY registered method, a statically
+// built index over collection C answers bit-identically to a dynamic index
+// that reached C through an insert stream with interleaved deletes and a
+// final compaction — at any build-thread count.
+TEST(DynamicIndexTest, CompactedStreamEqualsStaticBuildForEveryMethod) {
+  const MethodCase cases[] = {
+      {"exact-scan", ""},
+      {"chunked", ""},
+      {"lsh", ""},
+      {"va-file", ""},
+      {"medrank", ""},
+      {"psphere", "num_spheres=8"},
+      {"pq", "m=4,ksub=16,rerank=32"},
+  };
+  Collection data = SmallCollection(300);
+  const auto queries = SmallQueries(data, 6);
+  const size_t k = 10;
+
+  struct BuildThreadsGuard {
+    ~BuildThreadsGuard() { SetBuildThreads(0); }
+  } guard;
+
+  for (const int threads : {1, 3}) {
+    SetBuildThreads(threads);
+    for (const MethodCase& c : cases) {
+      const std::string label =
+          std::string(c.method) + " @" + std::to_string(threads) + " threads";
+      MemEnv env;
+      auto created = DynamicIndex::Create(
+          &env, "dyn", SmallOptions(c.method, c.params, /*buffer=*/60));
+      ASSERT_TRUE(created.ok()) << label << ": " << created.status().ToString();
+      DynamicIndex& index = **created;
+
+      // The surviving stream, in insertion order (delete + re-insert moves
+      // a row to the end — its new sequence position).
+      std::vector<DescriptorId> stream;
+      for (size_t i = 0; i < data.size(); ++i) {
+        const DescriptorId id = data.Id(i);
+        ASSERT_TRUE(index.Insert(id, data.Vector(i)).ok()) << label;
+        stream.push_back(id);
+        if (i % 7 == 3 && i >= 10) {
+          // Delete a row inserted a while ago (usually already in a shard).
+          const DescriptorId victim = data.Id(i - 10);
+          ASSERT_TRUE(index.Delete(victim).ok()) << label;
+          stream.erase(std::find(stream.begin(), stream.end(), victim));
+          if (i % 14 == 3) {  // re-insert half of the victims at the tail
+            ASSERT_TRUE(index.Insert(victim, data.Vector(i - 10)).ok())
+                << label;
+            stream.push_back(victim);
+          }
+        }
+      }
+      ASSERT_TRUE(index.Compact().ok()) << label;
+      ASSERT_EQ(index.num_tombstones(), 0u) << label;
+      ASSERT_EQ(index.live_rows(), stream.size()) << label;
+
+      // Static reference: the same survivors in the same order, built
+      // through the same shard entry point.
+      Collection reference(data.dim());
+      std::map<DescriptorId, size_t> position;
+      for (size_t i = 0; i < data.size(); ++i) position[data.Id(i)] = i;
+      for (const DescriptorId id : stream) {
+        reference.Append(id, data.Vector(position[id]),
+                         data.Image(position[id]));
+      }
+      ShardBuildContext context;
+      context.data = std::make_shared<Collection>(std::move(reference));
+      context.env = &env;
+      context.artifact_base = "static-ref";
+      context.target_chunk_size = 25;
+      auto built = MethodRegistry::Global().BuildShard(c.method, context,
+                                                       c.params);
+      ASSERT_TRUE(built.ok()) << label << ": " << built.status().ToString();
+
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        auto dynamic_result = index.Search(queries[qi], k, StopRule::Exact());
+        auto static_result =
+            built->method->Search(queries[qi], k, StopRule::Exact());
+        ASSERT_TRUE(dynamic_result.ok()) << label;
+        ASSERT_TRUE(static_result.ok()) << label;
+        ExpectSameNeighbors(dynamic_result->neighbors,
+                            static_result->neighbors,
+                            label + " query " + std::to_string(qi));
+        EXPECT_EQ(dynamic_result->telemetry.exact,
+                  static_result->telemetry.exact)
+            << label;
+      }
+    }
+  }
+}
+
+// Exact-capable methods must stay exact mid-stream too — buffer + shards +
+// tombstones at arbitrary points, checked against brute force.
+TEST(DynamicIndexTest, MidStreamExactnessForExactMethods) {
+  Collection data = SmallCollection(260);
+  const auto queries = SmallQueries(data, 4);
+  const size_t k = 8;
+  for (const char* method : {"exact-scan", "chunked"}) {
+    MemEnv env;
+    auto created = DynamicIndex::Create(
+        &env, "dyn", SmallOptions(method, "", /*buffer=*/50));
+    ASSERT_TRUE(created.ok());
+    DynamicIndex& index = **created;
+    std::map<DescriptorId, std::vector<float>> live;
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+      live[data.Id(i)] = {data.Vector(i).begin(), data.Vector(i).end()};
+      if (i % 9 == 5 && i >= 20) {
+        const DescriptorId victim = data.Id(i - 17);
+        ASSERT_TRUE(index.Delete(victim).ok());
+        live.erase(victim);
+      }
+      if (i % 40 == 39) {
+        for (const auto& q : queries) {
+          auto result = index.Search(q, k, StopRule::Exact());
+          ASSERT_TRUE(result.ok());
+          EXPECT_TRUE(result->telemetry.exact) << method << " at row " << i;
+          ExpectSameNeighbors(result->neighbors, BruteForce(live, q, k),
+                              std::string(method) + " at row " +
+                                  std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+TEST(DynamicIndexTest, AttributionAccountsForEveryNeighbor) {
+  MemEnv env;
+  Collection data = SmallCollection(200);
+  auto created = DynamicIndex::Create(
+      &env, "dyn", SmallOptions("chunked", "", /*buffer=*/60));
+  ASSERT_TRUE(created.ok());
+  DynamicIndex& index = **created;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+  }
+  ASSERT_GT(index.num_shards(), 0u);
+  ASSERT_GT(index.buffer_rows(), 0u);
+  for (DescriptorId id = 0; id < 40; id += 4) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+
+  const auto queries = SmallQueries(data, 5);
+  const size_t k = 12;
+  for (const auto& q : queries) {
+    auto result = index.Search(q, k, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    // One attribution row per searched structure (buffer + each shard).
+    EXPECT_EQ(result->shards.size(), index.num_shards() + 1);
+    EXPECT_EQ(result->telemetry.shards_searched, result->shards.size());
+    uint64_t contributed = 0;
+    uint64_t rows = 0;
+    bool saw_buffer = false;
+    for (const ShardAttribution& attribution : result->shards) {
+      contributed += attribution.neighbors_contributed;
+      rows += attribution.rows;
+      saw_buffer |= attribution.shard_id == ShardAttribution::kMutableBuffer;
+    }
+    EXPECT_TRUE(saw_buffer);
+    // Every returned neighbor is attributed to exactly one structure, and
+    // the structures together cover every physical row (deletes are
+    // tombstones — no physical purge has happened yet).
+    EXPECT_EQ(contributed, result->neighbors.size());
+    EXPECT_EQ(rows, data.size());
+    EXPECT_GT(result->telemetry.tombstones_filtered, 0u);
+  }
+}
+
+TEST(DynamicIndexTest, SearchSharedMatchesPerQuerySearch) {
+  Collection data = SmallCollection(240);
+  const auto query_vectors = SmallQueries(data, 7);
+  const size_t k = 9;
+  // chunked exercises the wrapped shared-scan executor; lsh the per-query
+  // fallback inside SearchShared.
+  for (const char* method : {"chunked", "lsh"}) {
+    MemEnv env;
+    auto created = DynamicIndex::Create(
+        &env, "dyn", SmallOptions(method, "", /*buffer=*/50));
+    ASSERT_TRUE(created.ok());
+    DynamicIndex& index = **created;
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+    }
+    for (DescriptorId id = 5; id < 80; id += 9) {
+      ASSERT_TRUE(index.Delete(id).ok());
+    }
+    EXPECT_TRUE(index.SupportsSharedScan());
+
+    std::vector<std::span<const float>> spans;
+    for (const auto& q : query_vectors) spans.emplace_back(q);
+    SharedScanStats stats;
+    auto shared = index.SearchShared(spans, k, StopRule::Exact(),
+                                     /*num_threads=*/1, &stats);
+    ASSERT_TRUE(shared.ok()) << method << ": " << shared.status().ToString();
+    ASSERT_EQ(shared->size(), query_vectors.size());
+    for (size_t qi = 0; qi < query_vectors.size(); ++qi) {
+      auto single = index.Search(query_vectors[qi], k, StopRule::Exact());
+      ASSERT_TRUE(single.ok());
+      ExpectSameNeighbors((*shared)[qi].neighbors, single->neighbors,
+                          std::string(method) + " query " +
+                              std::to_string(qi));
+      EXPECT_EQ((*shared)[qi].telemetry.exact, single->telemetry.exact);
+    }
+  }
+}
+
+TEST(DynamicIndexTest, BatchSearcherDrivesTheDynamicIndex) {
+  MemEnv env;
+  Collection data = SmallCollection(200);
+  auto created = DynamicIndex::Create(
+      &env, "dyn", SmallOptions("chunked", "", /*buffer=*/60));
+  ASSERT_TRUE(created.ok());
+  DynamicIndex& index = **created;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+  }
+  for (DescriptorId id = 2; id < 50; id += 11) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+
+  Workload workload;
+  workload.name = "dyn-test";
+  workload.dim = data.dim();
+  const auto query_vectors = SmallQueries(data, 6);
+  for (const auto& q : query_vectors) {
+    workload.queries.insert(workload.queries.end(), q.begin(), q.end());
+  }
+
+  const size_t k = 7;
+  BatchSearcher searcher(&index, /*num_threads=*/2);
+  auto batch = searcher.SearchAll(workload, k, StopRule::Exact());
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), query_vectors.size());
+  for (size_t qi = 0; qi < query_vectors.size(); ++qi) {
+    auto single = index.Search(query_vectors[qi], k, StopRule::Exact());
+    ASSERT_TRUE(single.ok());
+    ExpectSameNeighbors(batch->results[qi].neighbors, single->neighbors,
+                        "batch query " + std::to_string(qi));
+  }
+  EXPECT_EQ(batch->exact_queries, query_vectors.size());
+}
+
+// Readers hammer Search while a writer inserts, deletes, and flushes.
+// Correctness bar: every query sees a coherent snapshot (k results, sorted,
+// no dead id that was deleted before the reader started). TSan (CI) proves
+// the epoch handoff is race-free.
+TEST(DynamicIndexTest, ConcurrentInsertDeleteQueryHammer) {
+  MemEnv env;
+  Collection data = SmallCollection(400);
+  auto created = DynamicIndex::Create(
+      &env, "dyn", SmallOptions("exact-scan", "", /*buffer=*/32));
+  ASSERT_TRUE(created.ok());
+  DynamicIndex& index = **created;
+
+  // Seed rows deleted before any reader starts: they must never surface.
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+  }
+  for (DescriptorId id = 0; id < 50; id += 2) {
+    ASSERT_TRUE(index.Delete(id).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t qi = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto query = data.Vector(qi % data.size());
+        qi += 7;
+        auto result = index.Search(query, 5, StopRule::Exact());
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        for (const Neighbor& neighbor : result->neighbors) {
+          // Ids deleted before the hammer started stay deleted forever.
+          if (neighbor.id < 50 && neighbor.id % 2 == 0) ++failures;
+        }
+        for (size_t i = 1; i < result->neighbors.size(); ++i) {
+          if (result->neighbors[i].distance <
+              result->neighbors[i - 1].distance) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+
+  for (size_t i = 50; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+    if (i % 13 == 5) {
+      ASSERT_TRUE(index.Delete(data.Id(i - 3)).ok());
+    }
+    if (i % 60 == 59) {
+      ASSERT_TRUE(index.Flush().ok());
+    }
+  }
+  ASSERT_TRUE(index.Compact().ok());
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(DynamicIndexTest, ResidentBytesTracksStructures) {
+  MemEnv env;
+  Collection data = SmallCollection(150);
+  auto created = DynamicIndex::Create(
+      &env, "dyn", SmallOptions("chunked", "", /*buffer=*/40));
+  ASSERT_TRUE(created.ok());
+  DynamicIndex& index = **created;
+  const size_t empty_bytes = index.ResidentBytes();
+  EXPECT_GT(empty_bytes, 0u);  // the preallocated buffer
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+  }
+  EXPECT_GT(index.ResidentBytes(), empty_bytes);
+}
+
+TEST(DynamicIndexTest, RegistryWrapperOpensSavedIndex) {
+  MemEnv env;
+  Collection data = SmallCollection(150);
+  {
+    auto created = DynamicIndex::Create(
+        &env, "wrapped", SmallOptions("chunked", "", /*buffer=*/40));
+    ASSERT_TRUE(created.ok());
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE((*created)->Insert(data.Id(i), data.Vector(i)).ok());
+    }
+    ASSERT_TRUE((*created)->Delete(data.Id(5)).ok());
+    ASSERT_TRUE((*created)->Save().ok());
+  }
+
+  ASSERT_TRUE(RegisterDynamicMethod(MethodRegistry::Global()).ok());
+  // Idempotent.
+  ASSERT_TRUE(RegisterDynamicMethod(MethodRegistry::Global()).ok());
+
+  MethodContext context;
+  context.env = &env;
+  auto method = MethodRegistry::Global().Create("dynamic", context,
+                                                "base=wrapped");
+  ASSERT_TRUE(method.ok()) << method.status().ToString();
+  ASSERT_TRUE((*method)->Prepare().ok());
+  auto result = (*method)->Search(data.Vector(7), 3, StopRule::Exact());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->neighbors[0].id, data.Id(7));
+  EXPECT_GT((*method)->ResidentBytes(), 0u);
+
+  // Unknown parameters and a missing base fail loudly.
+  EXPECT_FALSE(
+      MethodRegistry::Global().Create("dynamic", context, "").ok());
+  EXPECT_FALSE(MethodRegistry::Global()
+                   .Create("dynamic", context, "base=wrapped,bogus=1")
+                   .ok());
+}
+
+TEST(DynamicIndexTest, LevelingPolicyKeepsShardCountLow) {
+  MemEnv env;
+  Collection data = SmallCollection(360);
+  auto created = DynamicIndex::Create(
+      &env, "dyn",
+      SmallOptions("exact-scan", "", /*buffer=*/30, /*scale=*/2,
+                   MergePolicy::kLeveling));
+  ASSERT_TRUE(created.ok());
+  DynamicIndex& index = **created;
+  std::map<DescriptorId, std::vector<float>> live;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Insert(data.Id(i), data.Vector(i)).ok());
+    live[data.Id(i)] = {data.Vector(i).begin(), data.Vector(i).end()};
+  }
+  // Leveling: at most one shard per level.
+  std::map<uint32_t, int> per_level;
+  const DynamicStats stats = index.Stats();
+  EXPECT_GT(stats.merges, 0u);
+  const auto queries = SmallQueries(data, 4);
+  for (const auto& q : queries) {
+    auto result = index.Search(q, 6, StopRule::Exact());
+    ASSERT_TRUE(result.ok());
+    ExpectSameNeighbors(result->neighbors, BruteForce(live, q, 6),
+                        "leveling");
+    for (const ShardAttribution& attribution : result->shards) {
+      if (attribution.shard_id != ShardAttribution::kMutableBuffer) {
+        EXPECT_LE(++per_level[attribution.level], 1) << "leveling invariant";
+      }
+    }
+    per_level.clear();
+  }
+}
+
+}  // namespace
+}  // namespace qvt

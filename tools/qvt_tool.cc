@@ -9,10 +9,11 @@
 //                     [--build-threads N] [--tree-out tree.srt]
 //                     [--pq-out codes.pqc] [--pq-m 8] [--pq-ksub 256]
 //                     [--pq-iters 25] [--pq-seed 7]
-//   qvt_tool info     --index idx [--mmap 0|1] [--pq codes.pqc]
-//                     [--cache-pages 0]
-//   qvt_tool fsck     [--index idx] [--tree tree.srt] [--pq codes.pqc]
-//                     [--max-chunk-pop 0]
+//   qvt_tool info     [--index idx] [--dyn base] [--mmap 0|1]
+//                     [--pq codes.pqc] [--cache-pages 0]
+//                     [--collection col.desc (per-method resident memory)]
+//   qvt_tool fsck     [--index idx] [--dyn base] [--tree tree.srt]
+//                     [--pq codes.pqc] [--max-chunk-pop 0]
 //   qvt_tool tail     --collection col.desc --index idx [--queries 200]
 //                     [--k 10] [--budgets 1,2,4,8,0] [--threads 1]
 //                     [--seed 7] [--max-chunk-pop 0] [--label chunked]
@@ -26,6 +27,13 @@
 //                     [--cache-pages 0] [--verify 0] [--prefetch-depth 4]
 //                     [--method chunked] [--method-params "key=val,..."]
 //                     [--check-recall 0.0] [--shared-scan on|off]
+//   qvt_tool ingest   --dyn base --collection col.desc [--offset 0]
+//                     [--count 0 (=rest)] [--delete-every 0]
+//                     [--method chunked] [--method-params "..."]
+//                     [--buffer-capacity 1024] [--scale-factor 4]
+//                     [--policy tiering|leveling] [--chunk-size 256]
+//   qvt_tool delete   --dyn base --ids 1,2,3
+//   qvt_tool compact  --dyn base
 //
 // build --chunker balanced-kmeans enforces a per-chunk population bound
 // during assignment (--max-chunk-pop, or a 1.05x fair-share bound when 0);
@@ -60,6 +68,25 @@
 // all the queries that want it, and identical query vectors share one
 // plan and scan. Results are bit-identical to --shared-scan off; the
 // report adds the coalescing ledger.
+//
+// ingest/delete/compact drive a dynamic (Bentley-Saxe) index at path
+// prefix --dyn: ingest creates the index on first use (--method picks the
+// wrapped search method, the extension knobs pick the merge geometry) and
+// streams collection rows into it — flushes and merge cascades fire
+// automatically as the mutable buffer fills; --delete-every N interleaves a
+// tombstone for the row inserted N positions earlier, the mixed-workload
+// stressor. delete tombstones explicit ids; compact folds everything into
+// one shard, purging deleted rows — after which answers are bit-identical
+// to a static build over the live rows. Each command persists with an
+// atomic manifest rename on exit, so a crash mid-run (including the
+// QVT_DYN_CRASH test hook, which kills the process after a merge's
+// artifacts are written but before any save) leaves the previous manifest
+// intact. info --dyn prints the level occupancy; fsck --dyn verifies the
+// manifest CRC, record invariants, and every shard artifact.
+//
+// info --collection additionally instantiates every registered method over
+// that collection and prints one resident-memory line per method — what
+// each first pass keeps in RAM to answer queries.
 //
 // --mmap 1 forces the zero-copy mapped index open, --mmap 0 the
 // deserializing open (CRC + per-entry checks up front); without the flag
@@ -110,6 +137,8 @@
 #include "core/searcher.h"
 #include "descriptor/generator.h"
 #include "descriptor/workload.h"
+#include "dynamic/dynamic_index.h"
+#include "dynamic/manifest.h"
 #include "srtree/static_sr_tree.h"
 #include "storage/chunk_cache.h"
 #include "storage/pq_file.h"
@@ -332,58 +361,238 @@ int CmdBuild(const Flags& flags) {
   return 0;
 }
 
-int CmdInfo(const Flags& flags) {
-  if (!flags.Has("index")) {
-    std::fprintf(stderr, "info requires --index\n");
+/// Shared dynamic-index configuration: the wrapped method and the merge
+/// geometry. The method and params only matter when the index is created;
+/// on reopen the manifest's recorded choice wins.
+StatusOr<DynamicOptions> DynamicOptionsFromFlags(const Flags& flags) {
+  DynamicOptions options;
+  options.method = flags.Get("method", "chunked");
+  options.method_params = flags.Get("method-params", "");
+  options.extension.buffer_capacity =
+      static_cast<size_t>(flags.GetInt("buffer-capacity", 1024));
+  options.extension.scale_factor =
+      static_cast<size_t>(flags.GetInt("scale-factor", 4));
+  const std::string policy = flags.Get("policy", "tiering");
+  if (policy == "tiering") {
+    options.extension.policy = MergePolicy::kTiering;
+  } else if (policy == "leveling") {
+    options.extension.policy = MergePolicy::kLeveling;
+  } else {
+    return Status::InvalidArgument("--policy must be tiering or leveling");
+  }
+  options.target_chunk_size =
+      static_cast<size_t>(flags.GetInt("chunk-size", 256));
+  options.open_mode = OpenModeFromFlags(flags);
+  return options;
+}
+
+/// Reopens the dynamic index at --dyn; ingest additionally creates a fresh
+/// one when nothing has been saved there yet.
+StatusOr<std::unique_ptr<DynamicIndex>> OpenOrCreateDynamic(
+    const Flags& flags, bool create_if_missing) {
+  auto options = DynamicOptionsFromFlags(flags);
+  if (!options.ok()) return options.status();
+  const std::string base = flags.Get("dyn", "");
+  auto opened = DynamicIndex::Open(Env::Posix(), base, *options);
+  if (opened.ok() || !opened.status().IsNotFound() || !create_if_missing) {
+    return opened;
+  }
+  std::printf("creating dynamic index at %s (method %s)\n", base.c_str(),
+              options->method.c_str());
+  return DynamicIndex::Create(Env::Posix(), base, *std::move(options));
+}
+
+// Streams collection rows into the dynamic index at --dyn (created on first
+// use), letting buffer flushes and merge cascades fire as they may.
+// --delete-every N interleaves deletes of rows inserted N positions earlier
+// — old enough to usually live in a shard already, so tombstones cross the
+// buffer/shard boundary. State persists in one atomic manifest rename at
+// the end; a crash mid-run (QVT_DYN_CRASH) loses only this run's rows.
+int CmdIngest(const Flags& flags) {
+  if (!flags.Has("dyn") || !flags.Has("collection")) {
+    std::fprintf(stderr, "ingest requires --dyn and --collection\n");
     return 2;
   }
-  const auto open_start = std::chrono::steady_clock::now();
-  auto index = ChunkIndex::Open(
-      Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
-      kDescriptorDim, OpenModeFromFlags(flags));
-  const double open_micros =
-      std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - open_start)
-          .count();
+  auto collection = Collection::Load(Env::Posix(), flags.Get("collection", ""));
+  if (!collection.ok()) return Fail(collection.status());
+  ApplyBuildThreads(flags);
+
+  auto index = OpenOrCreateDynamic(flags, /*create_if_missing=*/true);
   if (!index.ok()) return Fail(index.status());
 
-  uint64_t pages = 0;
-  for (const ChunkLocation& loc : index->locations()) {
-    pages += loc.num_pages;
+  const size_t offset = static_cast<size_t>(flags.GetInt("offset", 0));
+  if (offset > collection->size()) {
+    std::fprintf(stderr, "--offset past the collection (%zu rows)\n",
+                 collection->size());
+    return 2;
   }
-  const IndexFileHeader& h = index->file_header();
-  std::printf("format:            QVTIDX v%u, dim %u, sections at "
-              "%llu/%llu/%llu, footer at %llu\n",
-              h.version, h.dim,
-              static_cast<unsigned long long>(h.centroids_off),
-              static_cast<unsigned long long>(h.radii_off),
-              static_cast<unsigned long long>(h.directory_off),
-              static_cast<unsigned long long>(h.footer_off));
-  std::printf("open:              %.3f ms (%s)\n", open_micros / 1000.0,
-              index->mapped() ? "mmap, zero-copy"
-                              : "deserialize, CRC verified");
-  std::printf("chunks:            %zu\n", index->num_chunks());
-  std::printf("descriptors:       %llu\n",
-              static_cast<unsigned long long>(index->total_descriptors()));
-  std::printf("pages:             %llu (%.1f MiB padded)\n",
-              static_cast<unsigned long long>(pages),
-              static_cast<double>(pages) * kPageSize / (1024.0 * 1024.0));
-  std::printf("populations:       %s\n",
-              index->populations().ToString().c_str());
+  const size_t remaining = collection->size() - offset;
+  size_t count = static_cast<size_t>(flags.GetInt("count", 0));
+  if (count == 0 || count > remaining) count = remaining;
+  const size_t delete_every =
+      static_cast<size_t>(flags.GetInt("delete-every", 0));
 
-  // Per-method resident memory: what each first pass keeps in RAM while
-  // answering queries (the chunk payload itself stays on disk).
-  const size_t n = index->num_chunks();
-  const size_t centroid_bytes = n * index->dim() * sizeof(float);
-  const size_t radii_bytes = n * sizeof(double);
-  const size_t directory_bytes = n * sizeof(ChunkLocation);
-  std::printf("resident memory:\n");
-  std::printf("  chunked:         %.1f KiB (centroid matrix %.1f KiB, "
-              "radii %.1f KiB, directory %.1f KiB)\n",
-              (centroid_bytes + radii_bytes + directory_bytes) / 1024.0,
-              centroid_bytes / 1024.0, radii_bytes / 1024.0,
-              directory_bytes / 1024.0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<DescriptorId> inserted;
+  inserted.reserve(count);
+  size_t skipped = 0;
+  size_t deleted = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t pos = offset + i;
+    const Status status = (*index)->Insert(
+        collection->Id(pos), collection->Vector(pos), collection->Image(pos));
+    if (status.IsAlreadyExists()) {
+      ++skipped;  // duplicate id in the source; the live row wins
+      continue;
+    }
+    if (!status.ok()) return Fail(status);
+    inserted.push_back(collection->Id(pos));
+    if (delete_every > 0 && inserted.size() % delete_every == 0 &&
+        inserted.size() > delete_every) {
+      const Status dead =
+          (*index)->Delete(inserted[inserted.size() - 1 - delete_every]);
+      if (!dead.ok()) return Fail(dead);
+      ++deleted;
+    }
+  }
+  if (const Status saved = (*index)->Save(); !saved.ok()) return Fail(saved);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+  const DynamicStats stats = (*index)->Stats();
+  std::printf("ingested %zu rows (%zu duplicate ids skipped, %zu deleted) "
+              "in %.3f s — %.0f inserts/s\n",
+              inserted.size(), skipped, deleted, wall_s,
+              wall_s > 0 ? static_cast<double>(inserted.size()) / wall_s
+                         : 0.0);
+  std::printf("index: %s\n", (*index)->Describe().c_str());
+  std::printf("levels: %s\n", (*index)->DescribeLevels().c_str());
+  std::printf("writer: %llu flushes, %llu merges, %.1f ms building shards\n",
+              static_cast<unsigned long long>(stats.flushes),
+              static_cast<unsigned long long>(stats.merges),
+              stats.build_wall_micros / 1000.0);
+  PrintBuildStats();
+  return 0;
+}
+
+// Tombstones explicit descriptor ids in the dynamic index at --dyn. Ids
+// that are not live (never inserted, or already deleted) are reported and
+// fail the command, matching the library's Delete contract.
+int CmdDeleteRows(const Flags& flags) {
+  if (!flags.Has("dyn") || !flags.Has("ids")) {
+    std::fprintf(stderr, "delete requires --dyn and --ids\n");
+    return 2;
+  }
+  auto index = OpenOrCreateDynamic(flags, /*create_if_missing=*/false);
+  if (!index.ok()) return Fail(index.status());
+  size_t deleted = 0;
+  size_t failures = 0;
+  std::stringstream list(flags.Get("ids", ""));
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    if (item.empty()) continue;
+    const auto id = static_cast<DescriptorId>(std::stoull(item));
+    if (const Status status = (*index)->Delete(id); !status.ok()) {
+      std::fprintf(stderr, "delete %u: %s\n", id, status.ToString().c_str());
+      ++failures;
+    } else {
+      ++deleted;
+    }
+  }
+  if (const Status saved = (*index)->Save(); !saved.ok()) return Fail(saved);
+  std::printf("deleted %zu id(s); %zu live rows, %zu tombstones pending\n",
+              deleted, (*index)->live_rows(), (*index)->num_tombstones());
+  return failures == 0 ? 0 : 1;
+}
+
+// Folds buffer + every shard of the dynamic index at --dyn into a single
+// shard, physically purging deleted rows and dropping every tombstone —
+// after which answers are bit-identical to a static build over the live
+// rows.
+int CmdCompact(const Flags& flags) {
+  if (!flags.Has("dyn")) {
+    std::fprintf(stderr, "compact requires --dyn\n");
+    return 2;
+  }
+  ApplyBuildThreads(flags);
+  auto index = OpenOrCreateDynamic(flags, /*create_if_missing=*/false);
+  if (!index.ok()) return Fail(index.status());
+  std::printf("before: %s\n", (*index)->DescribeLevels().c_str());
+  const auto start = std::chrono::steady_clock::now();
+  if (const Status status = (*index)->Compact(); !status.ok()) {
+    return Fail(status);
+  }
+  if (const Status saved = (*index)->Save(); !saved.ok()) return Fail(saved);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  std::printf("after:  %s\n", (*index)->DescribeLevels().c_str());
+  std::printf("compacted to %zu live rows in %.1f ms; answers now match a "
+              "static %s build\n",
+              (*index)->live_rows(), wall_ms,
+              (*index)->options().method.c_str());
+  PrintBuildStats();
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (!flags.Has("index") && !flags.Has("dyn") && !flags.Has("collection")) {
+    std::fprintf(stderr, "info requires --index, --dyn, or --collection\n");
+    return 2;
+  }
+  std::optional<StatusOr<ChunkIndex>> index;
+  if (flags.Has("index")) {
+    const auto open_start = std::chrono::steady_clock::now();
+    index.emplace(ChunkIndex::Open(
+        Env::Posix(), ChunkIndexPaths::ForBase(flags.Get("index", "")),
+        kDescriptorDim, OpenModeFromFlags(flags)));
+    const double open_micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - open_start)
+            .count();
+    if (!index->ok()) return Fail(index->status());
+
+    uint64_t pages = 0;
+    for (const ChunkLocation& loc : (*index)->locations()) {
+      pages += loc.num_pages;
+    }
+    const IndexFileHeader& h = (*index)->file_header();
+    std::printf("format:            QVTIDX v%u, dim %u, sections at "
+                "%llu/%llu/%llu, footer at %llu\n",
+                h.version, h.dim,
+                static_cast<unsigned long long>(h.centroids_off),
+                static_cast<unsigned long long>(h.radii_off),
+                static_cast<unsigned long long>(h.directory_off),
+                static_cast<unsigned long long>(h.footer_off));
+    std::printf("open:              %.3f ms (%s)\n", open_micros / 1000.0,
+                (*index)->mapped() ? "mmap, zero-copy"
+                                   : "deserialize, CRC verified");
+    std::printf("chunks:            %zu\n", (*index)->num_chunks());
+    std::printf("descriptors:       %llu\n",
+                static_cast<unsigned long long>(
+                    (*index)->total_descriptors()));
+    std::printf("pages:             %llu (%.1f MiB padded)\n",
+                static_cast<unsigned long long>(pages),
+                static_cast<double>(pages) * kPageSize / (1024.0 * 1024.0));
+    std::printf("populations:       %s\n",
+                (*index)->populations().ToString().c_str());
+
+    // Resident memory of the chunked first pass: what it keeps in RAM while
+    // answering queries (the chunk payload itself stays on disk).
+    const size_t n = (*index)->num_chunks();
+    const size_t centroid_bytes = n * (*index)->dim() * sizeof(float);
+    const size_t radii_bytes = n * sizeof(double);
+    const size_t directory_bytes = n * sizeof(ChunkLocation);
+    std::printf("resident memory:\n");
+    std::printf("  chunked:         %.1f KiB (centroid matrix %.1f KiB, "
+                "radii %.1f KiB, directory %.1f KiB)\n",
+                (centroid_bytes + radii_bytes + directory_bytes) / 1024.0,
+                centroid_bytes / 1024.0, radii_bytes / 1024.0,
+                directory_bytes / 1024.0);
+  }
   if (flags.Has("pq")) {
+    if (!flags.Has("index")) std::printf("resident memory:\n");
     auto pq = OpenPqFile(Env::Posix(), flags.Get("pq", ""), 0,
                          /*mapped=*/false);
     if (!pq.ok()) return Fail(pq.status());
@@ -406,6 +615,68 @@ int CmdInfo(const Flags& flags) {
                 static_cast<double>(cache_pages) * kPageSize / 1024.0,
                 static_cast<unsigned long long>(cache_pages), kPageSize);
   }
+
+  if (flags.Has("dyn")) {
+    auto options = DynamicOptionsFromFlags(flags);
+    if (!options.ok()) return Fail(options.status());
+    const std::string base = flags.Get("dyn", "");
+    const auto open_start = std::chrono::steady_clock::now();
+    auto dyn = DynamicIndex::Open(Env::Posix(), base, *std::move(options));
+    const double open_micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - open_start)
+            .count();
+    if (!dyn.ok()) return Fail(dyn.status());
+    std::printf("dynamic index %s:\n", base.c_str());
+    std::printf("  open:            %.3f ms\n", open_micros / 1000.0);
+    std::printf("  method:          %s\n", (*dyn)->Describe().c_str());
+    std::printf("  levels:          %s\n", (*dyn)->DescribeLevels().c_str());
+    std::printf("  rows:            %zu live (%zu buffered, %zu tombstones "
+                "pending)\n",
+                (*dyn)->live_rows(), (*dyn)->buffer_rows(),
+                (*dyn)->num_tombstones());
+    std::printf("  epoch:           %llu\n",
+                static_cast<unsigned long long>((*dyn)->epoch()));
+    std::printf("  resident:        %.1f KiB\n",
+                static_cast<double>((*dyn)->ResidentBytes()) / 1024.0);
+  }
+
+  // --collection: one resident-memory line per registered method — every
+  // method instantiated (and Prepare()d) over this collection, with the
+  // chunk index / dynamic base wired in when the flags provide them.
+  if (flags.Has("collection")) {
+    auto collection =
+        Collection::Load(Env::Posix(), flags.Get("collection", ""));
+    if (!collection.ok()) return Fail(collection.status());
+    MethodContext context;
+    context.collection = &*collection;
+    context.index = index.has_value() ? &**index : nullptr;
+    context.env = Env::Posix();
+    std::printf("resident memory by method (%zu rows):\n",
+                collection->size());
+    for (const MethodInfo& info : MethodRegistry::Global().List()) {
+      std::string params;
+      if (info.name == "dynamic") {
+        if (!flags.Has("dyn")) {
+          std::printf("  %-11s (skipped: needs --dyn)\n", info.name.c_str());
+          continue;
+        }
+        params = "base=" + flags.Get("dyn", "");
+      }
+      auto method =
+          MethodRegistry::Global().Create(info.name, context, params);
+      const Status prepared =
+          method.ok() ? (*method)->Prepare() : method.status();
+      if (!prepared.ok()) {
+        std::printf("  %-11s (skipped: %s)\n", info.name.c_str(),
+                    prepared.ToString().c_str());
+        continue;
+      }
+      std::printf("  %-11s %10.1f KiB — %s\n", info.name.c_str(),
+                  static_cast<double>((*method)->ResidentBytes()) / 1024.0,
+                  (*method)->Describe().c_str());
+    }
+  }
   return 0;
 }
 
@@ -415,11 +686,41 @@ int CmdInfo(const Flags& flags) {
 // additionally checks a static SR-tree file (CRC + structural links).
 // Defects print as "error: <what> in <path> at offset <n>"; exit 1.
 int CmdFsck(const Flags& flags) {
-  if (!flags.Has("index") && !flags.Has("tree") && !flags.Has("pq")) {
-    std::fprintf(stderr, "fsck requires --index, --tree, and/or --pq\n");
+  if (!flags.Has("index") && !flags.Has("tree") && !flags.Has("pq") &&
+      !flags.Has("dyn")) {
+    std::fprintf(stderr,
+                 "fsck requires --index, --dyn, --tree, and/or --pq\n");
     return 2;
   }
   int failures = 0;
+  if (flags.Has("dyn")) {
+    // Manifest envelope + CRC + record invariants, then every shard
+    // artifact (row counts, chunk-index deep validation for the chunked
+    // method).
+    const std::string base = flags.Get("dyn", "");
+    const Status verdict = FsckDynamic(Env::Posix(), base);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "fsck: dyn %s: %s\n", base.c_str(),
+                   verdict.ToString().c_str());
+      ++failures;
+    } else if (auto manifest = LoadDynamicManifest(Env::Posix(), base);
+               !manifest.ok()) {
+      std::fprintf(stderr, "fsck: dyn %s: %s\n", base.c_str(),
+                   manifest.status().ToString().c_str());
+      ++failures;
+    } else {
+      uint64_t shard_rows = 0;
+      for (const ManifestShardRecord& shard : manifest->shards) {
+        shard_rows += shard.rows;
+      }
+      std::printf("fsck: dyn %s: OK (%zu shards / %llu rows, %zu buffered, "
+                  "%zu tombstones, method %s, format v%u)\n",
+                  base.c_str(), manifest->shards.size(),
+                  static_cast<unsigned long long>(shard_rows),
+                  manifest->buffer_rows(), manifest->tombstones.size(),
+                  manifest->method.c_str(), kDynamicFormatVersion);
+    }
+  }
   if (flags.Has("index")) {
     // The deserializing open already verifies envelope, CRC, and entry
     // invariants; Validate re-reads every chunk against its sphere.
@@ -880,8 +1181,15 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: qvt_tool <generate|build|info|fsck|tail|methods|"
-                 "search|batch> [--flag value]...\n");
+                 "search|batch|ingest|delete|compact> [--flag value]...\n");
     return 2;
+  }
+  // The dynamic wrapper lives above the core library, so its registration
+  // is explicit (the registry's built-ins self-register).
+  if (const Status registered =
+          RegisterDynamicMethod(MethodRegistry::Global());
+      !registered.ok()) {
+    return Fail(registered);
   }
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
@@ -893,6 +1201,9 @@ int Main(int argc, char** argv) {
   if (command == "methods") return CmdMethods(flags);
   if (command == "search") return CmdSearch(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "ingest") return CmdIngest(flags);
+  if (command == "delete") return CmdDeleteRows(flags);
+  if (command == "compact") return CmdCompact(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }
